@@ -1,0 +1,273 @@
+package polce
+
+// One testing.B benchmark per table and figure of the paper's evaluation,
+// plus the two theorems of the analytical model. Each benchmark runs the
+// computation that produces the corresponding table/figure cell on a
+// representative mid-sized program (the full-suite sweeps live behind
+// cmd/polce-bench; a testing.B loop over multi-minute Plain runs would be
+// unusable). Custom metrics report the paper's headline quantities —
+// work counts, eliminated-variable fractions, speedups — alongside ns/op.
+
+import (
+	"testing"
+
+	"polce/internal/andersen"
+	"polce/internal/bench"
+	"polce/internal/cfa"
+	"polce/internal/cgen"
+	"polce/internal/core"
+	"polce/internal/mlang"
+	"polce/internal/model"
+	"polce/internal/progen"
+	"polce/internal/randgraph"
+)
+
+// benchFile caches one generated program per size across benchmarks.
+var benchFiles = map[int]*cgen.File{}
+
+func loadBenchFile(b *testing.B, ast int) *cgen.File {
+	b.Helper()
+	if f, ok := benchFiles[ast]; ok {
+		return f
+	}
+	src := progen.Generate(progen.ByScale(int64(ast), ast))
+	f, err := cgen.MustParse("bench.c", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchFiles[ast] = f
+	return f
+}
+
+// solve runs one configuration, including the least-solution pass for IF
+// (the paper's timing convention).
+func solve(f *cgen.File, form core.Form, pol core.CyclePolicy, oracle *core.Oracle) *andersen.Result {
+	r := andersen.Analyze(f, andersen.Options{Form: form, Cycles: pol, Seed: 1, Oracle: oracle})
+	if form == core.IF {
+		r.Sys.ComputeLeastSolutions()
+	}
+	return r
+}
+
+func buildOracle(b *testing.B, f *cgen.File) *core.Oracle {
+	b.Helper()
+	ref := andersen.Analyze(f, andersen.Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 1})
+	return core.BuildOracle(ref.Sys)
+}
+
+const midAST = 4000 // representative medium benchmark (≈ the paper's "ratfor")
+
+// BenchmarkTable1 measures the Table 1 pipeline: generate → parse →
+// initial constraint graph → SCC statistics.
+func BenchmarkTable1_InitialGraph(b *testing.B) {
+	f := loadBenchFile(b, midAST)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		init := andersen.AnalyzeInitial(f, andersen.Options{Form: core.SF, Seed: 1})
+		inSCC, _ := init.Sys.CycleClassStats()
+		if inSCC < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+// Table 2 cells: the two Plain and two Oracle configurations.
+
+func BenchmarkTable2_SFPlain(b *testing.B) {
+	f := loadBenchFile(b, midAST)
+	var work int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work = solve(f, core.SF, core.CycleNone, nil).Sys.Stats().Work
+	}
+	b.ReportMetric(float64(work), "edge-adds")
+}
+
+func BenchmarkTable2_IFPlain(b *testing.B) {
+	f := loadBenchFile(b, midAST)
+	var work int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work = solve(f, core.IF, core.CycleNone, nil).Sys.Stats().Work
+	}
+	b.ReportMetric(float64(work), "edge-adds")
+}
+
+func BenchmarkTable2_SFOracle(b *testing.B) {
+	f := loadBenchFile(b, midAST)
+	oracle := buildOracle(b, f)
+	var work int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work = solve(f, core.SF, core.CycleOracle, oracle).Sys.Stats().Work
+	}
+	b.ReportMetric(float64(work), "edge-adds")
+}
+
+func BenchmarkTable2_IFOracle(b *testing.B) {
+	f := loadBenchFile(b, midAST)
+	oracle := buildOracle(b, f)
+	var work int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work = solve(f, core.IF, core.CycleOracle, oracle).Sys.Stats().Work
+	}
+	b.ReportMetric(float64(work), "edge-adds")
+}
+
+// Table 3 cells: the two Online configurations, reporting eliminations.
+
+func BenchmarkTable3_SFOnline(b *testing.B) {
+	f := loadBenchFile(b, midAST)
+	var st core.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st = solve(f, core.SF, core.CycleOnline, nil).Sys.Stats()
+	}
+	b.ReportMetric(float64(st.Work), "edge-adds")
+	b.ReportMetric(float64(st.VarsEliminated), "eliminated")
+}
+
+func BenchmarkTable3_IFOnline(b *testing.B) {
+	f := loadBenchFile(b, midAST)
+	var st core.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st = solve(f, core.IF, core.CycleOnline, nil).Sys.Stats()
+	}
+	b.ReportMetric(float64(st.Work), "edge-adds")
+	b.ReportMetric(float64(st.VarsEliminated), "eliminated")
+}
+
+// BenchmarkFigure7 runs the two no-elimination configurations back to
+// back — the scaling comparison Figure 7 plots.
+func BenchmarkFigure7_PlainScaling(b *testing.B) {
+	f := loadBenchFile(b, midAST)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = solve(f, core.SF, core.CycleNone, nil)
+		_ = solve(f, core.IF, core.CycleNone, nil)
+	}
+}
+
+// BenchmarkFigure8 runs the four elimination configurations Figure 8
+// plots.
+func BenchmarkFigure8_EliminationConfigs(b *testing.B) {
+	f := loadBenchFile(b, midAST)
+	oracle := buildOracle(b, f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = solve(f, core.SF, core.CycleOracle, oracle)
+		_ = solve(f, core.IF, core.CycleOracle, oracle)
+		_ = solve(f, core.SF, core.CycleOnline, nil)
+		_ = solve(f, core.IF, core.CycleOnline, nil)
+	}
+}
+
+// BenchmarkFigure9 measures the headline speedup: IF-Online against
+// SF-Plain (reported as the work ratio, the machine-independent analogue).
+func BenchmarkFigure9_Speedup(b *testing.B) {
+	f := loadBenchFile(b, midAST)
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plain := solve(f, core.SF, core.CycleNone, nil).Sys.Stats().Work
+		online := solve(f, core.IF, core.CycleOnline, nil).Sys.Stats().Work
+		ratio = float64(plain) / float64(online)
+	}
+	b.ReportMetric(ratio, "work-ratio")
+}
+
+// BenchmarkFigure10 measures SF-Online against IF-Online.
+func BenchmarkFigure10_SFvsIFOnline(b *testing.B) {
+	f := loadBenchFile(b, midAST)
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sf := solve(f, core.SF, core.CycleOnline, nil).Sys.Stats().Work
+		inf := solve(f, core.IF, core.CycleOnline, nil).Sys.Stats().Work
+		ratio = float64(sf) / float64(inf)
+	}
+	b.ReportMetric(ratio, "work-ratio")
+}
+
+// BenchmarkFigure11 measures the cycle-detection rates of the two online
+// policies.
+func BenchmarkFigure11_DetectionRate(b *testing.B) {
+	f := loadBenchFile(b, midAST)
+	var rateIF, rateSF float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ifr := solve(f, core.IF, core.CycleOnline, nil)
+		sfr := solve(f, core.SF, core.CycleOnline, nil)
+		cyc, _ := ifr.Sys.CycleClassStats()
+		if cyc > 0 {
+			rateIF = 100 * float64(ifr.Sys.Stats().VarsEliminated) / float64(cyc)
+			rateSF = 100 * float64(sfr.Sys.Stats().VarsEliminated) / float64(cyc)
+		}
+	}
+	b.ReportMetric(rateIF, "IF-detect-%")
+	b.ReportMetric(rateSF, "SF-detect-%")
+}
+
+// BenchmarkTheorem51 evaluates the analytic work expectations and the
+// Monte-Carlo closure ratio.
+func BenchmarkTheorem51_Model(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		n := 100000
+		m := 2 * n / 3
+		p := 1 / float64(n)
+		ratio = model.EdgeAdditionsSF(n, m, p) / model.EdgeAdditionsIF(n, m, p)
+	}
+	b.ReportMetric(ratio, "SF/IF-ratio")
+}
+
+func BenchmarkTheorem51_MonteCarlo(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = randgraph.MeanClosureRatio(randgraph.Params{
+			N: 800, M: 533, P: 1.0 / 800, Seed: int64(i),
+		}, 3)
+	}
+	b.ReportMetric(ratio, "SF/IF-ratio")
+}
+
+// BenchmarkTheorem52 measures chain-search reach, the constant that makes
+// online detection cheap.
+func BenchmarkTheorem52_Reach(b *testing.B) {
+	var reach float64
+	for i := 0; i < b.N; i++ {
+		reach = randgraph.MeanReach(400, 2.0/400, int64(i), 2)
+	}
+	b.ReportMetric(reach, "mean-reach")
+	b.ReportMetric(model.ExpectedReachBound(2), "bound")
+}
+
+// BenchmarkFutureWork_ClosureAnalysis measures the paper's §7 future-work
+// claim on a generated higher-order program: 0-CFA with online elimination
+// versus plain resolution (work ratio reported).
+func BenchmarkFutureWork_ClosureAnalysis(b *testing.B) {
+	prog := mlang.MustParse(cfa.GenProgram(42, 4000))
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plain := cfa.Analyze(prog, cfa.Options{Form: core.IF, Cycles: core.CycleNone, Seed: 1})
+		online := cfa.Analyze(prog, cfa.Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 1})
+		ratio = float64(plain.Sys.Stats().Work) / float64(online.Sys.Stats().Work)
+	}
+	b.ReportMetric(ratio, "work-ratio")
+}
+
+// BenchmarkHarness runs the full per-benchmark measurement pipeline (all
+// six experiments on one small suite entry) — the unit of work behind
+// every row of Tables 2 and 3.
+func BenchmarkHarness_AllExperiments(b *testing.B) {
+	bm := bench.Benchmark{Name: "bench-harness", TargetAST: 1200, Seed: 77}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunBenchmark(bm, nil, bench.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

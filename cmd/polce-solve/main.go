@@ -1,0 +1,107 @@
+// Command polce-solve runs the inclusion-constraint solver standalone on a
+// textual constraint program (the .scl format of internal/scl) — the
+// solver-as-a-tool face of the library, independent of any program
+// analysis.
+//
+// Usage:
+//
+//	polce-solve constraints.scl
+//	polce-solve -form sf -cycles none -stats constraints.scl
+//	echo 'cons a; a <= X; X <= Y; query Y' | polce-solve -
+//
+// Each `query V` line in the program prints V's least solution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"polce/internal/core"
+	"polce/internal/scl"
+)
+
+func main() {
+	var (
+		form     = flag.String("form", "if", "graph representation: sf or if")
+		cycles   = flag.String("cycles", "online", "cycle policy: none, online, online-incr, periodic")
+		seed     = flag.Int64("seed", 1, "variable-order seed")
+		interval = flag.Int("interval", 0, "sweep interval for -cycles periodic")
+		stats    = flag.Bool("stats", false, "print solver statistics")
+		dotOut   = flag.String("dot", "", "write the final constraint graph as Graphviz DOT to this file")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	file, err := scl.Parse(string(src))
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	opt := core.Options{Seed: *seed, PeriodicInterval: *interval}
+	switch strings.ToLower(*form) {
+	case "sf":
+		opt.Form = core.SF
+	case "if":
+		opt.Form = core.IF
+	default:
+		fatal("unknown form %q", *form)
+	}
+	switch strings.ToLower(*cycles) {
+	case "none", "plain":
+		opt.Cycles = core.CycleNone
+	case "online":
+		opt.Cycles = core.CycleOnline
+	case "online-incr", "incr":
+		opt.Cycles = core.CycleOnlineIncreasing
+	case "periodic":
+		opt.Cycles = core.CyclePeriodic
+	default:
+		fatal("unknown cycle policy %q", *cycles)
+	}
+
+	solved := file.Solve(opt)
+	for _, line := range solved.QueryResults() {
+		fmt.Println(line)
+	}
+	if *stats {
+		fmt.Printf("\n%s / %s  %s\n", opt.Form, opt.Cycles, solved.Sys.Stats())
+		fmt.Printf("final-edges=%d\n", solved.Sys.TotalEdges())
+	}
+	if n := solved.Sys.ErrorCount(); n > 0 {
+		fmt.Fprintf(os.Stderr, "%d inconsistent constraint(s) (first: %v)\n", n, solved.Sys.Errors()[0])
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := solved.Sys.WriteDOT(f); err != nil {
+			fatal("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "polce-solve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,21 @@
+// Package polce reproduces Fähndrich, Foster, Su and Aiken, "Partial
+// Online Cycle Elimination in Inclusion Constraint Graphs" (PLDI 1998).
+//
+// The library lives under internal/: the inclusion-constraint solver with
+// standard and inductive graph representations and partial online cycle
+// elimination (internal/core), Andersen's points-to analysis for C with
+// alias/MOD/escape clients (internal/andersen) over a small C front end
+// (internal/cgen), the Steensgaard unification baseline (internal/steens),
+// the synthetic benchmark generator (internal/progen), the analytical
+// model of Section 5 (internal/model, internal/randgraph), the experiment
+// harness that regenerates every table and figure (internal/bench), the
+// paper's §7 future work — closure analysis for a functional language
+// (internal/mlang, internal/cfa) — and a textual constraint language for
+// driving the solver standalone (internal/scl).
+//
+// Entry points: cmd/polce analyses one C file; cmd/polce-bench regenerates
+// the paper's tables, figures, ablations and diagnostics; cmd/polce-solve
+// runs the solver on .scl constraint programs; the runnable examples under
+// examples/ tour the API. The benchmarks in bench_test.go exercise one
+// table or figure each.
+package polce

@@ -1,0 +1,97 @@
+// The downstream-client layer: what a compiler or checker actually asks a
+// points-to analysis once it has run — may-alias queries, call-target
+// resolution, interprocedural MOD sets, escape analysis — plus the JSON
+// report for external tools.
+//
+// Run with: go run ./examples/clients
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"polce/internal/andersen"
+	"polce/internal/cgen"
+	"polce/internal/core"
+)
+
+const src = `
+int config, cache, scratch;
+int *shared;
+
+void set_shared(int *p) { shared = p; }
+
+int load(int *slot) { return *slot; }
+int store(int *slot) { *slot = 1; return 0; }
+
+int (*op)(int *);
+
+int main(void) {
+	int local_only;
+	int *a = &config;
+	int *b = &cache;
+	int *c = &local_only;
+	set_shared(a);
+	set_shared(&local_only);   /* a local's address escapes here */
+	op = load;
+	op = store;
+	op(b);
+	*c = 2;
+	return 0;
+}
+`
+
+func main() {
+	file, err := cgen.MustParse("clients.c", src)
+	if err != nil {
+		panic(err)
+	}
+	res := andersen.Analyze(file, andersen.Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 3})
+
+	loc := func(name string) *andersen.Location {
+		l := res.LocationByName(name)
+		if l == nil {
+			panic("no location " + name)
+		}
+		return l
+	}
+
+	fmt.Println("may-alias queries:")
+	for _, pair := range [][2]string{{"main::a", "shared"}, {"main::a", "main::b"}, {"main::b", "main::c"}} {
+		fmt.Printf("  alias(%s, %s) = %v\n", pair[0], pair[1], res.MayAlias(loc(pair[0]), loc(pair[1])))
+	}
+
+	fmt.Println("\nindirect call targets of op:")
+	for _, f := range res.CallTargets(loc("op")) {
+		fmt.Printf("  %s\n", f.Name)
+	}
+
+	fmt.Println("\ninterprocedural MOD sets:")
+	for _, fn := range []string{"set_shared", "store", "load", "main"} {
+		names := res.ModNames(loc(fn))
+		sort.Strings(names)
+		fmt.Printf("  MOD(%-10s) = {%s}\n", fn, strings.Join(names, ", "))
+	}
+
+	fmt.Println("\nescaping locals (cannot be stack-allocated blindly):")
+	for _, l := range res.EscapingLocals() {
+		fmt.Printf("  %s\n", l.Name)
+	}
+
+	fmt.Println("\nJSON report (excerpt):")
+	var sb strings.Builder
+	if err := res.WriteJSON(&sb, false); err != nil {
+		panic(err)
+	}
+	lines := strings.Split(sb.String(), "\n")
+	for i, line := range lines {
+		if i >= 12 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Println(" ", line)
+	}
+	_ = os.Stdout
+}

@@ -1,0 +1,74 @@
+// Watching partial online cycle elimination at work.
+//
+// This example generates a mid-sized synthetic C program, analyses it
+// under all six of the paper's experiment configurations, and prints the
+// work counters side by side — a miniature of the paper's Tables 2 and 3
+// that runs in a couple of seconds.
+//
+// Run with: go run ./examples/cycles
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"polce/internal/andersen"
+	"polce/internal/cgen"
+	"polce/internal/core"
+	"polce/internal/progen"
+)
+
+func main() {
+	src := progen.Generate(progen.ByScale(2026, 6000))
+	file, err := cgen.MustParse("generated.c", src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("generated program: %d AST nodes, %d lines\n\n",
+		cgen.CountNodes(file), cgen.CountLines(src))
+
+	type cfg struct {
+		name   string
+		form   core.Form
+		cycles core.CyclePolicy
+	}
+	configs := []cfg{
+		{"SF-Plain", core.SF, core.CycleNone},
+		{"IF-Plain", core.IF, core.CycleNone},
+		{"SF-Online", core.SF, core.CycleOnline},
+		{"IF-Online", core.IF, core.CycleOnline},
+		{"SF-Oracle", core.SF, core.CycleOracle},
+		{"IF-Oracle", core.IF, core.CycleOracle},
+	}
+
+	// The oracle needs a completed run to predict eventual cycle
+	// membership; the paper builds it the same way.
+	ref := andersen.Analyze(file, andersen.Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 1})
+	oracle := core.BuildOracle(ref.Sys)
+	cycVars, maxSCC := ref.Sys.CycleClassStats()
+	fmt.Printf("cyclic variables in the closed graph: %d (largest class %d)\n\n", cycVars, maxSCC)
+
+	fmt.Printf("%-10s %12s %12s %10s %8s %12s\n", "config", "work", "redundant", "elim", "elim%", "time")
+	for _, c := range configs {
+		start := time.Now()
+		r := andersen.Analyze(file, andersen.Options{
+			Form: c.form, Cycles: c.cycles, Seed: 1, Oracle: oracle,
+		})
+		if c.form == core.IF {
+			r.Sys.ComputeLeastSolutions() // included in IF timings, as in the paper
+		}
+		elapsed := time.Since(start)
+		st := r.Sys.Stats()
+		pct := 0.0
+		if cycVars > 0 {
+			pct = 100 * float64(st.VarsEliminated) / float64(cycVars)
+		}
+		fmt.Printf("%-10s %12d %12d %10d %7.1f%% %12v\n",
+			c.name, st.Work, st.Redundant, st.VarsEliminated, pct, elapsed.Round(time.Microsecond))
+	}
+
+	fmt.Println("\nThe paper's story in one table: cycles make the Plain runs do orders of")
+	fmt.Println("magnitude more (mostly redundant) work; online elimination removes most")
+	fmt.Println("cyclic variables — a larger share under inductive form — and lands near")
+	fmt.Println("the oracle's perfect-elimination floor.")
+}

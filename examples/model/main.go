@@ -1,0 +1,49 @@
+// The analytical model of Section 5, side by side with simulation.
+//
+// Prints (1) the expected closure work of standard vs inductive form on
+// random constraint graphs — the analytic sums, the paper's closed-form
+// approximations, and a Monte-Carlo run — and (2) the expected reach of an
+// order-decreasing chain search, the quantity that makes online cycle
+// detection cheap.
+//
+// Run with: go run ./examples/model
+package main
+
+import (
+	"fmt"
+
+	"polce/internal/model"
+	"polce/internal/randgraph"
+)
+
+func main() {
+	fmt.Println("Theorem 5.1 — closure work on G(n, 1/n), m = 2n/3")
+	fmt.Printf("%8s %14s %14s %14s %14s %7s\n", "n", "E(X_SF)", "approx SF", "E(X_IF)", "approx IF", "ratio")
+	for _, n := range []int{1000, 10000, 100000} {
+		m := 2 * n / 3
+		p := 1 / float64(n)
+		sf := model.EdgeAdditionsSF(n, m, p)
+		inf := model.EdgeAdditionsIF(n, m, p)
+		fmt.Printf("%8d %14.0f %14.0f %14.0f %14.0f %7.3f\n",
+			n, sf, model.ApproxSF(n, m), inf, model.ApproxIF(n, m), sf/inf)
+	}
+
+	fmt.Println("\nMonte-Carlo closure on simulated random graphs (perfect cycle elimination):")
+	for _, n := range []int{500, 2000} {
+		ps := randgraph.Params{N: n, M: 2 * n / 3, P: 1 / float64(n), Seed: 7}
+		r := randgraph.Closure(ps)
+		fmt.Printf("  n=%5d  workSF=%8d  workIF=%8d  ratio=%.2f\n",
+			n, r.WorkSF, r.WorkIF, float64(r.WorkSF)/float64(r.WorkIF))
+	}
+
+	fmt.Println("\nTheorem 5.2 — expected nodes visited by an order-decreasing chain search")
+	fmt.Printf("%6s %10s %12s %12s\n", "k", "bound", "exact", "measured")
+	for _, k := range []float64{1, 2, 3} {
+		measured := randgraph.MeanReach(400, k/400, 13, 6)
+		fmt.Printf("%6.1f %10.3f %12.3f %12.3f\n",
+			k, model.ExpectedReachBound(k), model.ExpectedReachExact(10000, k/10000), measured)
+	}
+	fmt.Println("\nAt the k ≈ 2 density of closed constraint graphs a search touches about")
+	fmt.Println("two nodes — constant-time cycle detection — and the cost explodes for")
+	fmt.Println("denser graphs, which is why the technique relies on sparsity.")
+}

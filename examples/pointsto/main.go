@@ -1,0 +1,104 @@
+// Points-to analysis of a realistic C fragment: a memory pool with a free
+// list, callbacks through function pointers, and heap allocation — the
+// kind of code the paper's benchmarks are made of.
+//
+// The example runs Andersen's analysis (inclusion-based, the paper's
+// subject) and Steensgaard's analysis (unification-based, the almost-
+// linear baseline) on the same program and prints both points-to graphs,
+// making the precision difference visible.
+//
+// Run with: go run ./examples/pointsto
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"polce/internal/andersen"
+	"polce/internal/cgen"
+	"polce/internal/core"
+	"polce/internal/steens"
+)
+
+const src = `
+int stdin_buf, stdout_buf, err_buf, net_buf;
+
+int *console;        /* aliases the console buffers only        */
+int *first;          /* a copy of console                        */
+int *anywhere;       /* deliberately flows everywhere           */
+
+int log_write(int *b)   { return *b; }
+int net_write(int *b)   { return 1; }
+
+int *pick(int *a, int *b) { if (*a) return a; return b; }
+
+int main(void) {
+	int (*sink)(int *);
+	console = &stdin_buf;
+	first = console;              /* inclusion: console's set flows here  */
+	console = &stdout_buf;
+
+	anywhere = pick(first, &err_buf);
+	anywhere = (int *)malloc(sizeof(int));
+
+	sink = log_write;
+	sink(console);                /* console buffers reach log_write     */
+	net_write(&net_buf);          /* only net_buf reaches net_write      */
+	return 0;
+}
+`
+
+func main() {
+	file, err := cgen.MustParse("server.c", src)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("=== Andersen (inclusion constraints, IF + online cycle elimination) ===")
+	res := andersen.Analyze(file, andersen.Options{
+		Form: core.IF, Cycles: core.CycleOnline, Seed: 7,
+	})
+	var names []string
+	rows := map[string][]string{}
+	for _, l := range res.Locations {
+		p := res.PointsToNames(l)
+		if len(p) == 0 {
+			continue
+		}
+		sort.Strings(p)
+		names = append(names, l.Name)
+		rows[l.Name] = p
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-22s -> {%s}\n", n, strings.Join(rows[n], ", "))
+	}
+	st := res.Sys.Stats()
+	fmt.Printf("  [%d set variables, %d eliminated by cycle collapse, %d edge additions]\n",
+		st.VarsCreated, st.VarsEliminated, st.Work)
+
+	fmt.Println("\n=== Steensgaard (unification baseline) ===")
+	sa := steens.Analyze(file)
+	var snames []string
+	srows := map[string][]string{}
+	for _, l := range sa.Locations() {
+		p := sa.PointsToNames(l)
+		if len(p) == 0 {
+			continue
+		}
+		sort.Strings(p)
+		snames = append(snames, l.Name)
+		srows[l.Name] = p
+	}
+	sort.Strings(snames)
+	for _, n := range snames {
+		fmt.Printf("  %-22s -> {%s}\n", n, strings.Join(srows[n], ", "))
+	}
+	fmt.Println("\nNote how unification merges what inclusion keeps apart: passing `first`")
+	fmt.Println("to pick() makes Steensgaard unify it — and therefore `console` and the")
+	fmt.Println("console buffers' class — with err_buf and the heap cell, while Andersen")
+	fmt.Println("keeps console -> {stdin_buf, stdout_buf}. Inclusion constraints buy this")
+	fmt.Println("precision; the paper's online cycle elimination is what makes them")
+	fmt.Println("affordable at scale.")
+}

@@ -1,0 +1,3 @@
+module polce
+
+go 1.22

@@ -1,0 +1,609 @@
+package andersen
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"polce/internal/cgen"
+	"polce/internal/core"
+)
+
+// analyze parses and analyses src under the given configuration.
+func analyze(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	f, err := cgen.MustParse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Analyze(f, opts)
+}
+
+// pts returns the sorted points-to set of the location named name.
+func pts(t *testing.T, r *Result, name string) []string {
+	t.Helper()
+	l := r.LocationByName(name)
+	if l == nil {
+		t.Fatalf("no location %q; have %v", name, locNames(r))
+	}
+	names := r.PointsToNames(l)
+	sort.Strings(names)
+	return names
+}
+
+func locNames(r *Result) []string {
+	var out []string
+	for _, l := range r.Locations {
+		out = append(out, l.Name)
+	}
+	return out
+}
+
+func wantPts(t *testing.T, r *Result, name string, want ...string) {
+	t.Helper()
+	got := pts(t, r, name)
+	sort.Strings(want)
+	if len(want) == 0 {
+		want = []string{}
+	}
+	if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+		t.Errorf("pts(%s) = %v, want %v", name, got, want)
+	}
+}
+
+// allConfigs are the six experiment configurations plus the increasing
+// ablation.
+func allConfigs() []Options {
+	var out []Options
+	for _, form := range []core.Form{core.SF, core.IF} {
+		for _, pol := range []core.CyclePolicy{core.CycleNone, core.CycleOnline, core.CycleOnlineIncreasing} {
+			out = append(out, Options{Form: form, Cycles: pol, Seed: 17})
+		}
+	}
+	return out
+}
+
+func TestBasicAddressOf(t *testing.T) {
+	src := `
+int x, y;
+int *p, *q;
+void f(void) {
+	p = &x;
+	q = p;
+	p = &y;
+}
+`
+	for _, cfg := range allConfigs() {
+		r := analyze(t, src, cfg)
+		wantPts(t, r, "p", "x", "y")
+		wantPts(t, r, "q", "x", "y") // flow-insensitive: q sees both
+		wantPts(t, r, "x")
+		if r.Sys.ErrorCount() != 0 {
+			t.Errorf("%v/%v: constraint errors: %v", cfg.Form, cfg.Cycles, r.Sys.Errors())
+		}
+	}
+}
+
+func TestDerefWrite(t *testing.T) {
+	src := `
+int x;
+int *p;
+int **pp;
+void f(void) {
+	pp = &p;
+	*pp = &x;
+}
+`
+	for _, cfg := range allConfigs() {
+		r := analyze(t, src, cfg)
+		wantPts(t, r, "pp", "p")
+		wantPts(t, r, "p", "x")
+	}
+}
+
+func TestDerefRead(t *testing.T) {
+	src := `
+int x;
+int *p, *q;
+int **pp;
+void f(void) {
+	p = &x;
+	pp = &p;
+	q = *pp;
+}
+`
+	for _, cfg := range allConfigs() {
+		r := analyze(t, src, cfg)
+		wantPts(t, r, "q", "x")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	// The shape of the paper's Figure 5 example: a points to b and c,
+	// b points to d, c points to b.
+	src := `
+int d;
+int *b, *c;
+int **a;
+void f(void) {
+	a = &b;
+	b = &d;
+	a = &c;
+	c = b;
+}
+`
+	r := analyze(t, src, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 1})
+	wantPts(t, r, "a", "b", "c")
+	wantPts(t, r, "b", "d")
+	wantPts(t, r, "c", "d")
+}
+
+func TestHeapAllocation(t *testing.T) {
+	src := `
+int *p, *q, *r;
+void f(void) {
+	p = malloc(4);
+	q = malloc(4);
+	r = p;
+}
+`
+	for _, cfg := range allConfigs() {
+		res := analyze(t, src, cfg)
+		pp := pts(t, res, "p")
+		qq := pts(t, res, "q")
+		rr := pts(t, res, "r")
+		if len(pp) != 1 || len(qq) != 1 {
+			t.Fatalf("%v/%v: pts(p)=%v pts(q)=%v", cfg.Form, cfg.Cycles, pp, qq)
+		}
+		if pp[0] == qq[0] {
+			t.Errorf("distinct malloc sites share a location: %v", pp)
+		}
+		if !reflect.DeepEqual(rr, pp) {
+			t.Errorf("pts(r)=%v, want %v", rr, pp)
+		}
+	}
+}
+
+func TestReallocFlows(t *testing.T) {
+	src := `
+int *p, *q;
+void f(void) {
+	p = malloc(8);
+	q = realloc(p, 16);
+}
+`
+	r := analyze(t, src, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 3})
+	qq := pts(t, r, "q")
+	if len(qq) != 2 {
+		t.Errorf("pts(q) = %v, want the old and the new heap cell", qq)
+	}
+}
+
+func TestDirectCall(t *testing.T) {
+	src := `
+int x, y;
+int *id(int *a) { return a; }
+void f(void) {
+	int *p = id(&x);
+	int *q = id(&y);
+	p = q;
+}
+`
+	for _, cfg := range allConfigs() {
+		r := analyze(t, src, cfg)
+		// One return variable: both sites merge (context-insensitive).
+		wantPts(t, r, "f::p", "x", "y")
+		wantPts(t, r, "id::a", "x", "y")
+	}
+}
+
+func TestFunctionPointers(t *testing.T) {
+	src := `
+int x, y;
+int *id(int *a) { return a; }
+int *other(int *b) { return b; }
+void f(void) {
+	int *(*fp)(int *);
+	int *p;
+	fp = id;
+	fp = &other;
+	p = fp(&x);
+	p = (*fp)(&y);
+}
+`
+	for _, cfg := range allConfigs() {
+		r := analyze(t, src, cfg)
+		wantPts(t, r, "f::fp", "id", "other")
+		// Both targets receive both arguments; p sees both returns.
+		wantPts(t, r, "id::a", "x", "y")
+		wantPts(t, r, "other::b", "x", "y")
+		wantPts(t, r, "f::p", "x", "y")
+		if r.Sys.ErrorCount() != 0 {
+			t.Errorf("%v/%v: constraint errors: %v", cfg.Form, cfg.Cycles, r.Sys.Errors())
+		}
+	}
+}
+
+func TestFunctionPointerInStruct(t *testing.T) {
+	src := `
+int x;
+int *id(int *a) { return a; }
+struct ops { int *(*get)(int *); };
+void f(void) {
+	struct ops o;
+	int *p;
+	o.get = id;
+	p = o.get(&x);
+}
+`
+	r := analyze(t, src, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 4})
+	wantPts(t, r, "f::p", "x")
+}
+
+func TestArrayCollapse(t *testing.T) {
+	src := `
+int a[10];
+int *p, *q, *r;
+int *tab[4];
+int x;
+void f(void) {
+	p = a;
+	q = &a[2];
+	tab[0] = &x;
+	r = tab[1];
+}
+`
+	for _, cfg := range allConfigs() {
+		res := analyze(t, src, cfg)
+		wantPts(t, res, "p", "a")
+		wantPts(t, res, "q", "a")
+		wantPts(t, res, "r", "x") // collapsed elements
+	}
+}
+
+func TestStructFieldInsensitive(t *testing.T) {
+	src := `
+int x;
+struct s { int *f; int *g; };
+struct s s1;
+int *q;
+void f(void) {
+	s1.f = &x;
+	q = s1.g;
+}
+`
+	r := analyze(t, src, Options{Form: core.SF, Cycles: core.CycleOnline, Seed: 2})
+	wantPts(t, r, "q", "x") // fields collapse onto the struct
+}
+
+func TestLinkedList(t *testing.T) {
+	src := `
+struct node { struct node *next; int v; };
+struct node n1, n2;
+struct node *q;
+void f(void) {
+	n1.next = &n2;
+	n2.next = &n1;
+	q = n1.next->next;
+}
+`
+	for _, cfg := range allConfigs() {
+		r := analyze(t, src, cfg)
+		// n1.next = {n2}; reading ->next of n2 gives n2's contents {n1}.
+		wantPts(t, r, "q", "n1")
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	src := `
+char *s, *u;
+void f(void) {
+	s = "hello";
+	u = s;
+}
+`
+	r := analyze(t, src, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 5})
+	ss := pts(t, r, "s")
+	if len(ss) != 1 {
+		t.Fatalf("pts(s) = %v", ss)
+	}
+	if got := pts(t, r, "u"); !reflect.DeepEqual(got, ss) {
+		t.Errorf("pts(u) = %v, want %v", got, ss)
+	}
+}
+
+func TestMemcpyModel(t *testing.T) {
+	src := `
+int x;
+int *a[2];
+int *b[2];
+int *q;
+void f(void) {
+	a[0] = &x;
+	memcpy(b, a, sizeof(a));
+	q = b[0];
+}
+`
+	r := analyze(t, src, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 6})
+	wantPts(t, r, "q", "x")
+}
+
+func TestTernaryCommaCast(t *testing.T) {
+	src := `
+int x, y, c;
+int *p;
+void f(void) {
+	p = c ? &x : (int *)&y;
+	p = (c, &x);
+}
+`
+	r := analyze(t, src, Options{Form: core.SF, Cycles: core.CycleOnline, Seed: 7})
+	wantPts(t, r, "p", "x", "y")
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	src := `
+int a[8];
+int *p, *q;
+void f(void) {
+	p = a + 2;
+	q = p - 1;
+	q = 1 + p;
+	p += 3;
+}
+`
+	r := analyze(t, src, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 8})
+	wantPts(t, r, "p", "a")
+	wantPts(t, r, "q", "a")
+}
+
+func TestRecursion(t *testing.T) {
+	src := `
+struct node { struct node *next; };
+struct node *walk(struct node *n) {
+	if (n) return walk(n->next);
+	return n;
+}
+struct node head, tail;
+struct node *end;
+void f(void) {
+	head.next = &tail;
+	end = walk(&head);
+}
+`
+	for _, cfg := range allConfigs() {
+		r := analyze(t, src, cfg)
+		wantPts(t, r, "end", "head", "tail")
+	}
+}
+
+func TestPointerCopyCycleCollapses(t *testing.T) {
+	src := `
+int x;
+int *p, *q, *r;
+void f(void) {
+	p = &x;
+	q = p;
+	r = q;
+	p = r;
+}
+`
+	r := analyze(t, src, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 9})
+	if r.Sys.Stats().VarsEliminated == 0 {
+		t.Errorf("copy cycle produced no eliminations")
+	}
+	wantPts(t, r, "p", "x")
+	wantPts(t, r, "q", "x")
+	wantPts(t, r, "r", "x")
+}
+
+// TestAllConfigsAgreeOnProgram is the integration analogue of the solver's
+// agreement property: the points-to graph is identical across every
+// representation, policy, seed and the oracle.
+func TestAllConfigsAgreeOnProgram(t *testing.T) {
+	src := `
+struct node { struct node *next; int *data; };
+int g1, g2;
+int *gp;
+struct node pool[16];
+struct node *freelist;
+struct node *alloc_node(void) {
+	struct node *n;
+	if (freelist) { n = freelist; freelist = n->next; return n; }
+	n = (struct node *)malloc(sizeof(struct node));
+	return n;
+}
+void release(struct node *n) { n->next = freelist; freelist = n; }
+void fill(struct node *n, int *v) { n->data = v; }
+int *fetch(struct node *n) { return n->data; }
+int main(void) {
+	struct node *a = alloc_node();
+	struct node *b = alloc_node();
+	int *(*get)(struct node *) = fetch;
+	fill(a, &g1);
+	fill(b, &g2);
+	gp = get(a);
+	release(a);
+	release(b);
+	freelist = pool;
+	return 0;
+}
+`
+	f, err := cgen.MustParse("prog.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snapshot := func(r *Result) map[string][]string {
+		m := map[string][]string{}
+		for _, l := range r.Locations {
+			names := r.PointsToNames(l)
+			sort.Strings(names)
+			m[l.Name] = names
+		}
+		return m
+	}
+
+	ref := Analyze(f, Options{Form: core.SF, Cycles: core.CycleNone, Seed: 0})
+	refSnap := snapshot(ref)
+	oracle := core.BuildOracle(ref.Sys)
+
+	configs := []Options{
+		{Form: core.IF, Cycles: core.CycleNone, Seed: 0},
+		{Form: core.SF, Cycles: core.CycleOnline, Seed: 0},
+		{Form: core.IF, Cycles: core.CycleOnline, Seed: 0},
+		{Form: core.SF, Cycles: core.CycleOnline, Seed: 99},
+		{Form: core.IF, Cycles: core.CycleOnline, Seed: 99},
+		{Form: core.SF, Cycles: core.CycleOnlineIncreasing, Seed: 0},
+		{Form: core.SF, Cycles: core.CycleOracle, Seed: 0, Oracle: oracle},
+		{Form: core.IF, Cycles: core.CycleOracle, Seed: 0, Oracle: oracle},
+	}
+	for _, cfg := range configs {
+		r := Analyze(f, cfg)
+		got := snapshot(r)
+		if !reflect.DeepEqual(got, refSnap) {
+			for k := range refSnap {
+				if !reflect.DeepEqual(refSnap[k], got[k]) {
+					t.Errorf("%v/%v: pts(%s) = %v, want %v", cfg.Form, cfg.Cycles, k, got[k], refSnap[k])
+				}
+			}
+		}
+	}
+}
+
+func TestInitializers(t *testing.T) {
+	src := `
+int x, y;
+int *tab[] = { &x, &y };
+struct pair { int *a; int *b; };
+struct pair pr = { &x, &y };
+int *p = &x;
+int *q;
+void f(void) { q = tab[0]; }
+`
+	r := analyze(t, src, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 10})
+	wantPts(t, r, "p", "x")
+	wantPts(t, r, "tab", "x", "y")
+	wantPts(t, r, "pr", "x", "y")
+	wantPts(t, r, "q", "x", "y")
+}
+
+func TestShadowing(t *testing.T) {
+	src := `
+int x, g;
+int *p;
+void f(void) {
+	int x;
+	p = &x;
+	{
+		int x;
+		p = &x;
+	}
+}
+`
+	r := analyze(t, src, Options{Form: core.SF, Cycles: core.CycleOnline, Seed: 11})
+	got := pts(t, r, "p")
+	if len(got) != 2 {
+		t.Errorf("pts(p) = %v, want the two local x's", got)
+	}
+	for _, n := range got {
+		if n == "x" {
+			t.Errorf("global x wrongly in pts(p): %v", got)
+		}
+	}
+}
+
+func TestInitialGraphSmallerThanClosed(t *testing.T) {
+	src := `
+int x; int *p, *q, *r;
+void f(void) { p = &x; q = p; r = q; }
+`
+	f, err := cgen.MustParse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := AnalyzeInitial(f, Options{Form: core.SF, Seed: 1})
+	full := Analyze(f, Options{Form: core.SF, Seed: 1})
+	if init.Sys.TotalEdges() >= full.Sys.TotalEdges() {
+		t.Errorf("initial edges %d not smaller than closed edges %d",
+			init.Sys.TotalEdges(), full.Sys.TotalEdges())
+	}
+}
+
+func TestVariadicCalls(t *testing.T) {
+	src := `
+int printf(const char *fmt, ...);
+int x;
+int *p;
+void f(void) {
+	printf("%d %p", x, (void *)&x);
+	p = &x;
+}
+`
+	r := analyze(t, src, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 12})
+	wantPts(t, r, "p", "x")
+	if r.Sys.ErrorCount() != 0 {
+		t.Errorf("variadic call produced errors: %v", r.Sys.Errors())
+	}
+}
+
+func TestDeterministicVarCreation(t *testing.T) {
+	src := `
+int x; int *p; int *f(int *a) { return a; }
+void g(void) { p = f(&x); }
+`
+	f, err := cgen.MustParse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(f, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 3})
+	b := Analyze(f, Options{Form: core.SF, Cycles: core.CycleNone, Seed: 3})
+	if a.Sys.NumCreated() != b.Sys.NumCreated() {
+		t.Errorf("variable creation depends on solver config: %d vs %d",
+			a.Sys.NumCreated(), b.Sys.NumCreated())
+	}
+}
+
+func TestPointsToEdges(t *testing.T) {
+	src := `int x; int *p; void f(void) { p = &x; }`
+	r := analyze(t, src, Options{Form: core.SF, Seed: 1})
+	if n := r.PointsToEdges(); n != 1 {
+		t.Errorf("PointsToEdges = %d, want 1", n)
+	}
+}
+
+func TestManySeedsNoErrors(t *testing.T) {
+	src := `
+struct s { struct s *n; int *d; };
+int a, b;
+struct s x, y;
+void f(struct s *p) {
+	p->n = &y;
+	y.n = &x;
+	x.d = &a;
+	y.d = &b;
+}
+void g(void) { f(&x); f(x.n); }
+`
+	for seed := int64(0); seed < 20; seed++ {
+		for _, form := range []core.Form{core.SF, core.IF} {
+			r := analyze(t, src, Options{Form: form, Cycles: core.CycleOnline, Seed: seed})
+			if r.Sys.ErrorCount() != 0 {
+				t.Fatalf("%v seed %d: %v", form, seed, r.Sys.Errors())
+			}
+			// X_p = {x, y, a}; p->n = &y writes y into each of their
+			// contents; plus the direct field writes.
+			got := pts(t, r, "x")
+			want := []string{"a", "y"}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("%v seed %d: pts(x) = %v, want %v", form, seed, got, want)
+			}
+			goty := pts(t, r, "y")
+			wanty := []string{"b", "x", "y"}
+			if fmt.Sprint(goty) != fmt.Sprint(wanty) {
+				t.Fatalf("%v seed %d: pts(y) = %v, want %v", form, seed, goty, wanty)
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package andersen
+
+import (
+	"testing"
+
+	"polce/internal/cgen"
+	"polce/internal/core"
+	"polce/internal/progen"
+)
+
+// TestDensityPremise verifies the empirical premise of the paper's
+// Section 5 on a realistic points-to workload: initial constraint graphs
+// sit near one edge per variable (p ≈ 1/n) and closed graphs stay sparse
+// (a few edges per variable, the k ≈ 2 regime where Theorem 5.2 bounds the
+// online chain search at about two visited nodes).
+func TestDensityPremise(t *testing.T) {
+	src := progen.Generate(progen.ByScale(31, 8000))
+	f, err := cgen.MustParse("g.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	initial := AnalyzeInitial(f, Options{Form: core.IF, Seed: 1})
+	ist := initial.Sys.CurrentGraphStats()
+	if ist.Density < 0.5 || ist.Density > 2.5 {
+		t.Errorf("initial density %.2f, want ≈1 edge/var (paper's p ≈ 1/n)", ist.Density)
+	}
+
+	closed := Analyze(f, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 1})
+	cst := closed.Sys.CurrentGraphStats()
+	if cst.Density < ist.Density {
+		t.Errorf("closure decreased density: %.2f -> %.2f", ist.Density, cst.Density)
+	}
+	if cst.Density > 12 {
+		t.Errorf("closed density %.2f far above the sparse regime", cst.Density)
+	}
+
+	// The measured search cost should be a small constant, the empirical
+	// face of Theorem 5.2.
+	if v := closed.Sys.Stats().VisitsPerSearch(); v <= 0 || v > 8 {
+		t.Errorf("visits/search = %.2f, want a small constant (paper observes ≈2)", v)
+	}
+}

@@ -1,0 +1,132 @@
+package andersen
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"polce/internal/cgen"
+	"polce/internal/core"
+	"polce/internal/progen"
+)
+
+// snapshotPts renders the full points-to graph as name → sorted names.
+func snapshotPts(r *Result) map[string][]string {
+	m := map[string][]string{}
+	for _, l := range r.Locations {
+		names := r.PointsToNames(l)
+		sort.Strings(names)
+		m[l.Name] = names
+	}
+	return m
+}
+
+func equalSnapshots(a, b map[string][]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || len(va) != len(vb) {
+			return false
+		}
+		for i := range va {
+			if va[i] != vb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestDifferentialConfigs is the repository's broadest correctness net:
+// for randomly generated programs, every representation × policy × order
+// seed must compute exactly the same points-to graph. This is run as a
+// property over seeds via testing/quick.
+func TestDifferentialConfigs(t *testing.T) {
+	property := func(seed16 uint16) bool {
+		seed := int64(seed16)
+		src := progen.Generate(progen.Config{Seed: seed, Functions: 8, StmtsPerFunc: 18})
+		f, err := cgen.MustParse("fuzz.c", src)
+		if err != nil {
+			t.Logf("seed %d: parse error %v", seed, err)
+			return false
+		}
+		ref := Analyze(f, Options{Form: core.SF, Cycles: core.CycleNone, Seed: seed})
+		want := snapshotPts(ref)
+		oracle := core.BuildOracle(ref.Sys)
+
+		configs := []Options{
+			{Form: core.IF, Cycles: core.CycleNone, Seed: seed},
+			{Form: core.SF, Cycles: core.CycleOnline, Seed: seed},
+			{Form: core.IF, Cycles: core.CycleOnline, Seed: seed + 7},
+			{Form: core.SF, Cycles: core.CycleOnlineIncreasing, Seed: seed},
+			{Form: core.SF, Cycles: core.CyclePeriodic, Seed: seed, PeriodicInterval: 64},
+			{Form: core.IF, Cycles: core.CyclePeriodic, Seed: seed, PeriodicInterval: 64},
+			{Form: core.SF, Cycles: core.CycleOracle, Seed: seed, Oracle: oracle},
+			{Form: core.IF, Cycles: core.CycleOracle, Seed: seed, Oracle: oracle},
+		}
+		for _, cfg := range configs {
+			got := snapshotPts(Analyze(f, cfg))
+			if !equalSnapshots(want, got) {
+				t.Logf("seed %d: %v/%v diverges", seed, cfg.Form, cfg.Cycles)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialRoundtrip adds the printer to the loop: analysing the
+// pretty-printed program must give the same points-to graph as analysing
+// the original (location names survive because the printer preserves all
+// declarations).
+func TestDifferentialRoundtrip(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		src := progen.Generate(progen.Config{Seed: seed, Functions: 6, StmtsPerFunc: 15})
+		f1, err := cgen.MustParse("orig.c", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2, err := cgen.MustParse("printed.c", cgen.Print(f1))
+		if err != nil {
+			t.Fatalf("seed %d: printed program does not parse: %v", seed, err)
+		}
+		a := snapshotPts(Analyze(f1, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 1}))
+		b := snapshotPts(Analyze(f2, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 1}))
+		// Heap/string locations embed line:col which shifts under
+		// printing, so compare only named variables.
+		for k, va := range a {
+			if len(k) > 5 && (k[:5] == "heap@" || k[:4] == "str@") {
+				continue
+			}
+			vb := b[k]
+			filter := func(xs []string) []string {
+				var out []string
+				for _, x := range xs {
+					if len(x) > 5 && (x[:5] == "heap@" || x[:4] == "str@") {
+						continue
+					}
+					out = append(out, x)
+				}
+				return out
+			}
+			fa, fb := filter(va), filter(vb)
+			if len(fa) != len(fb) {
+				t.Fatalf("seed %d: pts(%s) changed across printing: %v vs %v", seed, k, fa, fb)
+			}
+			for i := range fa {
+				if fa[i] != fb[i] {
+					t.Fatalf("seed %d: pts(%s) changed across printing: %v vs %v", seed, k, fa, fb)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package andersen
+
+import "strings"
+
+// This file derives an escape analysis from the points-to results — a
+// standard downstream client of Andersen's analysis, included to
+// demonstrate (and test) the result API end to end. A location escapes
+// when it can be reached, through points-to edges, from storage that
+// outlives any single activation: globals, heap cells, string literals,
+// or any function's return value.
+
+// IsLocal reports whether the location is function-local storage (a local
+// variable or parameter). Heap cells and string literals are not "local"
+// in this sense: they already live beyond the activation.
+func (l *Location) IsLocal() bool {
+	if l.Func != nil {
+		return false
+	}
+	if strings.HasPrefix(l.Name, "heap@") || strings.HasPrefix(l.Name, "str@") {
+		return false
+	}
+	return strings.Contains(l.Name, "::")
+}
+
+// EscapeSet computes the set of locations that escape: everything
+// points-to-reachable from the escape roots (globals' contents, heap
+// cells' contents, and every function's return-value set). A local in the
+// set may outlive its activation through some chain of stores, so stack
+// allocation of it would be unsound.
+func (r *Result) EscapeSet() map[*Location]bool {
+	escaped := map[*Location]bool{}
+	var frontier []*Location
+
+	reach := func(l *Location) {
+		if !escaped[l] {
+			escaped[l] = true
+			frontier = append(frontier, l)
+		}
+	}
+
+	// Roots: whatever a global, heap cell or string literal may point to,
+	// and whatever any function may return.
+	for _, l := range r.Locations {
+		if l.IsLocal() || l.Func != nil {
+			continue
+		}
+		for _, tgt := range r.PointsTo(l) {
+			reach(tgt)
+		}
+	}
+	for _, l := range r.Locations {
+		if l.Func == nil {
+			continue
+		}
+		for _, t := range r.Sys.LeastSolution(l.Func.Ret) {
+			if tgt, ok := r.locOf[t]; ok {
+				reach(tgt)
+			}
+		}
+	}
+
+	// Transitive closure over points-to edges.
+	for len(frontier) > 0 {
+		l := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, tgt := range r.PointsTo(l) {
+			reach(tgt)
+		}
+	}
+	return escaped
+}
+
+// EscapingLocals returns the local locations in the escape set, in
+// creation order — the variables a compiler could not stack-allocate
+// without further reasoning.
+func (r *Result) EscapingLocals() []*Location {
+	escaped := r.EscapeSet()
+	var out []*Location
+	for _, l := range r.Locations {
+		if l.IsLocal() && escaped[l] {
+			out = append(out, l)
+		}
+	}
+	return out
+}

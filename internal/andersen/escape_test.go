@@ -1,0 +1,131 @@
+package andersen
+
+import (
+	"testing"
+
+	"polce/internal/core"
+)
+
+func escapeResult(t *testing.T) *Result {
+	t.Helper()
+	return analyze(t, `
+int *global_slot;
+int **gpp;
+
+int *returned(void) {
+	int through_return;          /* escapes via return */
+	return &through_return;
+}
+
+void stored(void) {
+	int through_global;          /* escapes via a global store */
+	global_slot = &through_global;
+}
+
+void chained(void) {
+	int deep;                    /* escapes via a two-hop chain */
+	int *mid;
+	mid = &deep;
+	gpp = &mid;
+}
+
+void contained(void) {
+	int stays;                   /* never escapes */
+	int *lp;
+	lp = &stays;
+	*lp = 1;
+}
+`, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 5})
+}
+
+func TestEscapeViaReturn(t *testing.T) {
+	r := escapeResult(t)
+	escaped := r.EscapeSet()
+	if !escaped[r.LocationByName("returned::through_return")] {
+		t.Error("address returned from a function does not escape")
+	}
+}
+
+func TestEscapeViaGlobalStore(t *testing.T) {
+	r := escapeResult(t)
+	escaped := r.EscapeSet()
+	if !escaped[r.LocationByName("stored::through_global")] {
+		t.Error("address stored into a global does not escape")
+	}
+}
+
+func TestEscapeTransitive(t *testing.T) {
+	r := escapeResult(t)
+	escaped := r.EscapeSet()
+	if !escaped[r.LocationByName("chained::mid")] {
+		t.Error("mid (stored in gpp) does not escape")
+	}
+	if !escaped[r.LocationByName("chained::deep")] {
+		t.Error("deep (reachable through mid) does not escape")
+	}
+}
+
+func TestNoFalseEscape(t *testing.T) {
+	r := escapeResult(t)
+	escaped := r.EscapeSet()
+	for _, name := range []string{"contained::stays", "contained::lp"} {
+		if escaped[r.LocationByName(name)] {
+			t.Errorf("%s escapes but never leaves its function", name)
+		}
+	}
+}
+
+func TestEscapingLocalsList(t *testing.T) {
+	r := escapeResult(t)
+	names := map[string]bool{}
+	for _, l := range r.EscapingLocals() {
+		names[l.Name] = true
+	}
+	for _, want := range []string{
+		"returned::through_return", "stored::through_global",
+		"chained::mid", "chained::deep",
+	} {
+		if !names[want] {
+			t.Errorf("EscapingLocals missing %s (have %v)", want, names)
+		}
+	}
+	if names["contained::stays"] {
+		t.Error("EscapingLocals includes a non-escaping local")
+	}
+}
+
+func TestIsLocal(t *testing.T) {
+	r := escapeResult(t)
+	cases := map[string]bool{
+		"global_slot":              false,
+		"returned":                 false, // function
+		"contained::stays":         true,
+		"returned::through_return": true,
+	}
+	for name, want := range cases {
+		l := r.LocationByName(name)
+		if l == nil {
+			t.Fatalf("no location %s", name)
+		}
+		if got := l.IsLocal(); got != want {
+			t.Errorf("IsLocal(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestHeapEscapesWhenStored(t *testing.T) {
+	r := analyze(t, `
+int *g;
+void f(void) { g = (int *)malloc(4); }
+`, Options{Form: core.SF, Cycles: core.CycleOnline, Seed: 1})
+	escaped := r.EscapeSet()
+	found := false
+	for l := range escaped {
+		if len(l.Name) > 5 && l.Name[:5] == "heap@" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("heap cell stored in a global not in the escape set")
+	}
+}

@@ -1,0 +1,441 @@
+package andersen
+
+import (
+	"fmt"
+
+	"polce/internal/cgen"
+	"polce/internal/core"
+)
+
+// This file generates constraints from statements and expressions. The
+// analysis follows the paper's L-value discipline: lvalue(e) is a set
+// expression denoting the ref terms of the locations e designates, and
+// rvalue(e) projects one "get" out of it — except for arrays, functions
+// and string literals, whose value is their own location (C decay).
+
+// read projects the contents out of the location set lv: fresh T with
+// lv ⊆ ref(1, T, 0̄).
+func (g *gen) read(lv core.Expr, hint string) *core.Var {
+	t := g.sys.Fresh(hint)
+	g.sys.AddConstraint(lv, core.NewTerm(refCon, core.One, t, core.Zero))
+	return t
+}
+
+// write stores the values val into every location in lv:
+// lv ⊆ ref(1, 1, v̄al), whose contravariant position sends val into each
+// location's content. The write target is recorded for the MOD analysis.
+func (g *gen) write(lv core.Expr, val core.Expr) {
+	if lv == nil || val == nil {
+		return
+	}
+	if g.curFunc != nil {
+		g.fact().writes = append(g.fact().writes, lv)
+	}
+	g.sys.AddConstraint(lv, core.NewTerm(refCon, core.One, core.One, val))
+}
+
+// fact returns the current function's MOD-fact record.
+func (g *gen) fact() *funcFacts {
+	f := g.res.facts[g.curFunc]
+	if f == nil {
+		f = &funcFacts{}
+		g.res.facts[g.curFunc] = f
+	}
+	return f
+}
+
+// genStmt generates constraints for a statement (flow-insensitively: the
+// control structure is irrelevant, only the contained assignments and
+// calls matter).
+func (g *gen) genStmt(s cgen.Stmt) {
+	switch st := s.(type) {
+	case nil:
+		return
+	case *cgen.Block:
+		if st == nil {
+			return
+		}
+		g.pushScope()
+		for _, inner := range st.Stmts {
+			g.genStmt(inner)
+		}
+		g.popScope()
+	case *cgen.DeclStmt:
+		for _, d := range st.Decls {
+			switch dd := d.(type) {
+			case *cgen.VarDecl:
+				l := g.declareVar(dd, g.curFuncName)
+				if dd.Init != nil && l != nil {
+					g.genInit(l.Ref, dd.Init)
+				}
+			case *cgen.FuncDecl:
+				g.declareFunc(dd)
+			case *cgen.RecordDecl:
+				g.tenv.DefineRecord(dd)
+			}
+		}
+	case *cgen.ExprStmt:
+		g.rvalue(st.X)
+	case *cgen.If:
+		g.rvalue(st.Cond)
+		g.genStmt(st.Then)
+		g.genStmt(st.Else)
+	case *cgen.While:
+		g.rvalue(st.Cond)
+		g.genStmt(st.Body)
+	case *cgen.DoWhile:
+		g.genStmt(st.Body)
+		g.rvalue(st.Cond)
+	case *cgen.For:
+		g.pushScope() // C99 for-init declarations scope to the loop
+		g.genStmt(st.Init)
+		if st.Cond != nil {
+			g.rvalue(st.Cond)
+		}
+		if st.Post != nil {
+			g.rvalue(st.Post)
+		}
+		g.genStmt(st.Body)
+		g.popScope()
+	case *cgen.Return:
+		if st.X != nil {
+			v := g.rvalue(st.X)
+			if g.curFunc != nil {
+				g.sys.AddConstraint(v, g.curFunc.Ret)
+			}
+		}
+	case *cgen.Switch:
+		g.rvalue(st.Tag)
+		g.genStmt(st.Body)
+	case *cgen.Case:
+		if st.X != nil {
+			g.rvalue(st.X)
+		}
+		g.genStmt(st.Body)
+	case *cgen.Label:
+		g.genStmt(st.Body)
+	case *cgen.Goto, *cgen.Break, *cgen.Continue, *cgen.Empty:
+		// no data flow
+	}
+}
+
+// genInit generates constraints for an initialiser writing into the
+// location set lv. Brace lists collapse onto the same location (arrays are
+// one element; structs are field-insensitive). Constant elements carry no
+// pointers and are skipped entirely, so large initialised data tables —
+// the paper's flex outlier — cost the analysis nothing.
+func (g *gen) genInit(lv core.Expr, init cgen.Expr) {
+	if lst, ok := init.(*cgen.InitList); ok {
+		for _, e := range lst.Elems {
+			switch e.(type) {
+			case *cgen.IntExpr, *cgen.FloatExpr:
+				continue
+			}
+			g.genInit(lv, e)
+		}
+		return
+	}
+	g.write(lv, g.rvalue(init))
+}
+
+// emptySet returns a fresh variable with no constraints — the value of
+// expressions that cannot carry pointers.
+func (g *gen) emptySet() *core.Var { return g.sys.Fresh("t") }
+
+// lvalue returns the set expression for the locations e designates, or nil
+// when e has no l-value (e.g. arithmetic). Side effects inside e are
+// generated.
+func (g *gen) lvalue(e cgen.Expr) core.Expr {
+	switch x := e.(type) {
+	case *cgen.IdentExpr:
+		if l := g.lookup(x.Name); l != nil {
+			return l.Ref
+		}
+		// Unknown identifier (undeclared extern, enumerator): no
+		// locations.
+		return nil
+	case *cgen.StrExpr:
+		l := g.newLocation(fmt.Sprintf("str@%d:%d", x.Line, x.Col))
+		return l.Ref
+	case *cgen.UnaryExpr:
+		if x.Op == cgen.Star {
+			return g.rvalue(x.X)
+		}
+		if x.Op == cgen.Inc || x.Op == cgen.Dec {
+			return g.lvalue(x.X) // ++p designates p
+		}
+		// &e and arithmetic unaries have no l-value.
+		g.rvalue(e)
+		return nil
+	case *cgen.IndexExpr:
+		g.rvalue(x.Idx)
+		return g.rvalue(x.X) // a[i] ≡ *(a+i); decay happens in rvalue
+	case *cgen.MemberExpr:
+		if x.Arrow {
+			return g.rvalue(x.X) // p->f designates p's pointees
+		}
+		return g.lvalue(x.X) // s.f collapses onto s
+	case *cgen.CastExpr:
+		return g.lvalue(x.X)
+	case *cgen.AssignExpr:
+		g.rvalue(e)
+		return g.lvalue2(x.L)
+	case *cgen.CommaExpr:
+		g.rvalue(x.L)
+		return g.lvalue(x.R)
+	case *cgen.CondExpr:
+		g.rvalue(x.Cond)
+		out := g.sys.Fresh("cond")
+		if lv := g.lvalue(x.Then); lv != nil {
+			g.sys.AddConstraint(lv, out)
+		}
+		if lv := g.lvalue(x.Else); lv != nil {
+			g.sys.AddConstraint(lv, out)
+		}
+		return out
+	case *cgen.PostfixExpr:
+		return g.lvalue(x.X)
+	}
+	// Expressions without l-values: evaluate for effect.
+	g.rvalue(e)
+	return nil
+}
+
+// lvalue2 re-derives the l-value of an already-evaluated expression
+// without regenerating its side effects; used where an expression is both
+// assigned and read (x = y = z). Regenerating constraints would be sound —
+// the system is a set — so this is just an economy.
+func (g *gen) lvalue2(e cgen.Expr) core.Expr {
+	switch x := e.(type) {
+	case *cgen.IdentExpr:
+		if l := g.lookup(x.Name); l != nil {
+			return l.Ref
+		}
+		return nil
+	case *cgen.CastExpr:
+		return g.lvalue2(x.X)
+	case *cgen.MemberExpr:
+		if !x.Arrow {
+			return g.lvalue2(x.X)
+		}
+	}
+	return g.lvalue(e)
+}
+
+// decays reports whether values of type t are the location itself rather
+// than its contents (arrays and functions).
+func decays(t *cgen.Type) bool {
+	return t != nil && (t.Kind == cgen.TArray || t.Kind == cgen.TFunc)
+}
+
+// rvalue returns the value set of e, generating its constraints.
+func (g *gen) rvalue(e cgen.Expr) core.Expr {
+	switch x := e.(type) {
+	case nil:
+		return g.emptySet()
+	case *cgen.IntExpr, *cgen.FloatExpr, *cgen.SizeofExpr:
+		if sz, ok := e.(*cgen.SizeofExpr); ok && sz.X != nil {
+			g.rvalue(sz.X)
+		}
+		return g.emptySet()
+	case *cgen.StrExpr:
+		return g.lvalue(e) // the literal's own location, decayed
+	case *cgen.IdentExpr:
+		l := g.lookup(x.Name)
+		if l == nil {
+			return g.emptySet()
+		}
+		if decays(g.lookupType(x.Name)) || l.Func != nil {
+			return l.Ref
+		}
+		return g.read(l.Ref, x.Name+"$v")
+	case *cgen.UnaryExpr:
+		switch x.Op {
+		case cgen.Amp:
+			lv := g.lvalue(x.X)
+			if lv == nil {
+				return g.emptySet()
+			}
+			return lv // the value of &e is e's locations
+		case cgen.Star:
+			inner := g.rvalue(x.X)
+			if t := g.typeOf(x.X); t != nil && t.Kind == cgen.TPointer && t.Elem != nil && t.Elem.Kind == cgen.TFunc {
+				return inner // *fp on a function pointer is fp
+			}
+			if t := g.typeOf(e); decays(t) {
+				return inner
+			}
+			return g.read(inner, "deref")
+		case cgen.Inc, cgen.Dec:
+			return g.rvalue(x.X) // ++p's value is p's (updated) value
+		default:
+			g.rvalue(x.X)
+			return g.emptySet()
+		}
+	case *cgen.PostfixExpr:
+		return g.rvalue(x.X)
+	case *cgen.BinaryExpr:
+		l := g.rvalue(x.L)
+		r := g.rvalue(x.R)
+		if x.Op == cgen.Plus || x.Op == cgen.Minus {
+			// Pointer arithmetic: the result may carry either side's
+			// locations (p+i, i+p).
+			out := g.sys.Fresh("arith")
+			g.sys.AddConstraint(l, out)
+			g.sys.AddConstraint(r, out)
+			return out
+		}
+		return g.emptySet()
+	case *cgen.AssignExpr:
+		val := g.rvalue(x.R)
+		lv := g.lvalue(x.L)
+		if x.Op != cgen.Assign {
+			// Compound assignment: the stored value also keeps the old
+			// one (p += i keeps p's targets).
+			old := g.rvalue(x.L)
+			merged := g.sys.Fresh("upd")
+			g.sys.AddConstraint(val, merged)
+			g.sys.AddConstraint(old, merged)
+			val = merged
+		}
+		if lv != nil {
+			g.write(lv, val)
+		}
+		return val
+	case *cgen.CondExpr:
+		g.rvalue(x.Cond)
+		out := g.sys.Fresh("cond$v")
+		g.sys.AddConstraint(g.rvalue(x.Then), out)
+		g.sys.AddConstraint(g.rvalue(x.Else), out)
+		return out
+	case *cgen.CommaExpr:
+		g.rvalue(x.L)
+		return g.rvalue(x.R)
+	case *cgen.CastExpr:
+		v := g.rvalue(x.X)
+		if t := g.typeOf(x.X); decays(t) {
+			return v
+		}
+		return v
+	case *cgen.IndexExpr:
+		g.rvalue(x.Idx)
+		base := g.rvalue(x.X)
+		if decays(g.typeOf(e)) {
+			return base // multi-dimensional arrays stay collapsed
+		}
+		return g.read(base, "elem")
+	case *cgen.MemberExpr:
+		lv := g.lvalue(e)
+		if lv == nil {
+			return g.emptySet()
+		}
+		if decays(g.typeOf(e)) {
+			return lv
+		}
+		return g.read(lv, "field")
+	case *cgen.CallExpr:
+		return g.genCall(x)
+	case *cgen.InitList:
+		for _, el := range x.Elems {
+			g.rvalue(el)
+		}
+		return g.emptySet()
+	}
+	return g.emptySet()
+}
+
+// allocators are the standard allocation functions; each call site of one
+// becomes a fresh heap location.
+var allocators = map[string]bool{
+	"malloc": true, "calloc": true, "valloc": true, "alloca": true,
+	"xmalloc": true, "strdup": true, "xstrdup": true,
+}
+
+// genCall generates constraints for a call expression and returns its
+// value set.
+func (g *gen) genCall(call *cgen.CallExpr) core.Expr {
+	// Allocation sites and a few well-known library functions are
+	// modelled specially.
+	if id, ok := call.Fun.(*cgen.IdentExpr); ok && g.lookup(id.Name) == nil {
+		return g.genSpecialCall(id.Name, call)
+	}
+	if id, ok := call.Fun.(*cgen.IdentExpr); ok {
+		if l := g.lookup(id.Name); l != nil && l.Func != nil {
+			if g.curFunc != nil {
+				g.fact().direct = append(g.fact().direct, l.Func)
+			}
+			return g.genDirectCall(l.Func, call)
+		}
+	}
+	// Indirect call: flow through a lam sink. The callee expression's
+	// value is a set of function locations (a function designator's value
+	// is its own location, like an array's), so one read reaches the lam
+	// values stored in those locations.
+	fnLocs := g.rvalue(call.Fun)
+	if g.curFunc != nil {
+		g.fact().indirect = append(g.fact().indirect, fnLocs)
+	}
+	fnVals := g.read(fnLocs, "fnval")
+	ret := g.sys.Fresh("call$v")
+	args := []core.Expr{ret}
+	for _, a := range call.Args {
+		args = append(args, g.rvalue(a))
+	}
+	g.sys.AddConstraint(fnVals, core.NewTerm(g.lam(len(call.Args)), args...))
+	return ret
+}
+
+// genDirectCall wires a call to a known function without going through lam
+// decomposition, which both saves work and tolerates arity mismatches
+// (variadics, old-style declarations).
+func (g *gen) genDirectCall(fi *FuncInfo, call *cgen.CallExpr) core.Expr {
+	for i, a := range call.Args {
+		v := g.rvalue(a)
+		if i < len(fi.Params) {
+			g.sys.AddConstraint(v, fi.Params[i].Content)
+		}
+	}
+	return fi.Ret
+}
+
+// genSpecialCall models calls to undeclared externals: allocators return a
+// fresh heap location per site, the copying functions propagate contents,
+// and everything else only evaluates its arguments.
+func (g *gen) genSpecialCall(name string, call *cgen.CallExpr) core.Expr {
+	argv := make([]core.Expr, len(call.Args))
+	for i, a := range call.Args {
+		argv[i] = g.rvalue(a)
+	}
+	switch {
+	case allocators[name]:
+		l := g.newLocation(fmt.Sprintf("heap@%d:%d", call.Line, call.Col))
+		out := g.sys.Fresh("alloc$v")
+		g.sys.AddConstraint(l.Ref, out)
+		return out
+	case name == "realloc":
+		// realloc may return its argument or fresh storage.
+		l := g.newLocation(fmt.Sprintf("heap@%d:%d", call.Line, call.Col))
+		out := g.sys.Fresh("realloc$v")
+		g.sys.AddConstraint(l.Ref, out)
+		if len(argv) > 0 {
+			g.sys.AddConstraint(argv[0], out)
+		}
+		return out
+	case (name == "memcpy" || name == "memmove" || name == "strcpy" ||
+		name == "strncpy" || name == "strcat" || name == "strncat" ||
+		name == "bcopy") && len(argv) >= 2:
+		// Contents of the source's targets flow into the destination's
+		// targets; the destination pointer is returned.
+		src, dst := argv[1], argv[0]
+		if name == "bcopy" {
+			src, dst = argv[0], argv[1]
+		}
+		vals := g.read(src, "copy$src")
+		g.write(dst, vals)
+		out := g.sys.Fresh(name + "$v")
+		g.sys.AddConstraint(dst, out)
+		return out
+	default:
+		return g.emptySet()
+	}
+}

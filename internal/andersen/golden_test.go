@@ -1,0 +1,91 @@
+package andersen
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"polce/internal/cgen"
+	"polce/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden points-to snapshots")
+
+// goldenSnapshot renders the full points-to graph deterministically.
+func goldenSnapshot(r *Result) string {
+	var names []string
+	rows := map[string][]string{}
+	for _, l := range r.Locations {
+		p := r.PointsToNames(l)
+		if len(p) == 0 {
+			continue
+		}
+		sort.Strings(p)
+		names = append(names, l.Name)
+		rows[l.Name] = p
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		sb.WriteString(n)
+		sb.WriteString(" -> {")
+		sb.WriteString(strings.Join(rows[n], ", "))
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
+// TestGoldenCorpus pins the points-to graphs of hand-written C programs.
+// The goldens were reviewed by hand; any change to them is a semantic
+// change to the analysis and must be deliberate (rerun with -update).
+// Every configuration must match the same golden, so this doubles as an
+// agreement test on curated inputs.
+func TestGoldenCorpus(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.c")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files: %v", err)
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := cgen.MustParse(path, string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := goldenSnapshot(Analyze(f, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 1}))
+
+			goldenPath := strings.TrimSuffix(path, ".c") + ".golden"
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (rerun with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("points-to graph changed:\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+
+			// Cross-configuration agreement on the curated input.
+			for _, cfg := range []Options{
+				{Form: core.SF, Cycles: core.CycleNone, Seed: 1},
+				{Form: core.SF, Cycles: core.CycleOnline, Seed: 9},
+				{Form: core.IF, Cycles: core.CyclePeriodic, Seed: 1, PeriodicInterval: 32},
+			} {
+				if other := goldenSnapshot(Analyze(f, cfg)); other != got {
+					t.Errorf("%v/%v disagrees with golden", cfg.Form, cfg.Cycles)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,125 @@
+package andersen
+
+import "polce/internal/core"
+
+// This file computes interprocedural MOD sets — for every function, the
+// abstract locations it may modify, directly or through any (possibly
+// indirect, possibly recursive) callee. MOD/REF information is the other
+// classic client of points-to analysis besides alias queries; it doubles
+// here as an end-to-end exercise of the recorded store and call-site
+// facts.
+
+// locsOf resolves a location-set expression (a ref term or a variable
+// holding ref terms) to locations.
+func (r *Result) locsOf(e core.Expr) []*Location {
+	switch x := e.(type) {
+	case *core.Term:
+		if l, ok := r.locOf[x]; ok {
+			return []*Location{l}
+		}
+		return nil
+	case *core.Var:
+		var out []*Location
+		for _, t := range r.Sys.LeastSolution(x) {
+			if l, ok := r.locOf[t]; ok {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// ModSets computes MOD for every analysed function: the locations whose
+// contents the function may change, transitively through its call graph.
+// The result maps function locations to their MOD sets.
+func (r *Result) ModSets() map[*Location][]*Location {
+	// Function location per FuncInfo.
+	locFor := map[*FuncInfo]*Location{}
+	for _, l := range r.Locations {
+		if l.Func != nil {
+			locFor[l.Func] = l
+		}
+	}
+
+	// Direct MOD and callee sets.
+	direct := map[*FuncInfo]map[*Location]bool{}
+	callees := map[*FuncInfo]map[*FuncInfo]bool{}
+	for fi, facts := range r.facts {
+		d := map[*Location]bool{}
+		for _, w := range facts.writes {
+			for _, l := range r.locsOf(w) {
+				d[l] = true
+			}
+		}
+		direct[fi] = d
+		cs := map[*FuncInfo]bool{}
+		for _, callee := range facts.direct {
+			cs[callee] = true
+		}
+		for _, e := range facts.indirect {
+			for _, l := range r.locsOf(e) {
+				if l.Func != nil {
+					cs[l.Func] = true
+				}
+			}
+		}
+		callees[fi] = cs
+	}
+
+	// Fixpoint over the (possibly cyclic) call graph: MOD is monotone, so
+	// simple iteration converges.
+	mod := map[*FuncInfo]map[*Location]bool{}
+	for fi := range locFor {
+		m := map[*Location]bool{}
+		for l := range direct[fi] {
+			m[l] = true
+		}
+		mod[fi] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for fi := range locFor {
+			m := mod[fi]
+			for callee := range callees[fi] {
+				for l := range mod[callee] {
+					if !m[l] {
+						m[l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	out := map[*Location][]*Location{}
+	for fi, floc := range locFor {
+		var list []*Location
+		for _, l := range r.Locations { // deterministic order
+			if mod[fi][l] {
+				list = append(list, l)
+			}
+		}
+		out[floc] = list
+	}
+	return out
+}
+
+// Mod returns the MOD set of one function location (nil if f is not a
+// function).
+func (r *Result) Mod(f *Location) []*Location {
+	if f == nil || f.Func == nil {
+		return nil
+	}
+	return r.ModSets()[f]
+}
+
+// ModNames returns Mod(f) as names.
+func (r *Result) ModNames(f *Location) []string {
+	ls := r.Mod(f)
+	out := make([]string, len(ls))
+	for i, l := range ls {
+		out[i] = l.Name
+	}
+	return out
+}

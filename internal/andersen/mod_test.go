@@ -1,0 +1,131 @@
+package andersen
+
+import (
+	"sort"
+	"testing"
+
+	"polce/internal/core"
+)
+
+func modResult(t *testing.T) *Result {
+	t.Helper()
+	return analyze(t, `
+int g1, g2, g3;
+int *gp;
+
+void leaf(void) { g1 = 1; }
+
+void through_ptr(int *p) { *p = 2; }
+
+void caller(void) {
+	leaf();
+	through_ptr(&g2);
+}
+
+void via_fp(void) {
+	void (*f)(void) = leaf;
+	f();
+}
+
+int pure(int a) { return a + 1; }
+
+void recur(int n) {
+	g3 = n;
+	if (n) recur(n - 1);
+}
+`, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 4})
+}
+
+func modNames(t *testing.T, r *Result, fn string) []string {
+	t.Helper()
+	f := r.LocationByName(fn)
+	if f == nil {
+		t.Fatalf("no function %s", fn)
+	}
+	names := r.ModNames(f)
+	sort.Strings(names)
+	return names
+}
+
+func has(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestModDirect(t *testing.T) {
+	r := modResult(t)
+	if got := modNames(t, r, "leaf"); !has(got, "g1") {
+		t.Errorf("MOD(leaf) = %v, want g1", got)
+	}
+}
+
+func TestModThroughPointer(t *testing.T) {
+	r := modResult(t)
+	got := modNames(t, r, "through_ptr")
+	if !has(got, "g2") {
+		t.Errorf("MOD(through_ptr) = %v, want g2 (written through its parameter)", got)
+	}
+}
+
+func TestModTransitive(t *testing.T) {
+	r := modResult(t)
+	got := modNames(t, r, "caller")
+	if !has(got, "g1") || !has(got, "g2") {
+		t.Errorf("MOD(caller) = %v, want g1 (via leaf) and g2 (via through_ptr)", got)
+	}
+}
+
+func TestModThroughFunctionPointer(t *testing.T) {
+	r := modResult(t)
+	if got := modNames(t, r, "via_fp"); !has(got, "g1") {
+		t.Errorf("MOD(via_fp) = %v, want g1 (leaf invoked through a pointer)", got)
+	}
+}
+
+func TestModPureFunction(t *testing.T) {
+	r := modResult(t)
+	got := modNames(t, r, "pure")
+	for _, n := range got {
+		if n == "g1" || n == "g2" || n == "g3" {
+			t.Errorf("MOD(pure) = %v, contains a global", got)
+		}
+	}
+}
+
+func TestModRecursionTerminates(t *testing.T) {
+	r := modResult(t)
+	if got := modNames(t, r, "recur"); !has(got, "g3") {
+		t.Errorf("MOD(recur) = %v, want g3", got)
+	}
+}
+
+func TestModOfNonFunction(t *testing.T) {
+	r := modResult(t)
+	if got := r.Mod(r.LocationByName("g1")); got != nil {
+		t.Errorf("Mod of a variable = %v, want nil", got)
+	}
+	if got := r.Mod(nil); got != nil {
+		t.Errorf("Mod(nil) = %v", got)
+	}
+}
+
+func TestModMutualRecursion(t *testing.T) {
+	r := analyze(t, `
+int a, b;
+void pong(int n);
+void ping(int n) { a = n; if (n) pong(n - 1); }
+void pong(int n) { b = n; if (n) ping(n - 1); }
+`, Options{Form: core.SF, Cycles: core.CycleOnline, Seed: 2})
+	got := modNames(t, r, "ping")
+	if !has(got, "a") || !has(got, "b") {
+		t.Errorf("MOD(ping) = %v, want a and b", got)
+	}
+	got = modNames(t, r, "pong")
+	if !has(got, "a") || !has(got, "b") {
+		t.Errorf("MOD(pong) = %v, want a and b", got)
+	}
+}

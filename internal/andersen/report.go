@@ -1,0 +1,79 @@
+package andersen
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Report is the JSON-serialisable form of an analysis result, for
+// consumption by external tooling.
+type Report struct {
+	// Locations lists every abstract location with its points-to set.
+	Locations []LocationReport `json:"locations"`
+	// Stats summarises the points-to graph.
+	Stats PointsToStats `json:"stats"`
+	// Solver carries the constraint-solver counters.
+	Solver SolverReport `json:"solver"`
+}
+
+// LocationReport is one location's row.
+type LocationReport struct {
+	Name     string   `json:"name"`
+	Function bool     `json:"function,omitempty"`
+	Local    bool     `json:"local,omitempty"`
+	PointsTo []string `json:"pointsTo,omitempty"`
+}
+
+// SolverReport carries the solver-side counters.
+type SolverReport struct {
+	Form           string `json:"form"`
+	CyclePolicy    string `json:"cyclePolicy"`
+	VarsCreated    int    `json:"varsCreated"`
+	VarsEliminated int    `json:"varsEliminated"`
+	Work           int64  `json:"work"`
+	Redundant      int64  `json:"redundant"`
+	FinalEdges     int    `json:"finalEdges"`
+	Errors         int    `json:"errors,omitempty"`
+}
+
+// BuildReport assembles the serialisable report (locations sorted by
+// name, points-to sets sorted, empty sets omitted unless includeEmpty).
+func (r *Result) BuildReport(includeEmpty bool) Report {
+	rep := Report{Stats: r.Stats()}
+	for _, l := range r.Locations {
+		pts := r.PointsToNames(l)
+		if len(pts) == 0 && !includeEmpty {
+			continue
+		}
+		sort.Strings(pts)
+		rep.Locations = append(rep.Locations, LocationReport{
+			Name:     l.Name,
+			Function: l.Func != nil,
+			Local:    l.IsLocal(),
+			PointsTo: pts,
+		})
+	}
+	sort.Slice(rep.Locations, func(i, j int) bool {
+		return rep.Locations[i].Name < rep.Locations[j].Name
+	})
+	st := r.Sys.Stats()
+	rep.Solver = SolverReport{
+		Form:           r.Sys.Form().String(),
+		CyclePolicy:    r.Sys.Policy().String(),
+		VarsCreated:    st.VarsCreated,
+		VarsEliminated: st.VarsEliminated,
+		Work:           st.Work,
+		Redundant:      st.Redundant,
+		FinalEdges:     r.Sys.TotalEdges(),
+		Errors:         r.Sys.ErrorCount(),
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Result) WriteJSON(w io.Writer, includeEmpty bool) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.BuildReport(includeEmpty))
+}

@@ -1,0 +1,73 @@
+package andersen
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"polce/internal/core"
+)
+
+func TestBuildReport(t *testing.T) {
+	r := analyze(t, `
+int x;
+int *p;
+int *id(int *a) { return a; }
+void f(void) { p = id(&x); }
+`, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 2})
+
+	rep := r.BuildReport(false)
+	if len(rep.Locations) == 0 {
+		t.Fatal("empty report")
+	}
+	// Sorted by name.
+	for i := 1; i < len(rep.Locations); i++ {
+		if rep.Locations[i-1].Name > rep.Locations[i].Name {
+			t.Fatalf("locations not sorted: %s before %s",
+				rep.Locations[i-1].Name, rep.Locations[i].Name)
+		}
+	}
+	var foundP bool
+	for _, l := range rep.Locations {
+		if l.Name == "p" {
+			foundP = true
+			if len(l.PointsTo) != 1 || l.PointsTo[0] != "x" {
+				t.Errorf("report pts(p) = %v", l.PointsTo)
+			}
+		}
+		if l.Name == "id" && !l.Function {
+			t.Error("id not marked as function")
+		}
+	}
+	if !foundP {
+		t.Error("p missing from report")
+	}
+	if rep.Solver.Form != "IF" || rep.Solver.CyclePolicy != "Online" {
+		t.Errorf("solver metadata: %+v", rep.Solver)
+	}
+	if rep.Solver.VarsCreated == 0 || rep.Solver.Work == 0 {
+		t.Errorf("solver counters empty: %+v", rep.Solver)
+	}
+}
+
+func TestWriteJSONRoundtrips(t *testing.T) {
+	r := analyze(t, `int x; int *p; void f(void) { p = &x; }`,
+		Options{Form: core.SF, Cycles: core.CycleOnline, Seed: 1})
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(rep.Locations) == 0 {
+		t.Error("decoded report empty")
+	}
+	// includeEmpty=true lists every location; false drops empty sets.
+	full := len(r.BuildReport(true).Locations)
+	trimmed := len(r.BuildReport(false).Locations)
+	if trimmed >= full {
+		t.Errorf("includeEmpty filter has no effect: %d vs %d", trimmed, full)
+	}
+}

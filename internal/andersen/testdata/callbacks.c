@@ -1,0 +1,24 @@
+/* Callback dispatch table: function pointers stored in an array, bound
+ * dynamically, invoked indirectly. */
+int ok, fail;
+
+int *on_ok(int *x)   { return x; }
+int *on_fail(int *x) { return &fail; }
+
+int *(*table[2])(int *);
+
+void install(void) {
+	table[0] = on_ok;
+	table[1] = &on_fail;
+}
+
+int *dispatch(int which, int *arg) {
+	return table[which](arg);
+}
+
+int main(void) {
+	int *r;
+	install();
+	r = dispatch(0, &ok);
+	return 0;
+}

@@ -1,0 +1,30 @@
+/* Mutual recursion and a pointer-copy ring: this file exists to create
+ * constraint cycles, so the online-elimination counters are non-trivial. */
+int obj0, obj1;
+int *ra, *rb, *rc, *rd;
+
+int *even(int *v, int n);
+
+int *odd(int *v, int n) {
+	if (n == 0) return v;
+	return even(v, n - 1);
+}
+
+int *even(int *v, int n) {
+	if (n == 0) return v;
+	return odd(v, n - 1);
+}
+
+void ring(void) {
+	ra = rb;
+	rb = rc;
+	rc = rd;
+	rd = ra;
+	ra = &obj0;
+}
+
+int main(void) {
+	int *r = odd(&obj1, 5);
+	ring();
+	return 0;
+}

@@ -1,0 +1,29 @@
+/* Linked list with push/pop through a head pointer: the classic
+ * points-to workout mixing heap cells, double indirection and loops. */
+struct node { struct node *next; int *val; };
+
+struct node *head;
+int a, b;
+
+void push(int *v) {
+	struct node *n = (struct node *)malloc(sizeof(struct node));
+	n->val = v;
+	n->next = head;
+	head = n;
+}
+
+int *pop(void) {
+	struct node *n = head;
+	if (!n) return (int *)0;
+	head = n->next;
+	return n->val;
+}
+
+int main(void) {
+	int *got;
+	push(&a);
+	push(&b);
+	got = pop();
+	got = pop();
+	return 0;
+}

@@ -1,0 +1,15 @@
+/* Multi-level indirection: three stars deep, with writes at each level. */
+int x, y;
+int *p1, *q1;
+int **p2, **q2;
+int ***p3;
+
+void deep(void) {
+	p1 = &x;
+	p2 = &p1;
+	p3 = &p2;
+	**p3 = &y;   /* writes into p1 */
+	q2 = *p3;    /* q2 = p2's contents = {p1} */
+	q1 = **p3;   /* q1 = p1's contents = {x, y} */
+	*q2 = q1;    /* p1 gets q1's contents: no new names */
+}

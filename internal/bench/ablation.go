@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// AblationTable compares the paper's online elimination against the two
+// alternatives it displaces: periodic offline sweeps (the prior-work
+// strategy of [FA96, FF97, MW97]) and the increasing-chain search variant
+// for standard form (§4). One row per benchmark and strategy with the
+// work, eliminated-variable and time columns side by side.
+func AblationTable(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Ablation: online elimination vs periodic sweeps vs increasing-chain search")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	cols := []string{"IF-Online", "IF-Periodic", "SF-Online", "SF-Periodic", Ablation.Name}
+	fmt.Fprint(tw, "Benchmark\t")
+	for _, c := range cols {
+		fmt.Fprintf(tw, "%s Work\t%s Elim\t%s Time\t", c, c, c)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t", r.Bench.Name)
+		for _, c := range cols {
+			run, ok := r.Runs[c]
+			if !ok {
+				fmt.Fprint(tw, "-\t-\t-\t")
+				continue
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%s\t", run.Work, run.Eliminated, secs(run.Time))
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "\nReading guide (the paper's §1 and §6 claims):")
+	fmt.Fprintln(w, " - periodic sweeps eliminate at least as many variables (offline Tarjan is")
+	fmt.Fprintln(w, "   complete over the current graph) but pay a whole-graph pass per sweep,")
+	fmt.Fprintln(w, "   so their cost-benefit depends delicately on the sweep frequency;")
+	fmt.Fprintln(w, " - the online search costs a near-constant ≈2 visited nodes per edge")
+	fmt.Fprintln(w, "   insertion and needs no frequency tuning;")
+	fmt.Fprintln(w, " - the SF increasing-chain variant shows the search-direction choice is")
+	fmt.Fprintln(w, "   not free: it visits far more nodes per insertion.")
+}

@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+var tiny = Benchmark{Name: "tiny-test", TargetAST: 900, Seed: 9001}
+
+func runTiny(t *testing.T, names []string) *Result {
+	t.Helper()
+	r, err := RunBenchmark(tiny, names, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunBenchmarkAllExperiments(t *testing.T) {
+	r := runTiny(t, nil)
+	if len(r.Runs) != len(Experiments) {
+		t.Fatalf("got %d runs, want %d", len(r.Runs), len(Experiments))
+	}
+	for name, run := range r.Runs {
+		if run.Edges <= 0 || run.Work <= 0 || run.Time <= 0 {
+			t.Errorf("%s: degenerate run %+v", name, run)
+		}
+	}
+	if r.ASTNodes == 0 || r.LOC == 0 || r.SetVars == 0 || r.InitialEdges == 0 {
+		t.Errorf("missing table-1 stats: %+v", r)
+	}
+}
+
+func TestWorkOrdering(t *testing.T) {
+	// The paper's central quantitative relations, checked on one small
+	// benchmark: elimination reduces work, and the oracle is the floor.
+	r := runTiny(t, nil)
+	ifPlain := r.Runs["IF-Plain"]
+	ifOnline := r.Runs["IF-Online"]
+	ifOracle := r.Runs["IF-Oracle"]
+	sfPlain := r.Runs["SF-Plain"]
+	sfOnline := r.Runs["SF-Online"]
+
+	if ifOnline.Work > ifPlain.Work {
+		t.Errorf("IF-Online work %d exceeds IF-Plain %d", ifOnline.Work, ifPlain.Work)
+	}
+	if sfOnline.Work > sfPlain.Work {
+		t.Errorf("SF-Online work %d exceeds SF-Plain %d", sfOnline.Work, sfPlain.Work)
+	}
+	if ifOracle.Work > ifOnline.Work {
+		t.Errorf("IF-Oracle work %d exceeds IF-Online %d", ifOracle.Work, ifOnline.Work)
+	}
+	if ifOnline.Eliminated == 0 {
+		t.Errorf("IF-Online eliminated nothing")
+	}
+	// The oracle pre-merges every cyclic variable except one witness per
+	// class; online elimination cannot beat it.
+	if ifOnline.Eliminated > ifOracle.Eliminated {
+		t.Errorf("online eliminated %d > oracle %d", ifOnline.Eliminated, ifOracle.Eliminated)
+	}
+	// Oracle runs find no cycles at all: their graphs stay acyclic.
+	if ifOracle.Searches != 0 {
+		t.Errorf("oracle run performed %d online searches", ifOracle.Searches)
+	}
+}
+
+func TestEdgesAgreeIshAcrossConfigs(t *testing.T) {
+	// Final edge counts differ across representations (IF stores
+	// transitive var-var edges SF never materialises), but the oracle and
+	// online variants of the same form should not exceed the plain runs.
+	r := runTiny(t, nil)
+	if r.Runs["IF-Online"].Edges > r.Runs["IF-Plain"].Edges {
+		t.Errorf("IF-Online edges %d > IF-Plain %d", r.Runs["IF-Online"].Edges, r.Runs["IF-Plain"].Edges)
+	}
+	if r.Runs["SF-Online"].Edges > r.Runs["SF-Plain"].Edges {
+		t.Errorf("SF-Online edges %d > SF-Plain %d", r.Runs["SF-Online"].Edges, r.Runs["SF-Plain"].Edges)
+	}
+}
+
+func TestAblationRuns(t *testing.T) {
+	r := runTiny(t, []string{"SF-Online", "IF-Online", Ablation.Name})
+	if _, ok := r.Runs[Ablation.Name]; !ok {
+		t.Fatal("ablation did not run")
+	}
+}
+
+func TestPeriodicAblations(t *testing.T) {
+	names := []string{"IF-Online", "SF-Online"}
+	for _, e := range PeriodicAblations {
+		names = append(names, e.Name)
+	}
+	r := runTiny(t, names)
+	for _, e := range PeriodicAblations {
+		run, ok := r.Runs[e.Name]
+		if !ok {
+			t.Fatalf("%s did not run", e.Name)
+		}
+		if run.Work <= 0 {
+			t.Errorf("%s: no work recorded", e.Name)
+		}
+	}
+	var sb strings.Builder
+	AblationTable(&sb, []*Result{r})
+	if !strings.Contains(sb.String(), "IF-Periodic Work") {
+		t.Error("ablation table missing periodic columns")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := RunBenchmark(tiny, []string{"bogus"}, Options{}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestSuiteHelpers(t *testing.T) {
+	if len(Suite) < 20 {
+		t.Errorf("suite has only %d benchmarks", len(Suite))
+	}
+	small := SuiteUpTo(3000)
+	for _, b := range small {
+		if b.TargetAST > 3000 {
+			t.Errorf("SuiteUpTo leaked %s (%d)", b.Name, b.TargetAST)
+		}
+	}
+	if len(small) == 0 || len(small) >= len(Suite) {
+		t.Errorf("SuiteUpTo(3000) returned %d benchmarks", len(small))
+	}
+	if _, ok := ByName("li"); !ok {
+		t.Error("ByName(li) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) succeeded")
+	}
+	seen := map[int64]bool{}
+	for _, b := range Suite {
+		if seen[b.Seed] {
+			t.Errorf("duplicate seed %d", b.Seed)
+		}
+		seen[b.Seed] = true
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	r := runTiny(t, nil)
+	results := []*Result{r}
+	var sb strings.Builder
+	Table1(&sb, results)
+	Table2(&sb, results)
+	Table3(&sb, results)
+	Table4(&sb)
+	Figure7(&sb, results)
+	Figure8(&sb, results)
+	Figure9(&sb, results)
+	Figure10(&sb, results)
+	Figure11(&sb, results)
+	out := sb.String()
+	if !strings.Contains(out, "tiny-test") {
+		t.Error("renderers never mention the benchmark")
+	}
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "Table 4",
+		"Figure 7", "Figure 8", "Figure 9", "Figure 10", "Figure 11", "Shape check"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing section %q", want)
+		}
+	}
+}
+
+func TestDiagnosticsAndCSV(t *testing.T) {
+	r := runTiny(t, []string{"SF-Online", "IF-Online"})
+	results := []*Result{r}
+
+	var sb strings.Builder
+	Diagnostics(&sb, results)
+	out := sb.String()
+	if !strings.Contains(out, "Section 5 premises") || !strings.Contains(out, "tiny-test") {
+		t.Errorf("diagnostics output wrong:\n%s", out)
+	}
+	if r.InitialDensity <= 0 || r.FinalDensity < r.InitialDensity {
+		t.Errorf("densities wrong: init=%v final=%v", r.InitialDensity, r.FinalDensity)
+	}
+
+	var csvOut strings.Builder
+	if err := WriteCSV(&csvOut, results); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvOut.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv rows = %d, want header + 1", len(lines))
+	}
+	if !strings.Contains(lines[0], "IF-Online_work") || !strings.Contains(lines[1], "tiny-test") {
+		t.Errorf("csv malformed:\n%s", csvOut.String())
+	}
+	if nh, nr := strings.Count(lines[0], ",")+1, strings.Count(lines[1], ",")+1; nh != nr {
+		t.Errorf("csv header has %d columns, row has %d", nh, nr)
+	}
+}
+
+func TestSweepRenders(t *testing.T) {
+	var sb strings.Builder
+	if err := Sweep(&sb, []int{600, 1200}, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Scaling sweep") || !strings.Contains(out, "Shape check") {
+		t.Errorf("sweep output wrong:\n%s", out)
+	}
+}
+
+func TestOrderExperimentRenders(t *testing.T) {
+	var sb strings.Builder
+	if err := OrderExperiment(&sb, []Benchmark{tiny}, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Order-choice ablation") || !strings.Contains(out, "tiny-test") {
+		t.Errorf("order experiment output wrong:\n%s", out)
+	}
+}
+
+func TestAllocBytesRecorded(t *testing.T) {
+	r := runTiny(t, []string{"IF-Online"})
+	if r.Runs["IF-Online"].AllocBytes == 0 {
+		t.Error("no allocation recorded")
+	}
+}
+
+func TestBaselineComparisonRenders(t *testing.T) {
+	var sb strings.Builder
+	if err := BaselineComparison(&sb, []Benchmark{tiny}, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Steensgaard") || !strings.Contains(out, "tiny-test") {
+		t.Errorf("baseline output wrong:\n%s", out)
+	}
+}
+
+func TestCFAExperimentRenders(t *testing.T) {
+	var sb strings.Builder
+	if err := CFAExperiment(&sb, []int{300, 600}, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "closure analysis") || !strings.Contains(out, "Shape check") {
+		t.Errorf("cfa experiment output wrong:\n%s", out)
+	}
+}
+
+func TestRepeatKeepsBestTime(t *testing.T) {
+	r1, err := RunBenchmark(tiny, []string{"IF-Online"}, Options{Seed: 1, Repeat: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Runs["IF-Online"].Time <= 0 {
+		t.Error("repeat run lost its timing")
+	}
+}
+
+func TestDeterministicCounters(t *testing.T) {
+	a := runTiny(t, []string{"IF-Online"})
+	b := runTiny(t, []string{"IF-Online"})
+	ra, rb := a.Runs["IF-Online"], b.Runs["IF-Online"]
+	if ra.Work != rb.Work || ra.Edges != rb.Edges || ra.Eliminated != rb.Eliminated {
+		t.Errorf("counters not reproducible: %+v vs %+v", ra, rb)
+	}
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCSV emits the full measurement matrix as CSV — one row per
+// benchmark, columns for the Table 1 statistics followed by
+// edges/work/eliminated/seconds for every experiment present in the
+// results — for plotting the figures with external tools.
+func WriteCSV(w io.Writer, results []*Result) error {
+	cw := csv.NewWriter(w)
+
+	// Collect the union of experiment names, in Table 4 order followed by
+	// any ablations.
+	present := map[string]bool{}
+	for _, r := range results {
+		for name := range r.Runs {
+			present[name] = true
+		}
+	}
+	var names []string
+	for _, e := range Experiments {
+		if present[e.Name] {
+			names = append(names, e.Name)
+			delete(present, e.Name)
+		}
+	}
+	var extra []string
+	for name := range present {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	names = append(names, extra...)
+
+	header := []string{
+		"benchmark", "ast_nodes", "loc", "set_vars",
+		"initial_nodes", "initial_edges",
+		"init_scc_vars", "init_scc_max", "final_scc_vars", "final_scc_max",
+		"initial_density", "final_density",
+	}
+	for _, n := range names {
+		header = append(header,
+			n+"_edges", n+"_work", n+"_eliminated", n+"_seconds", n+"_alloc_bytes")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+
+	for _, r := range results {
+		row := []string{
+			r.Bench.Name,
+			fmt.Sprint(r.ASTNodes), fmt.Sprint(r.LOC), fmt.Sprint(r.SetVars),
+			fmt.Sprint(r.InitialNodes), fmt.Sprint(r.InitialEdges),
+			fmt.Sprint(r.InitSCCVars), fmt.Sprint(r.InitSCCMax),
+			fmt.Sprint(r.FinalSCCVars), fmt.Sprint(r.FinalSCCMax),
+			fmt.Sprintf("%.4f", r.InitialDensity), fmt.Sprintf("%.4f", r.FinalDensity),
+		}
+		for _, n := range names {
+			run, ok := r.Runs[n]
+			if !ok {
+				row = append(row, "", "", "", "", "")
+				continue
+			}
+			row = append(row,
+				fmt.Sprint(run.Edges), fmt.Sprint(run.Work),
+				fmt.Sprint(run.Eliminated), fmt.Sprintf("%.6f", run.Time.Seconds()),
+				fmt.Sprint(run.AllocBytes))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"polce/internal/andersen"
+	"polce/internal/core"
+)
+
+// Experiment is one of the paper's configurations (Table 4).
+type Experiment struct {
+	Name   string
+	Form   core.Form
+	Cycles core.CyclePolicy
+	Desc   string
+	// Interval configures core.CyclePeriodic (0 = solver default).
+	Interval int
+}
+
+// Experiments lists the six configurations of Table 4, in the paper's
+// order.
+var Experiments = []Experiment{
+	{Name: "SF-Plain", Form: core.SF, Cycles: core.CycleNone, Desc: "Standard form, no cycle elimination"},
+	{Name: "IF-Plain", Form: core.IF, Cycles: core.CycleNone, Desc: "Inductive form, no cycle elimination"},
+	{Name: "SF-Oracle", Form: core.SF, Cycles: core.CycleOracle, Desc: "Standard form, with full (oracle) cycle elimination"},
+	{Name: "IF-Oracle", Form: core.IF, Cycles: core.CycleOracle, Desc: "Inductive form, with full (oracle) cycle elimination"},
+	{Name: "SF-Online", Form: core.SF, Cycles: core.CycleOnline, Desc: "Standard form, using online cycle elimination"},
+	{Name: "IF-Online", Form: core.IF, Cycles: core.CycleOnline, Desc: "Inductive form, with online cycle elimination"},
+}
+
+// Ablation is the §4 extra experiment: standard form searching
+// increasing successor chains, which the paper reports detecting more
+// cycles than the decreasing search at much higher cost.
+var Ablation = Experiment{
+	Name: "SF-Incr", Form: core.SF, Cycles: core.CycleOnlineIncreasing,
+	Desc: "Standard form, online elimination via increasing chains (ablation)",
+}
+
+// PeriodicAblations are the prior-work strategy the paper's introduction
+// argues against: offline elimination sweeps at a fixed frequency
+// ([FA96, FF97, MW97]-style periodic simplification), here every 2000
+// edge additions.
+var PeriodicAblations = []Experiment{
+	{Name: "SF-Periodic", Form: core.SF, Cycles: core.CyclePeriodic, Interval: 2000,
+		Desc: "Standard form, offline sweep every 2000 edge additions (prior work)"},
+	{Name: "IF-Periodic", Form: core.IF, Cycles: core.CyclePeriodic, Interval: 2000,
+		Desc: "Inductive form, offline sweep every 2000 edge additions (prior work)"},
+}
+
+// ExperimentByName looks up a configuration, including the ablations.
+func ExperimentByName(name string) (Experiment, bool) {
+	for _, e := range Experiments {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	if name == Ablation.Name {
+		return Ablation, true
+	}
+	for _, e := range PeriodicAblations {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Run holds the measurements of one (benchmark, experiment) cell: the
+// paper's Tables 2 and 3 columns.
+type Run struct {
+	Edges      int           // edges in the final graph
+	Work       int64         // total edge additions, including redundant
+	Time       time.Duration // solve time; includes the LS pass for IF
+	Eliminated int           // variables removed by cycle elimination
+	Searches   int64         // online chain searches
+	Visits     int64         // nodes visited by the searches
+	AllocBytes uint64        // heap allocated during the run (space cost)
+}
+
+// VisitsPerSearch is the measured analogue of Theorem 5.2's E(R_X).
+func (r Run) VisitsPerSearch() float64 {
+	if r.Searches == 0 {
+		return 0
+	}
+	return float64(r.Visits) / float64(r.Searches)
+}
+
+// Result aggregates one benchmark's measurements.
+type Result struct {
+	Bench Benchmark
+
+	// Table 1 statistics.
+	ASTNodes     int
+	LOC          int
+	SetVars      int
+	InitialNodes int // variables + distinct sources and sinks (graph nodes)
+	InitialEdges int
+	InitSCCVars  int
+	InitSCCMax   int
+	FinalSCCVars int
+	FinalSCCMax  int
+
+	// Section 5 premises: edge density (edges per variable) of the
+	// initial and closed graphs — the model's p·n parameter.
+	InitialDensity float64
+	FinalDensity   float64
+
+	// Runs maps experiment name → measurements.
+	Runs map[string]Run
+}
+
+// Options configures a harness run.
+type Options struct {
+	// Seed is the solver's variable-order seed.
+	Seed int64
+	// Repeat re-runs each timed experiment and keeps the best time (the
+	// paper reports best of three). 0 means 1.
+	Repeat int
+}
+
+// RunBenchmark measures the named experiments (nil = all six) on one
+// benchmark. The oracle experiments derive their oracle from an untimed
+// IF-Online pass on the same program.
+func RunBenchmark(b Benchmark, names []string, opt Options) (*Result, error) {
+	p, err := load(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		for _, e := range Experiments {
+			names = append(names, e.Name)
+		}
+	}
+	repeat := opt.Repeat
+	if repeat <= 0 {
+		repeat = 1
+	}
+
+	res := &Result{Bench: b, ASTNodes: p.nodes, LOC: p.loc, Runs: map[string]Run{}}
+
+	// Table 1 statistics from the initial (unclosed) graph.
+	initial := andersen.AnalyzeInitial(p.file, andersen.Options{Form: core.SF, Seed: opt.Seed})
+	res.SetVars = initial.Sys.Stats().VarsCreated
+	vv, src, snk := initial.Sys.EdgeCounts()
+	res.InitialEdges = vv + src + snk
+	res.InitialNodes = res.SetVars + src + snk // distinct sources/sinks per edge occurrence
+	res.InitSCCVars, res.InitSCCMax = initial.Sys.CycleClassStats()
+	res.InitialDensity = initial.Sys.CurrentGraphStats().Density
+
+	// Reference pass: IF-Online, used both for the final SCC statistics
+	// and to build the oracle. Untimed here (it is re-run timed below if
+	// requested).
+	ref := andersen.Analyze(p.file, andersen.Options{Form: core.IF, Cycles: core.CycleOnline, Seed: opt.Seed})
+	res.FinalSCCVars, res.FinalSCCMax = ref.Sys.CycleClassStats()
+	res.FinalDensity = ref.Sys.CurrentGraphStats().Density
+	var oracle *core.Oracle
+
+	for _, name := range names {
+		exp, ok := ExperimentByName(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown experiment %q", name)
+		}
+		if exp.Cycles == core.CycleOracle && oracle == nil {
+			oracle = core.BuildOracle(ref.Sys)
+		}
+		res.Runs[name] = runOne(p, exp, oracle, opt.Seed, repeat)
+	}
+	return res, nil
+}
+
+// runOne times one experiment configuration, keeping the best of repeat
+// runs (counters are identical across repeats; only Time varies).
+func runOne(p *program, exp Experiment, oracle *core.Oracle, seed int64, repeat int) Run {
+	var best Run
+	for i := 0; i < repeat; i++ {
+		var msBefore runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
+		start := time.Now()
+		r := andersen.Analyze(p.file, andersen.Options{
+			Form:             exp.Form,
+			Cycles:           exp.Cycles,
+			Seed:             seed,
+			Oracle:           oracle,
+			PeriodicInterval: exp.Interval,
+		})
+		if exp.Form == core.IF {
+			// The paper always includes the least-solution pass in
+			// inductive-form timings.
+			r.Sys.ComputeLeastSolutions()
+		}
+		elapsed := time.Since(start)
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
+		st := r.Sys.Stats()
+		run := Run{
+			Edges:      r.Sys.TotalEdges(),
+			Work:       st.Work,
+			Time:       elapsed,
+			Eliminated: st.VarsEliminated,
+			Searches:   st.CycleSearches,
+			Visits:     st.CycleVisits,
+			AllocBytes: msAfter.TotalAlloc - msBefore.TotalAlloc,
+		}
+		if i == 0 || run.Time < best.Time {
+			t := run.Time
+			if i > 0 {
+				run = best
+				run.Time = t
+			}
+			best = run
+		}
+	}
+	return best
+}
+
+// RunSuite measures the experiments across a benchmark list.
+func RunSuite(benches []Benchmark, names []string, opt Options) ([]*Result, error) {
+	var out []*Result
+	for _, b := range benches {
+		r, err := RunBenchmark(b, names, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// The figures are rendered as aligned data series (x column plus one
+// column per curve) followed by a one-line statement of the shape the
+// paper's plot shows, so a reader can check the qualitative claim without
+// a plotting tool.
+
+// Figure7 plots analysis time against program size for the two
+// no-elimination configurations. The paper's shape: both blow up past
+// ~15000 AST nodes, and SF-Plain generally beats IF-Plain (cycles add many
+// redundant variable-variable edges under IF).
+func Figure7(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Figure 7: Analysis time without cycle elimination vs program size")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "AST Nodes\tSF-Plain (s)\tIF-Plain (s)\tBenchmark\t")
+	var sfWins int
+	var n int
+	for _, r := range results {
+		sf, okSF := r.Runs["SF-Plain"]
+		ifp, okIF := r.Runs["IF-Plain"]
+		if !okSF || !okIF {
+			continue
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t\n", r.ASTNodes, secs(sf.Time), secs(ifp.Time), r.Bench.Name)
+		n++
+		if sf.Time <= ifp.Time {
+			sfWins++
+		}
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "\nShape check: SF-Plain ≤ IF-Plain on %d/%d benchmarks (paper: SF generally wins without elimination).\n", sfWins, n)
+}
+
+// Figure8 plots the oracle and online configurations. The paper's shape:
+// IF-Oracle fastest, then SF-Oracle, IF-Online close behind the oracles,
+// SF-Online clearly slower; all scale far better than the plain runs.
+func Figure8(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Figure 8: Analysis time with oracle and online cycle elimination vs program size")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "AST Nodes\tIF-Oracle (s)\tSF-Oracle (s)\tIF-Online (s)\tSF-Online (s)\tBenchmark\t")
+	var ifOnNearOracle, n int
+	for _, r := range results {
+		ifo, ok1 := r.Runs["IF-Oracle"]
+		sfo, ok2 := r.Runs["SF-Oracle"]
+		ifn, ok3 := r.Runs["IF-Online"]
+		sfn, ok4 := r.Runs["SF-Online"]
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			continue
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t\n", r.ASTNodes,
+			secs(ifo.Time), secs(sfo.Time), secs(ifn.Time), secs(sfn.Time), r.Bench.Name)
+		n++
+		if ifn.Time <= 3*ifo.Time {
+			ifOnNearOracle++
+		}
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "\nShape check: IF-Online within 3x of IF-Oracle on %d/%d benchmarks (paper: online stays close to the oracle).\n", ifOnNearOracle, n)
+}
+
+// Figure9 plots speedups over the standard implementation (SF-Plain)
+// against SF-Plain's absolute time. The paper's shape: speedups grow with
+// problem size, exceeding an order of magnitude for large programs, while
+// very small programs may see slowdowns.
+func Figure9(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Figure 9: Speedup over SF-Plain vs SF-Plain execution time")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "SF-Plain (s)\tIF-Online speedup\tSF-Online speedup\tBenchmark\t")
+	var maxSpeed float64
+	for _, r := range results {
+		sf, ok1 := r.Runs["SF-Plain"]
+		ifn, ok2 := r.Runs["IF-Online"]
+		sfn, ok3 := r.Runs["SF-Online"]
+		if !ok1 || !ok2 || !ok3 {
+			continue
+		}
+		s1 := sf.Time.Seconds() / ifn.Time.Seconds()
+		s2 := sf.Time.Seconds() / sfn.Time.Seconds()
+		if s1 > maxSpeed {
+			maxSpeed = s1
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%s\t\n", secs(sf.Time), s1, s2, r.Bench.Name)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "\nShape check: best IF-Online speedup %.1fx (paper: growing with size, >10x for large programs).\n", maxSpeed)
+}
+
+// Figure10 plots the ratio of SF-Online to IF-Online times. The paper's
+// shape: IF-Online consistently faster on programs of at least ~10000 AST
+// nodes, approaching 4x on the largest; small programs may favour SF.
+func Figure10(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Figure 10: Time ratio SF-Online / IF-Online vs program size")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "AST Nodes\tSF-Online/IF-Online\tBenchmark\t")
+	var bigWins, bigN int
+	for _, r := range results {
+		ifn, ok1 := r.Runs["IF-Online"]
+		sfn, ok2 := r.Runs["SF-Online"]
+		if !ok1 || !ok2 {
+			continue
+		}
+		ratio := sfn.Time.Seconds() / ifn.Time.Seconds()
+		fmt.Fprintf(tw, "%d\t%.2f\t%s\t\n", r.ASTNodes, ratio, r.Bench.Name)
+		if r.ASTNodes >= 10000 {
+			bigN++
+			if ratio > 1 {
+				bigWins++
+			}
+		}
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "\nShape check: IF-Online faster on %d/%d benchmarks of ≥10000 AST nodes (paper: consistently faster there).\n", bigWins, bigN)
+}
+
+// Figure11 plots the fraction of cycle-involved variables each online
+// policy eliminates. The paper's shape: around 80%% for IF and half that
+// for SF, which explains IF-Online's advantage.
+func Figure11(w io.Writer, results []*Result) {
+	hasAblation := false
+	for _, r := range results {
+		if _, ok := r.Runs[Ablation.Name]; ok {
+			hasAblation = true
+		}
+	}
+	fmt.Fprintln(w, "Figure 11: Percentage of variables on cycles detected by online elimination")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	if hasAblation {
+		fmt.Fprintln(tw, "AST Nodes\tCycle Vars\tIF-Online %\tSF-Online %\tSF-Incr %\tSF-Incr time (s)\tBenchmark\t")
+	} else {
+		fmt.Fprintln(tw, "AST Nodes\tCycle Vars\tIF-Online %\tSF-Online %\tBenchmark\t")
+	}
+	var sumIF, sumSF float64
+	var n int
+	for _, r := range results {
+		ifn, ok1 := r.Runs["IF-Online"]
+		sfn, ok2 := r.Runs["SF-Online"]
+		if !ok1 || !ok2 || r.FinalSCCVars == 0 {
+			continue
+		}
+		pIF := 100 * float64(ifn.Eliminated) / float64(r.FinalSCCVars)
+		pSF := 100 * float64(sfn.Eliminated) / float64(r.FinalSCCVars)
+		sumIF += pIF
+		sumSF += pSF
+		n++
+		if hasAblation {
+			if inc, ok := r.Runs[Ablation.Name]; ok {
+				pInc := 100 * float64(inc.Eliminated) / float64(r.FinalSCCVars)
+				fmt.Fprintf(tw, "%d\t%d\t%.1f\t%.1f\t%.1f\t%s\t%s\t\n",
+					r.ASTNodes, r.FinalSCCVars, pIF, pSF, pInc, secs(inc.Time), r.Bench.Name)
+				continue
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%.1f\t%.1f\t-\t-\t%s\t\n", r.ASTNodes, r.FinalSCCVars, pIF, pSF, r.Bench.Name)
+			continue
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%.1f\t%.1f\t%s\t\n", r.ASTNodes, r.FinalSCCVars, pIF, pSF, r.Bench.Name)
+	}
+	tw.Flush()
+	if n > 0 {
+		fmt.Fprintf(w, "\nShape check: mean detection IF %.1f%%, SF %.1f%% (paper: ≈80%% vs ≈40%% — IF finds about twice as many).\n",
+			sumIF/float64(n), sumSF/float64(n))
+	}
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+	"time"
+
+	"polce/internal/andersen"
+	"polce/internal/cgen"
+	"polce/internal/core"
+	"polce/internal/progen"
+)
+
+// Sweep quantifies the scaling claim behind Figures 7 and 9: one workload
+// shape is generated at doubling sizes, SF-Plain and IF-Online are run at
+// each size, and the local growth exponent (the log-log slope between
+// consecutive sizes) is printed for both work and time. The paper's story
+// in two numbers per row: SF-Plain's exponent drifts well above 1 as
+// cycles dominate, while IF-Online stays near linear.
+func Sweep(w io.Writer, sizes []int, seed int64) error {
+	if len(sizes) == 0 {
+		sizes = []int{2000, 4000, 8000, 16000, 32000}
+	}
+	fmt.Fprintln(w, "Scaling sweep: growth exponents of SF-Plain vs IF-Online")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "AST Nodes\tSF-Plain Work\tSF exp\tSF-Plain (s)\tIF-Online Work\tIF exp\tIF-Online (s)\t")
+
+	type point struct {
+		nodes          int
+		sfWork, ifWork int64
+		sfSec, ifSec   float64
+	}
+	var prev *point
+	var first *point
+	var last *point
+	for _, size := range sizes {
+		src := progen.Generate(progen.ByScale(seed+int64(size), size))
+		file, err := cgen.MustParse("sweep.c", src)
+		if err != nil {
+			return err
+		}
+		cur := point{nodes: cgen.CountNodes(file)}
+
+		start := time.Now()
+		sf := andersen.Analyze(file, andersen.Options{Form: core.SF, Cycles: core.CycleNone, Seed: seed})
+		cur.sfSec = time.Since(start).Seconds()
+		cur.sfWork = sf.Sys.Stats().Work
+
+		start = time.Now()
+		ifr := andersen.Analyze(file, andersen.Options{Form: core.IF, Cycles: core.CycleOnline, Seed: seed})
+		ifr.Sys.ComputeLeastSolutions()
+		cur.ifSec = time.Since(start).Seconds()
+		cur.ifWork = ifr.Sys.Stats().Work
+
+		sfExp, ifExp := "-", "-"
+		if prev != nil {
+			dn := math.Log(float64(cur.nodes) / float64(prev.nodes))
+			sfExp = fmt.Sprintf("%.2f", math.Log(float64(cur.sfWork)/float64(prev.sfWork))/dn)
+			ifExp = fmt.Sprintf("%.2f", math.Log(float64(cur.ifWork)/float64(prev.ifWork))/dn)
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%.3f\t%d\t%s\t%.3f\t\n",
+			cur.nodes, cur.sfWork, sfExp, cur.sfSec, cur.ifWork, ifExp, cur.ifSec)
+		c := cur
+		prev = &c
+		if first == nil {
+			first = &c
+		}
+		last = &c
+	}
+	tw.Flush()
+	if first != nil && last != nil && last != first {
+		dn := math.Log(float64(last.nodes) / float64(first.nodes))
+		overallSF := math.Log(float64(last.sfWork)/float64(first.sfWork)) / dn
+		overallIF := math.Log(float64(last.ifWork)/float64(first.ifWork)) / dn
+		fmt.Fprintf(w, "\nShape check: over the whole sweep SF-Plain's work grows as n^%.1f while\n", overallSF)
+		fmt.Fprintf(w, "IF-Online's grows as n^%.1f — the scaling gap Figures 7 and 9 plot.\n", overallIF)
+	}
+	return nil
+}

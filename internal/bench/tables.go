@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// secs renders a duration the way the paper's tables do (seconds).
+func secs(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// Table1 renders the benchmark-characteristics table: program sizes,
+// constraint-graph sizes, and the initial and final SCC statistics.
+func Table1(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Table 1: Benchmark data common to all experiments")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Benchmark\tAST Nodes\tLOC\tSet Vars\tInitial Nodes\tInitial Edges\tinit #Vars\tinit maxSCC\tfinal #Vars\tfinal maxSCC\t")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t\n",
+			r.Bench.Name, r.ASTNodes, r.LOC, r.SetVars, r.InitialNodes,
+			r.InitialEdges, r.InitSCCVars, r.InitSCCMax, r.FinalSCCVars, r.FinalSCCMax)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "\n(init/final #Vars = variables in non-trivial SCCs of the initial/closed graph;")
+	fmt.Fprintln(w, " most cyclic variables appear only during resolution, as in the paper's §2.5.)")
+}
+
+// table2Exps are the four configurations Table 2 reports.
+var table2Exps = []string{"SF-Plain", "IF-Plain", "SF-Oracle", "IF-Oracle"}
+
+// Table2 renders the plain and oracle measurements: final edges, total
+// edge additions (Work, including redundant ones) and time.
+func Table2(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Table 2: Benchmark data for SF-Plain, IF-Plain, SF-Oracle, and IF-Oracle")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "Benchmark\t")
+	for _, e := range table2Exps {
+		fmt.Fprintf(tw, "%s Edges\t%s Work\t%s Time\t", e, e, e)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t", r.Bench.Name)
+		for _, e := range table2Exps {
+			run, ok := r.Runs[e]
+			if !ok {
+				fmt.Fprint(tw, "-\t-\t-\t")
+				continue
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%s\t", run.Edges, run.Work, secs(run.Time))
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// table3Exps are the two online configurations Table 3 reports.
+var table3Exps = []string{"SF-Online", "IF-Online"}
+
+// Table3 renders the online cycle-elimination measurements, adding the
+// number of variables eliminated by cycle detection.
+func Table3(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Table 3: Benchmark data for SF-Online and IF-Online")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "Benchmark\t")
+	for _, e := range table3Exps {
+		fmt.Fprintf(tw, "%s Edges\t%s Work\t%s Elim\t%s Time\t", e, e, e, e)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t", r.Bench.Name)
+		for _, e := range table3Exps {
+			run, ok := r.Runs[e]
+			if !ok {
+				fmt.Fprint(tw, "-\t-\t-\t-\t")
+				continue
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%s\t", run.Edges, run.Work, run.Eliminated, secs(run.Time))
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// Table4 renders the experiment roster.
+func Table4(w io.Writer) {
+	fmt.Fprintln(w, "Table 4: Experiments")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Experiment\tDescription\t")
+	for _, e := range Experiments {
+		fmt.Fprintf(tw, "%s\t%s\t\n", e.Name, e.Desc)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,259 @@
+// Package cfa implements monovariant closure analysis (0-CFA, the
+// set-based analysis of Heintze's SBA and of Palsberg/Schwartzbach) for
+// the functional language in internal/mlang, formulated as inclusion
+// constraints over internal/core — the client the paper's conclusion names
+// as future work for online cycle elimination.
+//
+// Each lambda ℓ becomes a constructed value clo_ℓ(r̄ₓ, C_body) with a
+// contravariant parameter set and covariant result set; an application
+// e₁ e₂ adds the sink constraint C_{e₁} ⊆ clo(C̄_{e₂}, R). Recursion —
+// letrec, self application, closures flowing through accumulators — is
+// what creates constraint cycles, and higher-order programs create them
+// at a much higher rate than C programs do, which makes closure analysis
+// an even better fit for online elimination.
+package cfa
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"polce/internal/core"
+	"polce/internal/mlang"
+)
+
+// cloCon is the closure constructor: contravariant parameter, covariant
+// body result.
+var cloCon = core.NewConstructor("clo", core.Contravariant, core.Covariant)
+
+// numCon is the abstract integer value.
+var numCon = core.NewConstructor("num")
+
+// Options configures an analysis run, mirroring the solver options.
+type Options struct {
+	Form             core.Form
+	Cycles           core.CyclePolicy
+	Seed             int64
+	Oracle           *core.Oracle
+	PeriodicInterval int
+}
+
+// Closure describes one lambda abstraction's analysis artefacts.
+type Closure struct {
+	// Lam is the abstraction (identified by its Label).
+	Lam *mlang.Lam
+	// Param is the set variable of the parameter's bindings.
+	Param *core.Var
+	// Result is the set variable of the body's value.
+	Result *core.Var
+	// Value is the clo term representing the abstraction.
+	Value *core.Term
+}
+
+// Result is a completed closure analysis.
+type Result struct {
+	Sys *core.System
+	// Root is the whole program's value set.
+	Root core.Expr
+	// Closures maps lambda labels to their artefacts.
+	Closures map[int]*Closure
+	// AppSites maps application labels to the set variable of the
+	// operator position (whose closure content is the call graph).
+	AppSites map[int]*core.Var
+
+	valOf map[*core.Term]*Closure
+	num   *core.Term
+}
+
+// Analyze runs 0-CFA over the program.
+func Analyze(program mlang.Expr, opts Options) *Result {
+	sys := core.NewSystem(core.Options{
+		Form:             opts.Form,
+		Cycles:           opts.Cycles,
+		Seed:             opts.Seed,
+		Oracle:           opts.Oracle,
+		PeriodicInterval: opts.PeriodicInterval,
+	})
+	r := &Result{
+		Sys:      sys,
+		Closures: map[int]*Closure{},
+		AppSites: map[int]*core.Var{},
+		valOf:    map[*core.Term]*Closure{},
+		num:      core.NewTerm(numCon),
+	}
+	g := &gen{sys: sys, res: r, env: map[string][]*core.Var{}}
+	r.Root = g.gen(program)
+	return r
+}
+
+// CalledAt returns the closures that may be applied at the application
+// with the given label, in deterministic order.
+func (r *Result) CalledAt(appLabel int) []*Closure {
+	v, ok := r.AppSites[appLabel]
+	if !ok {
+		return nil
+	}
+	var out []*Closure
+	for _, t := range r.Sys.LeastSolution(v) {
+		if c, ok := r.valOf[t]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ValuesOf filters a least solution into closures (and reports whether an
+// integer may also appear).
+func (r *Result) ValuesOf(v *core.Var) (clos []*Closure, hasNum bool) {
+	for _, t := range r.Sys.LeastSolution(v) {
+		if c, ok := r.valOf[t]; ok {
+			clos = append(clos, c)
+		} else if t == r.num {
+			hasNum = true
+		}
+	}
+	return clos, hasNum
+}
+
+// CallGraphEdges counts application→lambda resolution edges, the output
+// size measure for closure analysis.
+func (r *Result) CallGraphEdges() int {
+	n := 0
+	for label := range r.AppSites {
+		n += len(r.CalledAt(label))
+	}
+	return n
+}
+
+// WriteCallGraphDOT renders the resolved call graph in Graphviz DOT
+// format: application sites (circles, labelled app@N) point to the
+// lambdas they may invoke (boxes, labelled by parameter and label).
+// Output is deterministic.
+func (r *Result) WriteCallGraphDOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph callgraph {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  node [fontsize=10];")
+	var apps []int
+	for label := range r.AppSites {
+		apps = append(apps, label)
+	}
+	sort.Ints(apps)
+	lamSeen := map[int]bool{}
+	for _, label := range apps {
+		clos := r.CalledAt(label)
+		if len(clos) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  a%d [label=\"app@%d\"];\n", label, label)
+		for _, c := range clos {
+			if !lamSeen[c.Lam.Label()] {
+				lamSeen[c.Lam.Label()] = true
+				fmt.Fprintf(w, "  l%d [label=\"fn %s@%d\", shape=box];\n",
+					c.Lam.Label(), c.Lam.Param, c.Lam.Label())
+			}
+		}
+		for _, c := range clos {
+			fmt.Fprintf(w, "  a%d -> l%d;\n", label, c.Lam.Label())
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// gen is the constraint generator: a standard environment-based walk.
+type gen struct {
+	sys *core.System
+	res *Result
+	env map[string][]*core.Var // lexical scope stack per name
+}
+
+func (g *gen) bind(name string, v *core.Var) {
+	g.env[name] = append(g.env[name], v)
+}
+
+func (g *gen) unbind(name string) {
+	g.env[name] = g.env[name][:len(g.env[name])-1]
+}
+
+func (g *gen) lookup(name string) *core.Var {
+	if vs := g.env[name]; len(vs) > 0 {
+		return vs[len(vs)-1]
+	}
+	return nil
+}
+
+// gen returns the set expression for e's value.
+func (g *gen) gen(e mlang.Expr) core.Expr {
+	switch x := e.(type) {
+	case *mlang.Var:
+		if v := g.lookup(x.Name); v != nil {
+			return v
+		}
+		// Unbound variable: an empty set (the program is open).
+		return g.sys.Fresh("unbound$" + x.Name)
+	case *mlang.Num:
+		return g.res.num
+	case *mlang.Lam:
+		param := g.sys.Fresh(fmt.Sprintf("x%s@%d", x.Param, x.Label()))
+		result := g.sys.Fresh(fmt.Sprintf("body@%d", x.Label()))
+		g.bind(x.Param, param)
+		body := g.gen(x.Body)
+		g.unbind(x.Param)
+		g.sys.AddConstraint(body, result)
+		clo := &Closure{Lam: x, Param: param, Result: result,
+			Value: core.NewTerm(cloCon, param, result)}
+		g.res.Closures[x.Label()] = clo
+		g.res.valOf[clo.Value] = clo
+		return clo.Value
+	case *mlang.App:
+		fn := g.gen(x.Fn)
+		arg := g.gen(x.Arg)
+		// Materialise the operator set so the call graph is queryable.
+		site := g.sys.Fresh(fmt.Sprintf("op@%d", x.Label()))
+		g.sys.AddConstraint(fn, site)
+		g.res.AppSites[x.Label()] = site
+		res := g.sys.Fresh(fmt.Sprintf("app@%d", x.Label()))
+		g.sys.AddConstraint(site, core.NewTerm(cloCon, arg, res))
+		return res
+	case *mlang.Let:
+		bound := g.gen(x.Bound)
+		v := g.sys.Fresh(fmt.Sprintf("let%s@%d", x.Name, x.Label()))
+		g.sys.AddConstraint(bound, v)
+		g.bind(x.Name, v)
+		defer g.unbind(x.Name)
+		return g.gen(x.Body)
+	case *mlang.Letrec:
+		f := g.sys.Fresh(fmt.Sprintf("rec%s@%d", x.Name, x.Label()))
+		g.bind(x.Name, f)
+		defer g.unbind(x.Name)
+		// The function value: a lambda whose body sees f in scope.
+		param := g.sys.Fresh(fmt.Sprintf("x%s@%d", x.Param, x.Label()))
+		result := g.sys.Fresh(fmt.Sprintf("body@%d", x.Label()))
+		g.bind(x.Param, param)
+		body := g.gen(x.FnBody)
+		g.unbind(x.Param)
+		g.sys.AddConstraint(body, result)
+		clo := &Closure{
+			Lam:    &mlang.Lam{Param: x.Param, Body: x.FnBody},
+			Param:  param,
+			Result: result,
+			Value:  core.NewTerm(cloCon, param, result),
+		}
+		g.res.Closures[x.Label()] = clo
+		g.res.valOf[clo.Value] = clo
+		g.sys.AddConstraint(clo.Value, f)
+		return g.gen(x.Body)
+	case *mlang.If0:
+		g.gen(x.Cond)
+		res := g.sys.Fresh(fmt.Sprintf("if@%d", x.Label()))
+		g.sys.AddConstraint(g.gen(x.Then), res)
+		g.sys.AddConstraint(g.gen(x.Else), res)
+		return res
+	case *mlang.Binop:
+		g.gen(x.L)
+		g.gen(x.R)
+		return g.res.num
+	}
+	panic(fmt.Sprintf("cfa: unknown expression %T", e))
+}

@@ -1,0 +1,251 @@
+package cfa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"polce/internal/core"
+	"polce/internal/mlang"
+)
+
+func run(t *testing.T, src string, opts Options) (*Result, mlang.Expr) {
+	t.Helper()
+	prog, err := mlang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Analyze(prog, opts), prog
+}
+
+// appLabels collects application labels in source order.
+func appLabels(prog mlang.Expr) []int {
+	var out []int
+	mlang.Walk(prog, func(e mlang.Expr) {
+		if _, ok := e.(*mlang.App); ok {
+			out = append(out, e.Label())
+		}
+	})
+	sort.Ints(out)
+	return out
+}
+
+func TestIdentityApplication(t *testing.T) {
+	for _, form := range []core.Form{core.SF, core.IF} {
+		for _, pol := range []core.CyclePolicy{core.CycleNone, core.CycleOnline} {
+			r, prog := run(t, "(fn x => x) 41", Options{Form: form, Cycles: pol, Seed: 1})
+			apps := appLabels(prog)
+			if len(apps) != 1 {
+				t.Fatalf("apps = %v", apps)
+			}
+			clos := r.CalledAt(apps[0])
+			if len(clos) != 1 || clos[0].Lam.Param != "x" {
+				t.Fatalf("%v/%v: CalledAt = %v", form, pol, clos)
+			}
+			// The program's value: the identity returns its numeric
+			// argument.
+			root, ok := r.Root.(*core.Var)
+			if !ok {
+				t.Fatalf("root is %T", r.Root)
+			}
+			cs, hasNum := r.ValuesOf(root)
+			if len(cs) != 0 || !hasNum {
+				t.Errorf("%v/%v: program value = (%v, num=%v), want pure num", form, pol, cs, hasNum)
+			}
+		}
+	}
+}
+
+func TestHigherOrderFlow(t *testing.T) {
+	// twice f = f ∘ f; both inner applications must resolve to the same
+	// lambda `inc`.
+	src := `
+let twice = fn f => fn x => f (f x) in
+let inc = fn n => n + 1 in
+twice inc 3`
+	r, prog := run(t, src, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 2})
+	resolved := 0
+	mlang.Walk(prog, func(e mlang.Expr) {
+		if _, ok := e.(*mlang.App); !ok {
+			return
+		}
+		for _, c := range r.CalledAt(e.Label()) {
+			if c.Lam.Param == "n" { // the inc lambda
+				resolved++
+			}
+		}
+	})
+	if resolved < 2 {
+		t.Errorf("inc resolved at %d sites, want ≥2 (both f applications)", resolved)
+	}
+	if r.Sys.ErrorCount() != 0 {
+		t.Errorf("well-typed program produced %d mismatches", r.Sys.ErrorCount())
+	}
+}
+
+func TestLetrecCreatesCycleAndCollapses(t *testing.T) {
+	// A recursive identity-like function: loop flows into its own
+	// application, creating a constraint cycle.
+	src := `
+letrec loop n = if0 n then 0 else loop (n - 1) in
+loop 10`
+	plain, _ := run(t, src, Options{Form: core.IF, Cycles: core.CycleNone, Seed: 3})
+	online, _ := run(t, src, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 3})
+	if online.Sys.Stats().Work > plain.Sys.Stats().Work {
+		t.Errorf("online work %d exceeds plain %d", online.Sys.Stats().Work, plain.Sys.Stats().Work)
+	}
+	// Call graph: the single call site in the body plus the recursive
+	// site both resolve to loop.
+	if online.CallGraphEdges() < 2 {
+		t.Errorf("call graph edges = %d, want ≥2", online.CallGraphEdges())
+	}
+}
+
+func TestSelfApplication(t *testing.T) {
+	// (fn x => x x) (fn y => y): classic 0-CFA workout.
+	r, prog := run(t, "(fn x => x x) (fn y => y)", Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 4})
+	apps := appLabels(prog)
+	if len(apps) != 2 {
+		t.Fatalf("apps = %v", apps)
+	}
+	// The inner x x site must resolve to fn y => y (x is bound to it).
+	found := false
+	for _, l := range apps {
+		for _, c := range r.CalledAt(l) {
+			if c.Lam.Param == "y" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("self application never resolves to fn y => y")
+	}
+}
+
+func TestConditionalMerge(t *testing.T) {
+	src := `
+let f = fn a => a in
+let g = fn b => b in
+let pick = fn c => if0 c then f else g in
+pick 0 7`
+	r, prog := run(t, src, Options{Form: core.SF, Cycles: core.CycleOnline, Seed: 5})
+	// The outer application (pick 0) 7 must see both f and g.
+	var outer int
+	mlang.Walk(prog, func(e mlang.Expr) {
+		if app, ok := e.(*mlang.App); ok {
+			if _, isApp := app.Fn.(*mlang.App); isApp {
+				outer = app.Label()
+			}
+		}
+	})
+	params := map[string]bool{}
+	for _, c := range r.CalledAt(outer) {
+		params[c.Lam.Param] = true
+	}
+	if !params["a"] || !params["b"] {
+		t.Errorf("conditional closures = %v, want both a and b lambdas", params)
+	}
+}
+
+// TestAllConfigsAgree: the call graph must be identical across every
+// representation and cycle policy, including the oracle.
+func TestAllConfigsAgree(t *testing.T) {
+	src := GenProgram(11, 600)
+	prog, err := mlang.Parse(src)
+	if err != nil {
+		t.Fatalf("generated program does not parse: %v\n%s", err, src)
+	}
+
+	snapshot := func(r *Result) map[int][]int {
+		m := map[int][]int{}
+		for label := range r.AppSites {
+			var ls []int
+			for _, c := range r.CalledAt(label) {
+				ls = append(ls, c.Lam.Label())
+			}
+			sort.Ints(ls)
+			m[label] = ls
+		}
+		return m
+	}
+
+	ref := Analyze(prog, Options{Form: core.SF, Cycles: core.CycleNone, Seed: 0})
+	want := snapshot(ref)
+	oracle := core.BuildOracle(ref.Sys)
+
+	configs := []Options{
+		{Form: core.IF, Cycles: core.CycleNone, Seed: 0},
+		{Form: core.SF, Cycles: core.CycleOnline, Seed: 0},
+		{Form: core.IF, Cycles: core.CycleOnline, Seed: 0},
+		{Form: core.IF, Cycles: core.CycleOnline, Seed: 12345},
+		{Form: core.SF, Cycles: core.CyclePeriodic, Seed: 0, PeriodicInterval: 100},
+		{Form: core.IF, Cycles: core.CyclePeriodic, Seed: 0, PeriodicInterval: 100},
+		{Form: core.SF, Cycles: core.CycleOracle, Seed: 0, Oracle: oracle},
+		{Form: core.IF, Cycles: core.CycleOracle, Seed: 0, Oracle: oracle},
+	}
+	for _, cfg := range configs {
+		got := snapshot(Analyze(prog, cfg))
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%v/%v: call graph differs", cfg.Form, cfg.Cycles)
+		}
+	}
+}
+
+// TestClosureWorkloadsAreCyclic confirms the premise of the future-work
+// experiment: higher-order programs create proportionally more constraint
+// cycles than the C benchmarks do, so online elimination matters at least
+// as much here.
+func TestClosureWorkloadsAreCyclic(t *testing.T) {
+	prog := mlang.MustParse(GenProgram(7, 2000))
+	plain := Analyze(prog, Options{Form: core.IF, Cycles: core.CycleNone, Seed: 1})
+	inCycles, _ := plain.Sys.CycleClassStats()
+	if inCycles == 0 {
+		t.Fatal("no cyclic variables in a higher-order workload")
+	}
+	online := Analyze(prog, Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 1})
+	st := online.Sys.Stats()
+	if st.VarsEliminated == 0 {
+		t.Error("online elimination found nothing")
+	}
+	if st.Work > plain.Sys.Stats().Work {
+		t.Errorf("online work %d exceeds plain %d", st.Work, plain.Sys.Stats().Work)
+	}
+}
+
+func TestCallGraphDOT(t *testing.T) {
+	r, _ := run(t, "let id = fn x => x in id 1", Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 1})
+	var sb strings.Builder
+	if err := r.WriteCallGraphDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph callgraph", "app@", "fn x@", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("call graph DOT missing %q:\n%s", want, out)
+		}
+	}
+	var sb2 strings.Builder
+	if err := r.WriteCallGraphDOT(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Error("call graph DOT not deterministic")
+	}
+}
+
+func TestGenProgramDeterministicAndParses(t *testing.T) {
+	a := GenProgram(3, 800)
+	if a != GenProgram(3, 800) {
+		t.Fatal("generator not deterministic")
+	}
+	if a == GenProgram(4, 800) {
+		t.Fatal("seeds do not vary output")
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		src := GenProgram(seed, 500)
+		if _, err := mlang.Parse(src); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package cgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The parser must never panic, whatever bytes it is fed: errors are
+// reported through the error list. These tests hammer it with random
+// garbage, random token soups, and mutations of valid programs.
+
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	property := func(data []byte) bool {
+		// Parse must return normally (possibly with errors).
+		Parse("fuzz.c", string(data))
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNeverPanicsOnTokenSoup(t *testing.T) {
+	pieces := []string{
+		"int", "char", "struct", "union", "typedef", "if", "else", "while",
+		"for", "return", "sizeof", "x", "y", "f", "42", `"s"`, "'c'",
+		"{", "}", "(", ")", "[", "]", ";", ",", "*", "&", "=", "+", "-",
+		"->", ".", "...", "==", "::", "#define", "\\",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		var src string
+		n := rng.Intn(60)
+		for i := 0; i < n; i++ {
+			src += pieces[rng.Intn(len(pieces))] + " "
+		}
+		Parse("soup.c", src)
+	}
+}
+
+func TestParseNeverPanicsOnMutations(t *testing.T) {
+	base := `
+struct node { struct node *next; int *v; };
+int *f(int *a, int n) {
+	int *p = a;
+	if (n) p = f(p, n - 1);
+	return p;
+}
+int main(void) { int x; return *f(&x, 3); }
+`
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		b := []byte(base)
+		// Apply a handful of random edits: deletions, swaps, injections.
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			switch rng.Intn(3) {
+			case 0: // delete a byte
+				i := rng.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			case 1: // duplicate a byte
+				i := rng.Intn(len(b))
+				b = append(b[:i], append([]byte{b[i]}, b[i:]...)...)
+			default: // random punctuation injection
+				const punct = "(){}[];,*&=+-<>#\"'"
+				i := rng.Intn(len(b))
+				b[i] = punct[rng.Intn(len(punct))]
+			}
+		}
+		Parse("mut.c", string(b))
+	}
+}
+
+func TestTokenizeNeverPanics(t *testing.T) {
+	property := func(data []byte) bool {
+		Tokenize(string(data))
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,207 @@
+package cgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatDecl(t *testing.T) {
+	intT := IntType
+	tests := []struct {
+		name string
+		t    *Type
+		want string
+	}{
+		{"x", intT, "int x"},
+		{"p", Ptr(intT), "int *p"},
+		{"pp", Ptr(Ptr(intT)), "int **pp"},
+		{"a", &Type{Kind: TArray, Elem: intT}, "int a[]"},
+		{"ap", &Type{Kind: TArray, Elem: Ptr(intT)}, "int *ap[]"},
+		{"pa", Ptr(&Type{Kind: TArray, Elem: intT}), "int (*pa)[]"},
+		{"fp", Ptr(&Type{Kind: TFunc, Ret: intT, Params: []*Type{Ptr(intT)}}), "int (*fp)(int *)"},
+		{"f", &Type{Kind: TFunc, Ret: Ptr(intT), Params: nil}, "int *f(void)"},
+		{"v", VoidType, "void v"},
+		{"s", &Type{Kind: TStruct, Tag: "node"}, "struct node s"},
+	}
+	for _, tc := range tests {
+		if got := FormatDecl(tc.name, tc.t); got != tc.want {
+			t.Errorf("FormatDecl(%s) = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// roundtrip parses src, prints it, reparses the print, and reprints; the
+// two prints must be identical (printing is a fixpoint) and the second
+// parse must succeed.
+func roundtrip(t *testing.T, src string) string {
+	t.Helper()
+	f1, err := MustParse("orig.c", src)
+	if err != nil {
+		t.Fatalf("parse original: %v", err)
+	}
+	p1 := Print(f1)
+	f2, err := MustParse("printed.c", p1)
+	if err != nil {
+		t.Fatalf("reparse printed source: %v\n--- printed ---\n%s", err, p1)
+	}
+	p2 := Print(f2)
+	if p1 != p2 {
+		t.Fatalf("printing is not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", p1, p2)
+	}
+	// Node counts must survive the trip (parens add no nodes). The one
+	// benign exception: a multi-declarator statement prints as several
+	// single-declarator statements, adding DeclStmt wrappers — so count
+	// everything but those.
+	count := func(f *File) int {
+		n := 0
+		Walk(f, func(x any) {
+			if _, ok := x.(*DeclStmt); !ok {
+				n++
+			}
+		})
+		return n
+	}
+	if n1, n2 := count(f1), count(f2); n1 != n2 {
+		t.Errorf("node count changed: %d -> %d\n--- printed ---\n%s", n1, n2, p1)
+	}
+	return p1
+}
+
+func TestRoundtripDecls(t *testing.T) {
+	roundtrip(t, `
+int x;
+int *p, **pp;
+int a[10];
+int *tab[4];
+int (*fp)(int *, char *);
+struct node { struct node *next; int *data; };
+struct node n1, *n2;
+union u { int i; char *s; };
+enum color { RED, GREEN, BLUE };
+typedef int myint;
+char *msg = "hello";
+int init[3] = { 1, 2, 3 };
+`)
+}
+
+func TestRoundtripFunctions(t *testing.T) {
+	out := roundtrip(t, `
+int add(int a, int b) { return a + b; }
+int *id(int *p) { return p; }
+void control(int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		if (i % 2) continue;
+		else break;
+	}
+	while (n > 0) n--;
+	do { n++; } while (n < 5);
+	switch (n) {
+	case 0: n = 1; break;
+	default: n = 2;
+	}
+	goto out;
+out:
+	return;
+}
+int vararg(const char *fmt, ...);
+`)
+	for _, want := range []string{"for (", "while (", "do", "switch (", "case 0:", "default:", "goto out;", "..."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed output missing %q", want)
+		}
+	}
+}
+
+func TestRoundtripExprs(t *testing.T) {
+	roundtrip(t, `
+int g(int);
+struct s { int *f; };
+void exprs(struct s *sp, int **qq) {
+	int x = 1, *p = &x;
+	x = -x + ~x * !x;
+	x = (x << 2) >> 1 | (x & 3) ^ 4;
+	x = x < 1 || x >= 2 && x != 3;
+	p = (int *)(void *)&x;
+	*qq = p;
+	x = *p + sp->f[0] - (*sp).f[1];
+	x = sizeof(int *) + sizeof x;
+	x = x ? g(x) : g(-x);
+	x++, --x;
+	x += 2; x <<= 1;
+}
+`)
+}
+
+func TestRoundtripGeneratedProgram(t *testing.T) {
+	// The synthetic benchmarks must survive a round trip too; this
+	// exercises the printer at scale.
+	src := `
+struct node { struct node *next; int *data; int key; };
+int *gp0; struct node gn0; struct node *gm0;
+int *fn0(int *a0, int *a1) {
+	int *lp0;
+	lp0 = a0;
+	gm0->next = gm0;
+	gm0->data = lp0;
+	if (1) { lp0 = fn0(lp0, gp0); }
+	return &gn0.key;
+}
+int main(void) { gp0 = fn0(gp0, gp0); return 0; }
+`
+	roundtrip(t, src)
+}
+
+func TestPrintStmtAndExpr(t *testing.T) {
+	f := parseOK(t, "void f(void) { return; }")
+	fd := f.Decls[0].(*FuncDecl)
+	if got := PrintStmt(fd.Body.Stmts[0]); !strings.Contains(got, "return;") {
+		t.Errorf("PrintStmt = %q", got)
+	}
+	if got := PrintExpr(&BinaryExpr{Op: Plus, L: &IntExpr{Text: "1"}, R: &IntExpr{Text: "2"}}); got != "(1 + 2)" {
+		t.Errorf("PrintExpr = %q", got)
+	}
+}
+
+func TestRoundtripPreservesAnalysis(t *testing.T) {
+	// Printing must not change the program's meaning: parse, print,
+	// reparse, and compare statement/expression census.
+	src := `
+int x, y;
+int *p;
+int *pick(int *a, int *b) { if (*a) return a; return b; }
+void f(void) { p = pick(&x, &y); }
+`
+	f1, err := MustParse("a.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := MustParse("b.c", Print(f1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	census := func(f *File) map[string]int {
+		m := map[string]int{}
+		Walk(f, func(n any) {
+			switch n.(type) {
+			case *CallExpr:
+				m["call"]++
+			case *UnaryExpr:
+				m["unary"]++
+			case *AssignExpr:
+				m["assign"]++
+			case *Return:
+				m["return"]++
+			case *VarDecl:
+				m["var"]++
+			}
+		})
+		return m
+	}
+	c1, c2 := census(f1), census(f2)
+	for k, v := range c1 {
+		if c2[k] != v {
+			t.Errorf("census[%s] changed: %d -> %d", k, v, c2[k])
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package cgen
+
+// TypeEnv is a scoped table of declared types with best-effort expression
+// type inference. Both points-to analyses use it to answer the shape
+// questions that drive C's decay rules — is an expression an array, a
+// function, a function pointer — so a nil answer ("unknown") is always
+// acceptable and yields generic treatment.
+type TypeEnv struct {
+	scopes  []map[string]*Type
+	structs map[string]map[string]*Type
+}
+
+// NewTypeEnv returns an environment with a single (file) scope.
+func NewTypeEnv() *TypeEnv {
+	return &TypeEnv{
+		scopes:  []map[string]*Type{{}},
+		structs: map[string]map[string]*Type{},
+	}
+}
+
+// Push enters a new scope.
+func (e *TypeEnv) Push() { e.scopes = append(e.scopes, map[string]*Type{}) }
+
+// Pop leaves the innermost scope.
+func (e *TypeEnv) Pop() { e.scopes = e.scopes[:len(e.scopes)-1] }
+
+// Bind records name's declared type in the innermost scope.
+func (e *TypeEnv) Bind(name string, t *Type) {
+	e.scopes[len(e.scopes)-1][name] = t
+}
+
+// DefineRecord records a struct/union's field types.
+func (e *TypeEnv) DefineRecord(d *RecordDecl) {
+	fields := map[string]*Type{}
+	for _, f := range d.Fields {
+		fields[f.Name] = f.Type
+	}
+	e.structs[d.Tag] = fields
+}
+
+// Lookup resolves a name's declared type, innermost scope first.
+func (e *TypeEnv) Lookup(name string) *Type {
+	for i := len(e.scopes) - 1; i >= 0; i-- {
+		if t, ok := e.scopes[i][name]; ok {
+			return t
+		}
+	}
+	return nil
+}
+
+// Field resolves a field's declared type given the record's tag.
+func (e *TypeEnv) Field(tag, name string) *Type {
+	if fields, ok := e.structs[tag]; ok {
+		return fields[name]
+	}
+	return nil
+}
+
+// TypeOf computes a best-effort static type for an expression; nil means
+// unknown.
+func (e *TypeEnv) TypeOf(expr Expr) *Type {
+	switch x := expr.(type) {
+	case *IdentExpr:
+		return e.Lookup(x.Name)
+	case *IntExpr, *SizeofExpr:
+		return IntType
+	case *FloatExpr:
+		return &Type{Kind: TBase, Tag: "double"}
+	case *StrExpr:
+		return &Type{Kind: TArray, Elem: &Type{Kind: TBase, Tag: "char"}}
+	case *UnaryExpr:
+		switch x.Op {
+		case Star:
+			t := e.TypeOf(x.X)
+			if t == nil {
+				return nil
+			}
+			switch t.Kind {
+			case TPointer, TArray:
+				return t.Elem
+			case TFunc:
+				return t // *f on a function designator is the function
+			}
+			return nil
+		case Amp:
+			t := e.TypeOf(x.X)
+			if t == nil {
+				return nil
+			}
+			return Ptr(t)
+		case Not:
+			return IntType
+		default:
+			return e.TypeOf(x.X)
+		}
+	case *PostfixExpr:
+		return e.TypeOf(x.X)
+	case *BinaryExpr:
+		switch x.Op {
+		case Plus, Minus:
+			if t := e.TypeOf(x.L); t.IsPointerLike() {
+				return t
+			}
+			if t := e.TypeOf(x.R); t.IsPointerLike() {
+				return t
+			}
+			return IntType
+		default:
+			return IntType
+		}
+	case *AssignExpr:
+		return e.TypeOf(x.L)
+	case *CondExpr:
+		if t := e.TypeOf(x.Then); t != nil {
+			return t
+		}
+		return e.TypeOf(x.Else)
+	case *CommaExpr:
+		return e.TypeOf(x.R)
+	case *CastExpr:
+		return x.Type
+	case *IndexExpr:
+		t := e.TypeOf(x.X)
+		if t != nil && (t.Kind == TPointer || t.Kind == TArray) {
+			return t.Elem
+		}
+		return nil
+	case *MemberExpr:
+		t := e.TypeOf(x.X)
+		if x.Arrow && t != nil && t.Kind == TPointer {
+			t = t.Elem
+		}
+		if t == nil || t.Kind != TStruct {
+			return nil
+		}
+		return e.Field(t.Tag, x.Name)
+	case *CallExpr:
+		t := e.TypeOf(x.Fun)
+		if t == nil {
+			return nil
+		}
+		if t.Kind == TPointer && t.Elem != nil {
+			t = t.Elem
+		}
+		if t.Kind == TFunc {
+			return t.Ret
+		}
+		return nil
+	}
+	return nil
+}

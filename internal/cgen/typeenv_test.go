@@ -1,0 +1,140 @@
+package cgen
+
+import "testing"
+
+func env(t *testing.T, src string) (*TypeEnv, *File) {
+	t.Helper()
+	f := parseOK(t, src)
+	e := NewTypeEnv()
+	for _, d := range f.Decls {
+		switch dd := d.(type) {
+		case *RecordDecl:
+			e.DefineRecord(dd)
+		case *VarDecl:
+			e.Bind(dd.Name, dd.Type)
+		case *FuncDecl:
+			e.Bind(dd.Name, dd.Type)
+		}
+	}
+	return e, f
+}
+
+// exprIn extracts the initializer of variable `probe` so tests can write
+// the expression under test in real C.
+func exprIn(t *testing.T, f *File) Expr {
+	t.Helper()
+	for _, d := range f.Decls {
+		if vd, ok := d.(*VarDecl); ok && vd.Name == "probe" {
+			return vd.Init
+		}
+	}
+	t.Fatal("no probe declaration")
+	return nil
+}
+
+func typeString(e *TypeEnv, x Expr) string {
+	t := e.TypeOf(x)
+	if t == nil {
+		return "<unknown>"
+	}
+	return t.String()
+}
+
+func TestTypeOfExpressions(t *testing.T) {
+	tests := []struct {
+		decls string
+		expr  string
+		want  string
+	}{
+		{"int x;", "x", "int"},
+		{"int *p;", "p", "int*"},
+		{"int *p;", "*p", "int"},
+		{"int x;", "&x", "int*"},
+		{"int a[4];", "a[0]", "int"},
+		{"int *ap[4];", "ap[1]", "int*"},
+		{"int x;", "x + 1", "int"},
+		{"int *p;", "p + 1", "int*"},
+		{"int *p;", "1 + p", "int*"},
+		{"int *p; int *q;", "(1, q)", "int*"},
+		{"int *p;", "(char *)p", "char*"},
+		{"int x;", "sizeof(x)", "int"},
+		{"struct s { int *f; }; struct s v;", "v.f", "int*"},
+		{"struct s { int *f; }; struct s *sp;", "sp->f", "int*"},
+		{"struct s { struct s *n; }; struct s *sp;", "sp->n->n", "struct s*"},
+		{"int *f(int);", "f(1)", "int*"},
+		{"int (*fp)(char *);", "fp(0)", "int"},
+		{"int (*fp)(char *);", "*fp", "int(char*)"},
+		{"int x; int y;", "x = y", "int"},
+		{"int *p; int *q; int c;", "c ? p : q", "int*"},
+		{"int *p;", "p++", "int*"},
+		{"int x;", "!x", "int"},
+	}
+	for _, tc := range tests {
+		e, f := env(t, tc.decls+"\nint probe_holder;\n")
+		// Parse the expression by wrapping it as an initializer.
+		f2 := parseOK(t, tc.decls+"\nint probe = "+wrapExpr(tc.expr)+";")
+		_ = f
+		x := exprIn(t, f2)
+		// Rebuild env against f2 (same decls).
+		e, _ = env(t, tc.decls)
+		if got := typeString(e, x); got != tc.want {
+			t.Errorf("TypeOf(%s | %s) = %q, want %q", tc.expr, tc.decls, got, tc.want)
+		}
+	}
+}
+
+// wrapExpr keeps assignment expressions parseable in initializer position.
+func wrapExpr(s string) string { return "(" + s + ")" }
+
+func TestTypeOfUnknowns(t *testing.T) {
+	e, _ := env(t, "int x;")
+	if got := e.TypeOf(&IdentExpr{Name: "nope"}); got != nil {
+		t.Errorf("unknown ident typed as %v", got)
+	}
+	if got := e.TypeOf(&MemberExpr{X: &IdentExpr{Name: "nope"}, Name: "f"}); got != nil {
+		t.Errorf("member of unknown typed as %v", got)
+	}
+}
+
+func TestScopes(t *testing.T) {
+	e := NewTypeEnv()
+	e.Bind("x", IntType)
+	e.Push()
+	e.Bind("x", Ptr(IntType))
+	if got := e.Lookup("x"); got.Kind != TPointer {
+		t.Errorf("inner binding not found: %v", got)
+	}
+	e.Pop()
+	if got := e.Lookup("x"); got.Kind != TBase {
+		t.Errorf("outer binding lost: %v", got)
+	}
+}
+
+func TestFieldLookup(t *testing.T) {
+	e, _ := env(t, "struct s { int *f; int g; };")
+	if got := e.Field("s", "f"); got == nil || got.Kind != TPointer {
+		t.Errorf("Field(s, f) = %v", got)
+	}
+	if got := e.Field("s", "zz"); got != nil {
+		t.Errorf("Field(s, zz) = %v", got)
+	}
+	if got := e.Field("nosuch", "f"); got != nil {
+		t.Errorf("Field(nosuch, f) = %v", got)
+	}
+}
+
+func TestIsPointerLike(t *testing.T) {
+	if IntType.IsPointerLike() {
+		t.Error("int is pointer-like")
+	}
+	if !Ptr(IntType).IsPointerLike() {
+		t.Error("int* is not pointer-like")
+	}
+	if !(&Type{Kind: TArray, Elem: IntType}).IsPointerLike() {
+		t.Error("array is not pointer-like")
+	}
+	var nilT *Type
+	if nilT.IsPointerLike() {
+		t.Error("nil type is pointer-like")
+	}
+}

@@ -1,0 +1,177 @@
+package cgen
+
+// Walk calls fn for every node (declarations, statements and expressions)
+// of the subtree rooted at n, parents before children. It is used for AST
+// node counting (Table 1's size metric) and by tests.
+func Walk(n any, fn func(any)) {
+	if n == nil {
+		return
+	}
+	switch v := n.(type) {
+	case *File:
+		fn(v)
+		for _, d := range v.Decls {
+			Walk(d, fn)
+		}
+	case *VarDecl:
+		if v == nil {
+			return
+		}
+		fn(v)
+		if v.Init != nil {
+			Walk(v.Init, fn)
+		}
+	case *FuncDecl:
+		fn(v)
+		for _, p := range v.Params {
+			Walk(p, fn)
+		}
+		if v.Body != nil {
+			Walk(v.Body, fn)
+		}
+	case *RecordDecl:
+		fn(v)
+		for _, f := range v.Fields {
+			Walk(f, fn)
+		}
+	case *TypedefDecl, *EnumDecl:
+		fn(v)
+	case *Block:
+		if v == nil {
+			return
+		}
+		fn(v)
+		for _, s := range v.Stmts {
+			Walk(s, fn)
+		}
+	case *DeclStmt:
+		fn(v)
+		for _, d := range v.Decls {
+			Walk(d, fn)
+		}
+	case *ExprStmt:
+		fn(v)
+		Walk(v.X, fn)
+	case *If:
+		fn(v)
+		Walk(v.Cond, fn)
+		Walk(v.Then, fn)
+		if v.Else != nil {
+			Walk(v.Else, fn)
+		}
+	case *While:
+		fn(v)
+		Walk(v.Cond, fn)
+		Walk(v.Body, fn)
+	case *DoWhile:
+		fn(v)
+		Walk(v.Body, fn)
+		Walk(v.Cond, fn)
+	case *For:
+		fn(v)
+		if v.Init != nil {
+			Walk(v.Init, fn)
+		}
+		if v.Cond != nil {
+			Walk(v.Cond, fn)
+		}
+		if v.Post != nil {
+			Walk(v.Post, fn)
+		}
+		Walk(v.Body, fn)
+	case *Return:
+		fn(v)
+		if v.X != nil {
+			Walk(v.X, fn)
+		}
+	case *Switch:
+		fn(v)
+		Walk(v.Tag, fn)
+		Walk(v.Body, fn)
+	case *Case:
+		fn(v)
+		if v.X != nil {
+			Walk(v.X, fn)
+		}
+		Walk(v.Body, fn)
+	case *Label:
+		fn(v)
+		Walk(v.Body, fn)
+	case *Goto, *Break, *Continue, *Empty:
+		fn(v)
+	case *IdentExpr, *IntExpr, *FloatExpr, *StrExpr:
+		fn(v)
+	case *UnaryExpr:
+		fn(v)
+		Walk(v.X, fn)
+	case *PostfixExpr:
+		fn(v)
+		Walk(v.X, fn)
+	case *BinaryExpr:
+		fn(v)
+		Walk(v.L, fn)
+		Walk(v.R, fn)
+	case *AssignExpr:
+		fn(v)
+		Walk(v.L, fn)
+		Walk(v.R, fn)
+	case *CondExpr:
+		fn(v)
+		Walk(v.Cond, fn)
+		Walk(v.Then, fn)
+		Walk(v.Else, fn)
+	case *CommaExpr:
+		fn(v)
+		Walk(v.L, fn)
+		Walk(v.R, fn)
+	case *CallExpr:
+		fn(v)
+		Walk(v.Fun, fn)
+		for _, a := range v.Args {
+			Walk(a, fn)
+		}
+	case *IndexExpr:
+		fn(v)
+		Walk(v.X, fn)
+		Walk(v.Idx, fn)
+	case *MemberExpr:
+		fn(v)
+		Walk(v.X, fn)
+	case *CastExpr:
+		fn(v)
+		Walk(v.X, fn)
+	case *SizeofExpr:
+		fn(v)
+		if v.X != nil {
+			Walk(v.X, fn)
+		}
+	case *InitList:
+		fn(v)
+		for _, e := range v.Elems {
+			Walk(e, fn)
+		}
+	}
+}
+
+// CountNodes returns the number of AST nodes in the file, the size metric
+// the paper plots analysis time against.
+func CountNodes(f *File) int {
+	n := 0
+	Walk(f, func(any) { n++ })
+	return n
+}
+
+// CountLines returns the number of newline-terminated lines in src, the
+// paper's LOC metric (preprocessed source lines).
+func CountLines(src string) int {
+	n := 0
+	for i := 0; i < len(src); i++ {
+		if src[i] == '\n' {
+			n++
+		}
+	}
+	if len(src) > 0 && src[len(src)-1] != '\n' {
+		n++
+	}
+	return n
+}

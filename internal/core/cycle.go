@@ -1,0 +1,188 @@
+package core
+
+// This file implements the paper's partial online cycle elimination
+// (Section 2.5, Figure 3). When a variable-variable edge is about to be
+// inserted, the solver searches for a chain that would close a cycle:
+//
+//   - inserting a successor edge X → Y (constraint X ⊆ Y): search along
+//     predecessor edges starting at X for a predecessor chain Y ⋯→ X;
+//   - inserting a predecessor edge X ⋯→ Y: search along successor edges
+//     starting at Y for a successor chain Y → ⋯ → X.
+//
+// The search differs from depth-first search only in that each step must
+// move to a variable *smaller* in the total order o(·). Under inductive
+// form this restriction is already implied by the representation; under
+// standard form (where every variable-variable edge is a successor edge)
+// the restriction is what keeps the search cheap — and what makes
+// detection partial. The CycleOnlineIncreasing ablation flips the
+// restriction for SF, which detects more cycles but visits far more nodes.
+
+// detectAndCollapse searches for a chain closing a cycle with the pending
+// edge x ⊆ y and, if one is found, collapses every variable on the cycle
+// onto the lowest-ordered witness. It reports whether a collapse happened
+// (in which case the pending edge must not be inserted: it lies inside the
+// witness).
+func (s *System) detectAndCollapse(x, y *Var, asSucc bool) bool {
+	s.stats.CycleSearches++
+	s.searchEpoch++
+	s.path = s.path[:0]
+	var found bool
+	if s.opt.Form == IF {
+		if asSucc {
+			found = s.predChain(x, y)
+		} else {
+			found = s.succChain(y, x)
+		}
+	} else {
+		// SF: the pending edge is x → y; a cycle needs a successor chain
+		// y → ⋯ → x.
+		found = s.succChainSF(y, x, s.opt.Cycles == CycleOnlineIncreasing)
+	}
+	if !found {
+		return false
+	}
+	s.stats.CyclesFound++
+	s.collapse(s.path)
+	return true
+}
+
+// predChain reports whether a predecessor chain to ⋯→ from exists,
+// following only predecessor edges to lower-ordered variables. On success
+// s.path holds every variable on the chain, endpoints included.
+func (s *System) predChain(from, to *Var) bool {
+	s.stats.CycleVisits++
+	if from == to {
+		s.path = append(s.path, from)
+		return true
+	}
+	from.visited = s.searchEpoch
+	for _, v := range from.predV.list {
+		v = find(v)
+		if v == from || v.visited == s.searchEpoch {
+			continue
+		}
+		if before(v, from) && s.predChain(v, to) {
+			s.path = append(s.path, from)
+			return true
+		}
+	}
+	return false
+}
+
+// succChain is the successor-edge dual of predChain.
+func (s *System) succChain(from, to *Var) bool {
+	s.stats.CycleVisits++
+	if from == to {
+		s.path = append(s.path, from)
+		return true
+	}
+	from.visited = s.searchEpoch
+	for _, w := range from.succV.list {
+		w = find(w)
+		if w == from || w.visited == s.searchEpoch {
+			continue
+		}
+		if before(w, from) && s.succChain(w, to) {
+			s.path = append(s.path, from)
+			return true
+		}
+	}
+	return false
+}
+
+// succChainSF searches successor chains under standard form. With
+// increasing=false each step must decrease in the variable order (the
+// paper's cheap partial search); with increasing=true each step must
+// increase (the §4 ablation, which finds more cycles at much higher cost).
+func (s *System) succChainSF(from, to *Var, increasing bool) bool {
+	s.stats.CycleVisits++
+	if from == to {
+		s.path = append(s.path, from)
+		return true
+	}
+	from.visited = s.searchEpoch
+	for _, w := range from.succV.list {
+		w = find(w)
+		if w == from || w.visited == s.searchEpoch {
+			continue
+		}
+		ok := before(w, from)
+		if increasing {
+			ok = before(from, w)
+		}
+		if ok && s.succChainSF(w, to, increasing) {
+			s.path = append(s.path, from)
+			return true
+		}
+	}
+	return false
+}
+
+// collapse merges every variable on a detected cycle into a single witness.
+// The witness is the lowest-ordered variable, which preserves the inductive
+// form invariant (every surviving edge still points from lower to higher
+// order once re-oriented). The absorbed variables' constraints are
+// re-inserted through the normal constraint path, so the closure rule fires
+// for every new combination and inductive form re-orients inherited edges.
+func (s *System) collapse(nodes []*Var) {
+	witness := find(nodes[0])
+	for _, v := range nodes[1:] {
+		v = find(v)
+		if before(v, witness) {
+			witness = v
+		}
+	}
+	s.mergeEpoch++
+	var merged []*Var
+	for _, v := range nodes {
+		v = find(v)
+		if v != witness {
+			s.absorb(v, witness)
+			merged = append(merged, v)
+		}
+	}
+	if s.opt.Observer != nil && len(merged) > 0 {
+		s.emit(Event{Kind: EventCycle, Witness: witness, Vars: merged})
+	}
+}
+
+// absorb forwards a to w and re-inserts a's constraints onto w.
+func (s *System) absorb(a, w *Var) {
+	a.parent = w
+	s.stats.VarsEliminated++
+	for _, t := range a.predS.take() {
+		s.push(t, w) // t ⊆ a becomes t ⊆ w
+	}
+	for _, v := range a.predV.take() {
+		s.push(v, w) // v ⊆ a becomes v ⊆ w
+	}
+	for _, v := range a.succV.take() {
+		s.push(w, v) // a ⊆ v becomes w ⊆ v
+	}
+	for _, k := range a.succK.take() {
+		s.push(w, k) // a ⊆ k becomes w ⊆ k
+	}
+}
+
+// CollapseCycles runs an offline Tarjan pass over the current
+// variable-variable graph and collapses every non-trivial strongly
+// connected component. It is exposed for tests and for periodic-offline
+// comparison experiments; the online policies never need it.
+func (s *System) CollapseCycles() int {
+	vars := s.CanonicalVars()
+	comp, count, _ := sccStrong(s, vars)
+	groups := make(map[int][]*Var)
+	for i, c := range comp {
+		groups[c] = append(groups[c], vars[i])
+	}
+	collapsed := 0
+	for c := 0; c < count; c++ {
+		g := groups[c]
+		if len(g) >= 2 {
+			s.collapse(g)
+			collapsed += len(g) - 1
+		}
+	}
+	s.drain()
+	return collapsed
+}

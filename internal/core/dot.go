@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders the current constraint graph in Graphviz DOT format:
+// canonical variables as ellipses, sources and sinks as boxes, successor
+// edges solid and predecessor edges dashed (the paper's dotted arrows).
+// Intended for debugging and for visualising small systems; the output is
+// deterministic.
+func (s *System) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph constraints {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=LR;")
+	fmt.Fprintln(w, "  node [fontsize=10];")
+
+	vars := s.CanonicalVars()
+	sort.Slice(vars, func(i, j int) bool { return vars[i].id < vars[j].id })
+
+	termID := map[*Term]string{}
+	nextTerm := 0
+	termNode := func(t *Term, sink bool) string {
+		if id, ok := termID[t]; ok {
+			return id
+		}
+		id := fmt.Sprintf("t%d", nextTerm)
+		nextTerm++
+		termID[t] = id
+		shape := "box"
+		if sink {
+			shape = "box, style=dashed"
+		}
+		fmt.Fprintf(w, "  %s [label=%q, shape=%s];\n", id, t.String(), shape)
+		return id
+	}
+
+	for _, v := range vars {
+		fmt.Fprintf(w, "  v%d [label=%q];\n", v.id, v.name)
+	}
+	for _, v := range vars {
+		s.clean(v)
+		for _, t := range v.predS.list {
+			fmt.Fprintf(w, "  %s -> v%d [style=dashed];\n", termNode(t, false), v.id)
+		}
+		for _, p := range v.predV.list {
+			fmt.Fprintf(w, "  v%d -> v%d [style=dashed];\n", find(p).id, v.id)
+		}
+		for _, y := range v.succV.list {
+			fmt.Fprintf(w, "  v%d -> v%d;\n", v.id, find(y).id)
+		}
+		for _, t := range v.succK.list {
+			fmt.Fprintf(w, "  v%d -> %s;\n", v.id, termNode(t, true))
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// GraphStats summarises the current graph's size and density — the
+// quantities the analytical model of Section 5 is parameterised by.
+type GraphStats struct {
+	// Vars is the number of canonical (live) variables.
+	Vars int
+	// VarVarEdges, SourceEdges and SinkEdges partition the edges.
+	VarVarEdges, SourceEdges, SinkEdges int
+	// Density is total edges divided by (Vars + constructed endpoints):
+	// the model's p·n, i.e. k such that p = k/n. Closed constraint graphs
+	// sit near k ≈ 2, where Theorem 5.2 bounds chain searches at ≈2.2
+	// visited nodes.
+	Density float64
+}
+
+// CurrentGraphStats measures the graph as it stands.
+func (s *System) CurrentGraphStats() GraphStats {
+	vv, src, snk := s.EdgeCounts()
+	st := GraphStats{
+		Vars:        len(s.CanonicalVars()),
+		VarVarEdges: vv, SourceEdges: src, SinkEdges: snk,
+	}
+	if st.Vars > 0 {
+		st.Density = float64(vv+src+snk) / float64(st.Vars)
+	}
+	return st
+}

@@ -1,0 +1,127 @@
+package core
+
+// varSet is an insertion-ordered set of variables. The slice preserves
+// insertion order so that graph closure — and therefore cycle detection,
+// which is sensitive to the order in which edges appear — is deterministic
+// for a deterministic client. After cycles are collapsed, entries may
+// become stale (their variable forwarded to a witness); stale entries are
+// canonicalised lazily by compact.
+type varSet struct {
+	list []*Var
+	set  map[*Var]struct{}
+}
+
+// add inserts v and reports whether it was new.
+func (s *varSet) add(v *Var) bool {
+	if _, ok := s.set[v]; ok {
+		return false
+	}
+	if s.set == nil {
+		s.set = make(map[*Var]struct{})
+	}
+	s.set[v] = struct{}{}
+	s.list = append(s.list, v)
+	return true
+}
+
+// has reports whether v is present (under the exact pointer; callers
+// canonicalise first).
+func (s *varSet) has(v *Var) bool {
+	_, ok := s.set[v]
+	return ok
+}
+
+// len returns the number of stored entries, including stale aliases.
+func (s *varSet) size() int { return len(s.list) }
+
+// take removes and returns all entries, leaving the set empty. Used when a
+// collapsed variable's edges are re-inserted onto the witness.
+func (s *varSet) take() []*Var {
+	l := s.list
+	s.list = nil
+	s.set = nil
+	return l
+}
+
+// compact canonicalises every entry under find, dropping duplicates and
+// any entry equal to self. It returns the canonical slice, which aliases
+// the set's own storage.
+func (s *varSet) compact(self *Var) []*Var {
+	out := s.list[:0]
+	var seen map[*Var]struct{}
+	if s.set != nil {
+		seen = s.set
+		clear(seen)
+	} else {
+		seen = make(map[*Var]struct{})
+		s.set = seen
+	}
+	for _, v := range s.list {
+		v = find(v)
+		if v == self {
+			continue
+		}
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	s.list = out
+	return out
+}
+
+// termSet is an insertion-ordered set of terms, used for source and sink
+// adjacency. Terms never become stale, so no compaction is needed.
+type termSet struct {
+	list []*Term
+	set  map[*Term]struct{}
+}
+
+// add inserts t and reports whether it was new.
+func (s *termSet) add(t *Term) bool {
+	if _, ok := s.set[t]; ok {
+		return false
+	}
+	if s.set == nil {
+		s.set = make(map[*Term]struct{})
+	}
+	s.set[t] = struct{}{}
+	s.list = append(s.list, t)
+	return true
+}
+
+// has reports whether t is present.
+func (s *termSet) has(t *Term) bool {
+	_, ok := s.set[t]
+	return ok
+}
+
+// size returns the number of stored terms.
+func (s *termSet) size() int { return len(s.list) }
+
+// take removes and returns all entries, leaving the set empty.
+func (s *termSet) take() []*Term {
+	l := s.list
+	s.list = nil
+	s.set = nil
+	return l
+}
+
+// find follows forwarding pointers to v's representative, compressing the
+// path as it goes.
+func find(v *Var) *Var {
+	if v.parent == nil {
+		return v
+	}
+	root := v
+	for root.parent != nil {
+		root = root.parent
+	}
+	for v.parent != nil {
+		next := v.parent
+		v.parent = root
+		v = next
+	}
+	return root
+}

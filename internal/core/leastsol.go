@@ -1,0 +1,72 @@
+package core
+
+import "sort"
+
+// This file computes the least solution LS of a closed constraint system.
+//
+// Under standard form the least solution is explicit: the closure rule has
+// already propagated every source forward, so LS(X) is exactly X's source
+// predecessor list.
+//
+// Under inductive form the least solution is recovered by equation (1) of
+// the paper:
+//
+//	LS(Y) = { c(...) | c(...) ⋯→ Y } ∪ ⋃ { LS(X) | X ⋯→ Y }
+//
+// Every variable predecessor X of Y satisfies o(X) < o(Y), so a single pass
+// over the variables in increasing order computes LS for every variable.
+// As in the paper, inductive-form experiment timings always include this
+// pass.
+
+// ComputeLeastSolutions materialises the least solution for every
+// variable. It is a no-op under standard form, where the closed graph is
+// already the least solution. The result is cached until the next
+// constraint is added.
+func (s *System) ComputeLeastSolutions() {
+	if s.opt.Form == SF {
+		return
+	}
+	if !s.lsDirty && s.ls != nil {
+		return
+	}
+	vars := s.CanonicalVars()
+	sort.Slice(vars, func(i, j int) bool { return before(vars[i], vars[j]) })
+
+	s.ls = make(map[*Var][]*Term, len(vars))
+	for _, y := range vars {
+		s.clean(y)
+		set := make(map[*Term]struct{}, y.predS.size())
+		list := make([]*Term, 0, y.predS.size())
+		for _, t := range y.predS.list {
+			if _, ok := set[t]; !ok {
+				set[t] = struct{}{}
+				list = append(list, t)
+				s.stats.LSWork++
+			}
+		}
+		for _, x := range y.predV.list {
+			for _, t := range s.ls[find(x)] {
+				if _, ok := set[t]; !ok {
+					set[t] = struct{}{}
+					list = append(list, t)
+					s.stats.LSWork++
+				}
+			}
+		}
+		s.ls[y] = list
+	}
+	s.lsDirty = false
+}
+
+// LeastSolution returns the source terms in the least solution of v, in
+// first-reached order. Under inductive form this triggers (or reuses) the
+// least-solution pass; under standard form it reads the closed graph
+// directly. The returned slice must not be modified.
+func (s *System) LeastSolution(v *Var) []*Term {
+	v = find(v)
+	if s.opt.Form == SF {
+		return v.predS.list
+	}
+	s.ComputeLeastSolutions()
+	return s.ls[v]
+}

@@ -1,0 +1,125 @@
+package core
+
+// Form selects the constraint-graph representation.
+type Form int
+
+const (
+	// SF is standard form: every variable-variable constraint X ⊆ Y is a
+	// successor edge X → Y, and only sources appear in predecessor lists.
+	// The closed graph contains the least solution explicitly.
+	SF Form = iota
+	// IF is inductive form: a variable-variable constraint X ⊆ Y is stored
+	// as a successor edge of X when o(X) > o(Y) and as a predecessor edge
+	// of Y when o(X) < o(Y). The least solution is computed afterwards by
+	// an ascending-order pass over predecessor edges.
+	IF
+)
+
+// String returns "SF" or "IF".
+func (f Form) String() string {
+	if f == SF {
+		return "SF"
+	}
+	return "IF"
+}
+
+// CyclePolicy selects how (and whether) cyclic constraints are eliminated.
+type CyclePolicy int
+
+const (
+	// CycleNone performs no cycle elimination (the paper's "Plain" runs).
+	CycleNone CyclePolicy = iota
+	// CycleOnline runs the paper's partial online cycle elimination: at
+	// each variable-variable edge insertion, search order-decreasing
+	// chains for a closing path and collapse any cycle found.
+	CycleOnline
+	// CycleOnlineIncreasing is the §4 ablation for standard form: the
+	// search follows successor edges toward *higher*-ordered variables.
+	// It detects more cycles than CycleOnline on SF but visits many more
+	// nodes. It behaves exactly like CycleOnline under IF.
+	CycleOnlineIncreasing
+	// CycleOracle consults a precomputed Oracle that predicts, at
+	// variable-creation time, the strongly connected component each
+	// variable will eventually join; every SCC is represented by a single
+	// witness for the whole run, so the graphs stay acyclic. This is the
+	// paper's perfect, zero-cost elimination lower bound.
+	CycleOracle
+	// CyclePeriodic runs an offline Tarjan sweep over the whole graph
+	// every Options.PeriodicInterval edge additions, collapsing every
+	// strongly connected component found. This is the *prior-work*
+	// strategy ([FA96, FF97, MW97]) the paper's online approach replaces;
+	// it is provided as an ablation baseline.
+	CyclePeriodic
+)
+
+// String names the policy as in the paper's experiment table.
+func (p CyclePolicy) String() string {
+	switch p {
+	case CycleNone:
+		return "Plain"
+	case CycleOnline:
+		return "Online"
+	case CycleOnlineIncreasing:
+		return "Online+Incr"
+	case CycleOracle:
+		return "Oracle"
+	case CyclePeriodic:
+		return "Periodic"
+	}
+	return "?"
+}
+
+// OrderStrategy selects how the total order o(·) is assigned to fresh
+// variables. The paper assumes a random order and reports that "a random
+// order performs as well or better than any other order we picked"
+// (§2.4); the alternatives exist to reproduce that comparison.
+type OrderStrategy int
+
+const (
+	// OrderRandom draws each variable's position uniformly (the paper's
+	// choice and the default).
+	OrderRandom OrderStrategy = iota
+	// OrderCreation orders variables by creation time (older = smaller).
+	OrderCreation
+	// OrderReverseCreation orders variables by reverse creation time.
+	OrderReverseCreation
+)
+
+// String names the strategy.
+func (o OrderStrategy) String() string {
+	switch o {
+	case OrderRandom:
+		return "random"
+	case OrderCreation:
+		return "creation"
+	case OrderReverseCreation:
+		return "reverse"
+	}
+	return "?"
+}
+
+// Options configures a System.
+type Options struct {
+	// Form selects the graph representation (default SF).
+	Form Form
+	// Order selects the variable-order strategy (default OrderRandom).
+	Order OrderStrategy
+	// Cycles selects the cycle-elimination policy (default CycleNone).
+	Cycles CyclePolicy
+	// Seed seeds the random total order o(·) on variables. Two systems
+	// with the same seed assign the same order to the same creation
+	// indices.
+	Seed int64
+	// Oracle must be non-nil when Cycles is CycleOracle; see BuildOracle.
+	Oracle *Oracle
+	// PeriodicInterval is the number of edge additions between offline
+	// sweeps under CyclePeriodic. Zero means 1000.
+	PeriodicInterval int
+	// MaxErrors bounds how many inconsistent-constraint errors are
+	// retained (further ones are counted but dropped). Zero means 16.
+	MaxErrors int
+	// Observer, when non-nil, receives solver events (edge insertions,
+	// cycle collapses, sweeps) as they happen. Intended for traces,
+	// visualisation and tests; it must not mutate the system.
+	Observer func(Event)
+}

@@ -1,0 +1,85 @@
+package core
+
+import "polce/internal/scc"
+
+// Oracle predicts, for each variable creation index, the creation index of
+// the witness of the strongly connected component the variable will
+// eventually belong to. The paper uses it to measure perfect, zero-cost
+// cycle elimination: under CycleOracle, System.Fresh returns the witness
+// variable instead of allocating a new one, so every SCC is a single node
+// for the whole run and the constraint graphs stay acyclic.
+//
+// An Oracle is built from a completed run (any policy) with BuildOracle and
+// is valid for any later run that creates variables in the same order —
+// which holds for any deterministic client on the same input, since
+// constraint generation does not depend on solver internals.
+type Oracle struct {
+	witness []int
+}
+
+// witnessOf returns the witness creation index for creation index idx, or
+// -1 when the oracle has no prediction (a variable beyond the recorded
+// run).
+func (o *Oracle) witnessOf(idx int) int {
+	if idx < len(o.witness) {
+		return o.witness[idx]
+	}
+	return -1
+}
+
+// Len returns the number of creation indices the oracle covers.
+func (o *Oracle) Len() int { return len(o.witness) }
+
+// sccStrong computes SCCs over the canonical variable-variable inclusion
+// graph of s restricted to vars.
+func sccStrong(s *System, vars []*Var) (comp []int, count int, index map[*Var]int) {
+	adj, index := s.VarAdjacency(vars)
+	comp, count = scc.Strong(len(vars), func(i int) []int { return adj[i] })
+	return comp, count, index
+}
+
+// BuildOracle derives an oracle from a solved system. Two creation indices
+// are equivalent when their variables have been merged by online collapse
+// or when their representatives lie in the same strongly connected
+// component of the closed graph; the witness of a class is its smallest
+// creation index. Cycle collapse preserves the solution space, so the
+// classes are the same whichever representation or policy produced s.
+func BuildOracle(s *System) *Oracle {
+	vars := s.CanonicalVars()
+	comp, _, index := sccStrong(s, vars)
+	witness := make([]int, len(s.created))
+	classWitness := make(map[int]int)
+	for i, v := range s.created {
+		c := comp[index[find(v)]]
+		w, ok := classWitness[c]
+		if !ok {
+			w = i
+			classWitness[c] = w
+		}
+		witness[i] = w
+	}
+	return &Oracle{witness: witness}
+}
+
+// CycleClassStats reports, over creation indices, how many variables belong
+// to cyclic equivalence classes (classes of size ≥ 2 under
+// collapsed-or-same-SCC) and the size of the largest class. On a closed
+// system this is the paper's "variables in strongly connected components"
+// statistic; it is independent of representation and cycle policy.
+func (s *System) CycleClassStats() (inCycles, maxClass int) {
+	vars := s.CanonicalVars()
+	comp, count, index := sccStrong(s, vars)
+	classSize := make([]int, count)
+	for _, v := range s.created {
+		classSize[comp[index[find(v)]]]++
+	}
+	for _, sz := range classSize {
+		if sz >= 2 {
+			inCycles += sz
+			if sz > maxClass {
+				maxClass = sz
+			}
+		}
+	}
+	return inCycles, maxClass
+}

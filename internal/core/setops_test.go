@@ -1,0 +1,116 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnionOnLeft(t *testing.T) {
+	for _, form := range []Form{SF, IF} {
+		s := NewSystem(Options{Form: form, Cycles: CycleOnline, Seed: 1})
+		a := atoms(2)
+		x := s.Fresh("X")
+		y := s.Fresh("Y")
+		z := s.Fresh("Z")
+		s.AddConstraint(a[0], x)
+		s.AddConstraint(a[1], y)
+		// (X ∪ Y) ⊆ Z
+		s.AddConstraint(NewUnion(x, y), z)
+		if got := lsNames(s, z); len(got) != 2 {
+			t.Errorf("%v: LS(Z) = %v, want both atoms", form, got)
+		}
+		if s.ErrorCount() != 0 {
+			t.Errorf("%v: errors %v", form, s.Errors())
+		}
+	}
+}
+
+func TestIntersectionOnRight(t *testing.T) {
+	s := NewSystem(Options{Form: IF, Cycles: CycleOnline, Seed: 2})
+	a := atoms(1)
+	x := s.Fresh("X")
+	y := s.Fresh("Y")
+	z := s.Fresh("Z")
+	s.AddConstraint(a[0], x)
+	// X ⊆ (Y ∩ Z): the atom must reach both.
+	s.AddConstraint(x, NewIntersection(y, z))
+	if got := lsNames(s, y); len(got) != 1 || got[0] != "a0" {
+		t.Errorf("LS(Y) = %v", got)
+	}
+	if got := lsNames(s, z); len(got) != 1 || got[0] != "a0" {
+		t.Errorf("LS(Z) = %v", got)
+	}
+}
+
+func TestNestedSetOps(t *testing.T) {
+	s := NewSystem(Options{Form: SF, Seed: 3})
+	a := atoms(3)
+	vars := make([]*Var, 4)
+	for i := range vars {
+		vars[i] = s.Fresh("v")
+	}
+	s.AddConstraint(a[0], vars[0])
+	s.AddConstraint(a[1], vars[1])
+	s.AddConstraint(a[2], vars[2])
+	// ((v0 ∪ v1) ∪ v2) ⊆ (v3 ∩ (v3 ∩ v3))
+	s.AddConstraint(
+		NewUnion(NewUnion(vars[0], vars[1]), vars[2]),
+		NewIntersection(vars[3], NewIntersection(vars[3], vars[3])))
+	if got := lsNames(s, vars[3]); len(got) != 3 {
+		t.Errorf("LS(v3) = %v, want all three atoms", got)
+	}
+}
+
+func TestUnionInsideTermArg(t *testing.T) {
+	// box(X ∪ Y) ⊆ box(Z): the covariant decomposition puts the union on
+	// the left of the derived constraint, which is legal.
+	box := NewConstructor("box", Covariant)
+	s := NewSystem(Options{Form: IF, Seed: 4})
+	a := atoms(2)
+	x := s.Fresh("X")
+	y := s.Fresh("Y")
+	z := s.Fresh("Z")
+	s.AddConstraint(a[0], x)
+	s.AddConstraint(a[1], y)
+	s.AddConstraint(NewTerm(box, NewUnion(x, y)), NewTerm(box, z))
+	if got := lsNames(s, z); len(got) != 2 {
+		t.Errorf("LS(Z) = %v", got)
+	}
+}
+
+func TestIllegalPositionsRejected(t *testing.T) {
+	s := NewSystem(Options{Form: SF, Seed: 5})
+	x := s.Fresh("X")
+	y := s.Fresh("Y")
+	s.AddConstraint(x, NewUnion(x, y)) // union on the right: rejected
+	if s.ErrorCount() != 1 {
+		t.Fatalf("union on rhs not rejected: %d errors", s.ErrorCount())
+	}
+	s.AddConstraint(NewIntersection(x, y), x) // intersection on the left
+	if s.ErrorCount() != 2 {
+		t.Fatalf("intersection on lhs not rejected: %d errors", s.ErrorCount())
+	}
+	for _, err := range s.Errors() {
+		if !strings.Contains(err.Error(), "not expressible") {
+			t.Errorf("unexpected error text: %v", err)
+		}
+	}
+}
+
+func TestSetOpStrings(t *testing.T) {
+	s := NewSystem(Options{Form: SF, Seed: 6})
+	x := s.Fresh("X")
+	y := s.Fresh("Y")
+	if got := NewUnion(x, y).String(); got != "(X ∪ Y)" {
+		t.Errorf("union string %q", got)
+	}
+	if got := NewIntersection(x, y).String(); got != "(X ∩ Y)" {
+		t.Errorf("intersection string %q", got)
+	}
+	if exprs := NewUnion(x, y).Exprs(); len(exprs) != 2 {
+		t.Errorf("Exprs() = %v", exprs)
+	}
+	if exprs := NewIntersection(x).Exprs(); len(exprs) != 1 {
+		t.Errorf("Exprs() = %v", exprs)
+	}
+}

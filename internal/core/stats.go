@@ -1,0 +1,54 @@
+package core
+
+import "fmt"
+
+// Stats holds the solver's work counters. Work and Redundant follow the
+// paper's accounting: Work is the total number of attempted edge additions
+// (a constraint solver does work proportional to this, including additions
+// of edges already present), and Redundant counts the attempts that found
+// the edge already present.
+type Stats struct {
+	// VarsCreated is the number of variables actually allocated.
+	VarsCreated int
+	// VarsEliminated counts variables merged away, by online collapse or
+	// by the oracle's pre-merging.
+	VarsEliminated int
+	// Work is the total number of attempted edge additions, including
+	// redundant ones.
+	Work int64
+	// Redundant counts edge additions that found the edge already present.
+	Redundant int64
+	// CycleSearches counts online closing-chain searches performed.
+	CycleSearches int64
+	// CycleVisits counts nodes visited across all searches; CycleVisits /
+	// CycleSearches is the empirical analogue of E(R_X) in Theorem 5.2.
+	CycleVisits int64
+	// CyclesFound counts searches that found (and collapsed) a cycle.
+	CyclesFound int64
+	// LSWork counts term insertions performed by the inductive-form
+	// least-solution pass.
+	LSWork int64
+	// PeriodicSweeps counts offline elimination passes under
+	// CyclePeriodic.
+	PeriodicSweeps int64
+	// SweepVisits counts variables examined by periodic sweeps (their
+	// cost measure, the counterpart of CycleVisits for the online
+	// policies).
+	SweepVisits int64
+}
+
+// VisitsPerSearch returns the mean number of nodes visited per online
+// cycle search (the measured counterpart of Theorem 5.2's bound).
+func (st Stats) VisitsPerSearch() float64 {
+	if st.CycleSearches == 0 {
+		return 0
+	}
+	return float64(st.CycleVisits) / float64(st.CycleSearches)
+}
+
+// String summarises the counters on one line.
+func (st Stats) String() string {
+	return fmt.Sprintf("vars=%d elim=%d work=%d redundant=%d searches=%d visits=%d cycles=%d lswork=%d",
+		st.VarsCreated, st.VarsEliminated, st.Work, st.Redundant,
+		st.CycleSearches, st.CycleVisits, st.CyclesFound, st.LSWork)
+}

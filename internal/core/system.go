@@ -1,0 +1,447 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// constraint is a pending inclusion l ⊆ r awaiting resolution.
+type constraint struct {
+	l, r Expr
+}
+
+// System is an online inclusion-constraint solver. Constraints added with
+// AddConstraint are resolved to atomic form and the constraint graph is
+// kept closed under the transitive closure rule after every update; with an
+// online cycle policy, cyclic constraints are detected and collapsed at
+// every variable-variable edge insertion.
+//
+// A System is not safe for concurrent use.
+type System struct {
+	opt Options
+	rng *rand.Rand
+
+	vars    []*Var // variables actually allocated
+	created []*Var // creation-index → variable handed out (oracle aliases included)
+
+	work  []constraint // LIFO worklist of pending constraints
+	stats Stats
+
+	errs     []error
+	errCount int
+
+	searchEpoch uint64 // current cycle-search mark
+	mergeEpoch  uint64 // bumped on every collapse; drives lazy compaction
+	path        []*Var // scratch: nodes on the chain found by the last search
+
+	skipClosure bool  // build the initial graph only (no closure, no cycles)
+	lastSweep   int64 // Work count at the last periodic sweep
+
+	lsDirty bool             // least-solution cache invalid
+	ls      map[*Var][]*Term // IF least-solution cache (canonical vars)
+	maxErr  int
+}
+
+// NewSystem creates an empty constraint system with the given options.
+func NewSystem(opt Options) *System {
+	if opt.Cycles == CycleOracle && opt.Oracle == nil {
+		panic("core: CycleOracle requires Options.Oracle")
+	}
+	maxErr := opt.MaxErrors
+	if maxErr == 0 {
+		maxErr = 16
+	}
+	return &System{
+		opt:    opt,
+		rng:    rand.New(rand.NewSource(opt.Seed)),
+		maxErr: maxErr,
+	}
+}
+
+// NewInitialGraph creates a system that resolves constraints to atomic
+// edges but performs no closure and no cycle elimination. The resulting
+// graph is the paper's "initial graph", used for Table 1's initial node,
+// edge and SCC statistics.
+func NewInitialGraph(opt Options) *System {
+	s := NewSystem(opt)
+	s.skipClosure = true
+	return s
+}
+
+// Form returns the graph representation in use.
+func (s *System) Form() Form { return s.opt.Form }
+
+// Policy returns the cycle-elimination policy in use.
+func (s *System) Policy() CyclePolicy { return s.opt.Cycles }
+
+// Fresh creates a new set variable. Under the oracle policy, a fresh
+// variable whose creation index the oracle maps into an earlier strongly
+// connected component is not allocated at all: the component's witness is
+// returned instead, so cycles never materialise.
+func (s *System) Fresh(name string) *Var {
+	idx := len(s.created)
+	if s.opt.Cycles == CycleOracle {
+		if w := s.opt.Oracle.witnessOf(idx); w >= 0 && w < idx {
+			v := find(s.created[w])
+			s.created = append(s.created, v)
+			s.stats.VarsEliminated++
+			return v
+		}
+	}
+	var order uint64
+	switch s.opt.Order {
+	case OrderCreation:
+		order = uint64(idx)
+	case OrderReverseCreation:
+		order = ^uint64(idx)
+	default:
+		order = s.rng.Uint64()
+	}
+	v := &Var{name: name, id: idx, order: order}
+	s.created = append(s.created, v)
+	s.vars = append(s.vars, v)
+	s.stats.VarsCreated++
+	return v
+}
+
+// before reports whether a precedes b in the total order o(·). Random
+// 64-bit orders collide with negligible probability, but creation index
+// breaks ties so the order is always total.
+func before(a, b *Var) bool {
+	if a.order != b.order {
+		return a.order < b.order
+	}
+	return a.id < b.id
+}
+
+// AddConstraint adds l ⊆ r and immediately restores closure (this is the
+// "online" in online cycle elimination: the graph is updated and searched
+// at every constraint).
+func (s *System) AddConstraint(l, r Expr) {
+	s.push(l, r)
+	s.drain()
+	s.lsDirty = true
+}
+
+func (s *System) push(l, r Expr) {
+	s.work = append(s.work, constraint{l, r})
+}
+
+func (s *System) drain() {
+	for len(s.work) > 0 {
+		if s.opt.Cycles == CyclePeriodic && s.stats.Work-s.lastSweep >= int64(s.periodicInterval()) {
+			s.lastSweep = s.stats.Work
+			s.periodicSweep()
+		}
+		c := s.work[len(s.work)-1]
+		s.work = s.work[:len(s.work)-1]
+		s.step(c.l, c.r)
+	}
+}
+
+// periodicInterval returns the configured sweep interval (default 1000).
+func (s *System) periodicInterval() int {
+	if s.opt.PeriodicInterval > 0 {
+		return s.opt.PeriodicInterval
+	}
+	return 1000
+}
+
+// periodicSweep runs one offline elimination pass (the prior-work
+// strategy): Tarjan over the current variable-variable graph, collapsing
+// every non-trivial component. Runs between worklist steps so no adjacency
+// iteration is in flight.
+func (s *System) periodicSweep() {
+	vars := s.CanonicalVars()
+	comp, count, _ := sccStrong(s, vars)
+	groups := make(map[int][]*Var)
+	for i, c := range comp {
+		groups[c] = append(groups[c], vars[i])
+	}
+	collapsed := 0
+	for c := 0; c < count; c++ {
+		if g := groups[c]; len(g) >= 2 {
+			s.collapse(g)
+			collapsed += len(g) - 1
+		}
+	}
+	s.stats.PeriodicSweeps++
+	s.stats.SweepVisits += int64(len(vars))
+	s.emit(Event{Kind: EventSweep, Collapsed: collapsed})
+}
+
+// step resolves one constraint to atomic form, applying the resolution
+// rules R of Figure 1 plus the set-operation rules of the full language:
+// unions decompose on the left, intersections on the right.
+func (s *System) step(l, r Expr) {
+	if isZero(l) || isOne(r) {
+		return // 0 ⊆ R and L ⊆ 1 always hold
+	}
+	if u, ok := l.(*Union); ok {
+		for _, e := range u.exprs {
+			s.push(e, r)
+		}
+		return
+	}
+	if i, ok := r.(*Intersection); ok {
+		for _, e := range i.exprs {
+			s.push(l, e)
+		}
+		return
+	}
+	if _, ok := r.(*Union); ok {
+		s.failExpr("union on the right-hand side of", l, r)
+		return
+	}
+	if _, ok := l.(*Intersection); ok {
+		s.failExpr("intersection on the left-hand side of", l, r)
+		return
+	}
+	switch lv := l.(type) {
+	case *Var:
+		lv = find(lv)
+		switch rv := r.(type) {
+		case *Var:
+			s.addVarEdge(lv, find(rv))
+		case *Term:
+			s.addSink(lv, rv)
+		default:
+			panic(fmt.Sprintf("core: unknown rhs expression %T", r))
+		}
+	case *Term:
+		switch rv := r.(type) {
+		case *Var:
+			s.addSource(lv, find(rv))
+		case *Term:
+			s.decompose(lv, rv)
+		default:
+			panic(fmt.Sprintf("core: unknown rhs expression %T", r))
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown lhs expression %T", l))
+	}
+}
+
+// decompose applies the structural rule: c(a1..an) ⊆ c(b1..bn) holds iff
+// ai ⊆ bi at covariant positions and bi ⊆ ai at contravariant ones.
+// Distinct constructors are inconsistent.
+func (s *System) decompose(l, r *Term) {
+	if l.con != r.con {
+		s.fail(l, r)
+		return
+	}
+	for i, a := range l.args {
+		if l.con.sig[i] == Covariant {
+			s.push(a, r.args[i])
+		} else {
+			s.push(r.args[i], a)
+		}
+	}
+}
+
+// fail records an inconsistent constraint between constructed terms.
+func (s *System) fail(l, r *Term) {
+	s.errCount++
+	if len(s.errs) < s.maxErr {
+		s.errs = append(s.errs, fmt.Errorf("core: inconsistent constraint %s ⊆ %s", l, r))
+	}
+}
+
+// failExpr records an unsupported expression position.
+func (s *System) failExpr(what string, l, r Expr) {
+	s.errCount++
+	if len(s.errs) < s.maxErr {
+		s.errs = append(s.errs, fmt.Errorf("core: %s a constraint is not expressible: %s ⊆ %s", what, l, r))
+	}
+}
+
+// Errors returns the retained inconsistency errors (bounded by
+// Options.MaxErrors).
+func (s *System) Errors() []error { return s.errs }
+
+// ErrorCount returns the total number of inconsistencies seen, including
+// dropped ones.
+func (s *System) ErrorCount() int { return s.errCount }
+
+// clean lazily canonicalises x's variable adjacency after collapses.
+func (s *System) clean(x *Var) {
+	if x.visitedClean == s.mergeEpoch {
+		return
+	}
+	x.visitedClean = s.mergeEpoch
+	x.predV.compact(x)
+	x.succV.compact(x)
+}
+
+// addSource inserts the source edge t ⊆ x and pairs t with x's successors.
+func (s *System) addSource(t *Term, x *Var) {
+	s.stats.Work++
+	if !x.predS.add(t) {
+		s.stats.Redundant++
+		return
+	}
+	if s.opt.Observer != nil {
+		s.emit(Event{Kind: EventSourceEdge, From: t, To: x})
+	}
+	if s.skipClosure {
+		return
+	}
+	s.clean(x)
+	for _, y := range x.succV.list {
+		s.push(t, find(y))
+	}
+	for _, k := range x.succK.list {
+		s.push(t, k)
+	}
+}
+
+// addSink inserts the sink edge x ⊆ t and pairs x's predecessors with t.
+func (s *System) addSink(x *Var, t *Term) {
+	s.stats.Work++
+	if !x.succK.add(t) {
+		s.stats.Redundant++
+		return
+	}
+	if s.opt.Observer != nil {
+		s.emit(Event{Kind: EventSinkEdge, From: x, To: t})
+	}
+	if s.skipClosure {
+		return
+	}
+	s.clean(x)
+	for _, src := range x.predS.list {
+		s.push(src, t)
+	}
+	for _, v := range x.predV.list {
+		s.push(find(v), t)
+	}
+}
+
+// addVarEdge inserts the variable-variable constraint x ⊆ y. The edge is
+// oriented by the representation: standard form always stores it as a
+// successor edge of x; inductive form stores it on the higher-ordered
+// endpoint. With an online policy the closing-chain search runs first and,
+// if a cycle is found, the whole chain is collapsed instead of inserting
+// the edge.
+func (s *System) addVarEdge(x, y *Var) {
+	if x == y {
+		return // self-inclusion is trivial
+	}
+	s.clean(x)
+	s.clean(y)
+	asSucc := s.opt.Form == SF || before(y, x)
+	s.stats.Work++
+	if asSucc && x.succV.has(y) || !asSucc && y.predV.has(x) {
+		s.stats.Redundant++
+		return
+	}
+	if !s.skipClosure && (s.opt.Cycles == CycleOnline || s.opt.Cycles == CycleOnlineIncreasing) {
+		if s.detectAndCollapse(x, y, asSucc) {
+			return
+		}
+	}
+	if s.opt.Observer != nil {
+		s.emit(Event{Kind: EventVarEdge, From: x, To: y})
+	}
+	if asSucc {
+		x.succV.add(y)
+		if s.skipClosure {
+			return
+		}
+		for _, src := range x.predS.list {
+			s.push(src, y)
+		}
+		for _, v := range x.predV.list {
+			s.push(find(v), y)
+		}
+	} else {
+		y.predV.add(x)
+		if s.skipClosure {
+			return
+		}
+		for _, w := range y.succV.list {
+			s.push(x, find(w))
+		}
+		for _, k := range y.succK.list {
+			s.push(x, k)
+		}
+	}
+}
+
+// Stats returns the solver's counters so far.
+func (s *System) Stats() Stats {
+	st := s.stats
+	return st
+}
+
+// NumCreated returns the number of Fresh calls so far (the creation-index
+// space, shared across oracle-aligned runs).
+func (s *System) NumCreated() int { return len(s.created) }
+
+// CreatedVar returns the variable handed out for creation index i.
+func (s *System) CreatedVar(i int) *Var { return s.created[i] }
+
+// Find returns the canonical representative of v (its cycle witness once v
+// has been eliminated).
+func (s *System) Find(v *Var) *Var { return find(v) }
+
+// CanonicalVars returns the canonical (non-eliminated) variables in
+// creation order.
+func (s *System) CanonicalVars() []*Var {
+	out := make([]*Var, 0, len(s.vars))
+	for _, v := range s.vars {
+		if v.parent == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// EdgeCounts tallies the distinct edges in the current graph: variable →
+// variable edges (counted once regardless of orientation), source edges
+// c(...) ⊆ X and sink edges X ⊆ c(...). Stale aliases left by collapses are
+// canonicalised before counting.
+func (s *System) EdgeCounts() (varVar, source, sink int) {
+	for _, v := range s.vars {
+		if v.parent != nil {
+			continue
+		}
+		s.clean(v)
+		varVar += v.predV.size() + v.succV.size()
+		source += v.predS.size()
+		sink += v.succK.size()
+	}
+	return varVar, source, sink
+}
+
+// TotalEdges returns the total number of distinct edges in the graph.
+func (s *System) TotalEdges() int {
+	a, b, c := s.EdgeCounts()
+	return a + b + c
+}
+
+// VarAdjacency builds, over the canonical variables vars, the directed
+// inclusion adjacency: an edge u → w meaning u ⊆ w, combining successor
+// edges (stored at u) and predecessor edges (stored at w). The returned
+// index maps each canonical variable to its position in vars.
+func (s *System) VarAdjacency(vars []*Var) (adj [][]int, index map[*Var]int) {
+	index = make(map[*Var]int, len(vars))
+	for i, v := range vars {
+		index[v] = i
+	}
+	adj = make([][]int, len(vars))
+	for i, v := range vars {
+		s.clean(v)
+		for _, w := range v.succV.list {
+			if j, ok := index[find(w)]; ok {
+				adj[i] = append(adj[i], j)
+			}
+		}
+		for _, p := range v.predV.list {
+			if j, ok := index[find(p)]; ok {
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	return adj, index
+}

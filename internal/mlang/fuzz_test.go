@@ -1,0 +1,33 @@
+package mlang
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseNeverPanicsOnRandomInput(t *testing.T) {
+	property := func(data []byte) bool {
+		Parse(string(data)) // may error, must not panic
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNeverPanicsOnTokenSoup(t *testing.T) {
+	pieces := []string{
+		"fn", "let", "letrec", "in", "if0", "then", "else", "=>", "=",
+		"(", ")", "+", "-", "x", "f", "42", "0",
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 400; trial++ {
+		var src string
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			src += pieces[rng.Intn(len(pieces))] + " "
+		}
+		Parse(src)
+	}
+}

@@ -1,0 +1,407 @@
+// Package mlang is a minimal functional language — lambda abstraction,
+// application, let/letrec, conditionals and integer arithmetic — serving
+// as the substrate for the closure analysis in internal/cfa. The paper's
+// conclusion names closure analysis as the next client for online cycle
+// elimination ("We plan to study the impact of online cycle elimination on
+// the performance of closure analysis in future work"); this package and
+// internal/cfa carry out that study.
+//
+// Concrete syntax:
+//
+//	e ::= fn x => e            (abstraction)
+//	    | let x = e in e       (binding)
+//	    | letrec f x = e in e  (recursive function)
+//	    | if0 e then e else e  (zero test)
+//	    | e e                  (application, left associative)
+//	    | e + e | e - e        (arithmetic)
+//	    | x | 42 | (e)
+package mlang
+
+import "fmt"
+
+// Expr is an expression node. Every node carries a unique Label assigned
+// by the parser; the closure analysis reports its results per label.
+type Expr interface {
+	Label() int
+	String() string
+	isExpr()
+}
+
+type base struct{ label int }
+
+func (b base) Label() int { return b.label }
+
+// Var is a variable reference.
+type Var struct {
+	base
+	Name string
+}
+
+// Num is an integer literal.
+type Num struct {
+	base
+	Value string
+}
+
+// Lam is a lambda abstraction fn Param => Body.
+type Lam struct {
+	base
+	Param string
+	Body  Expr
+}
+
+// App applies Fn to Arg.
+type App struct {
+	base
+	Fn, Arg Expr
+}
+
+// Let binds Name to Bound in Body.
+type Let struct {
+	base
+	Name        string
+	Bound, Body Expr
+}
+
+// Letrec binds the recursive function Name with parameter Param and
+// function body FnBody in Body.
+type Letrec struct {
+	base
+	Name, Param  string
+	FnBody, Body Expr
+}
+
+// If0 branches on whether Cond is zero.
+type If0 struct {
+	base
+	Cond, Then, Else Expr
+}
+
+// Binop is integer arithmetic.
+type Binop struct {
+	base
+	Op   byte // '+' or '-'
+	L, R Expr
+}
+
+func (*Var) isExpr()    {}
+func (*Num) isExpr()    {}
+func (*Lam) isExpr()    {}
+func (*App) isExpr()    {}
+func (*Let) isExpr()    {}
+func (*Letrec) isExpr() {}
+func (*If0) isExpr()    {}
+func (*Binop) isExpr()  {}
+
+func (e *Var) String() string { return e.Name }
+func (e *Num) String() string { return e.Value }
+func (e *Lam) String() string { return "(fn " + e.Param + " => " + e.Body.String() + ")" }
+func (e *App) String() string { return "(" + e.Fn.String() + " " + e.Arg.String() + ")" }
+func (e *Let) String() string {
+	return "(let " + e.Name + " = " + e.Bound.String() + " in " + e.Body.String() + ")"
+}
+func (e *Letrec) String() string {
+	return "(letrec " + e.Name + " " + e.Param + " = " + e.FnBody.String() + " in " + e.Body.String() + ")"
+}
+func (e *If0) String() string {
+	return "(if0 " + e.Cond.String() + " then " + e.Then.String() + " else " + e.Else.String() + ")"
+}
+func (e *Binop) String() string {
+	return "(" + e.L.String() + " " + string(e.Op) + " " + e.R.String() + ")"
+}
+
+// Count returns the number of expression nodes under e.
+func Count(e Expr) int {
+	n := 0
+	Walk(e, func(Expr) { n++ })
+	return n
+}
+
+// Walk visits every node, parents first.
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Lam:
+		Walk(x.Body, fn)
+	case *App:
+		Walk(x.Fn, fn)
+		Walk(x.Arg, fn)
+	case *Let:
+		Walk(x.Bound, fn)
+		Walk(x.Body, fn)
+	case *Letrec:
+		Walk(x.FnBody, fn)
+		Walk(x.Body, fn)
+	case *If0:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		Walk(x.Else, fn)
+	case *Binop:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	}
+}
+
+// --- parsing -------------------------------------------------------------
+
+type parser struct {
+	toks  []string
+	pos   int
+	label int
+}
+
+// Parse parses the concrete syntax above.
+func Parse(src string) (Expr, error) {
+	p := &parser{toks: tokenize(src)}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("mlang: trailing input at %q", p.toks[p.pos])
+	}
+	return e, nil
+}
+
+// MustParse parses or panics; for tests and generated programs.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func tokenize(src string) []string {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == '+' || c == '-':
+			toks = append(toks, string(c))
+			i++
+		case c == '=':
+			if i+1 < len(src) && src[i+1] == '>' {
+				toks = append(toks, "=>")
+				i += 2
+			} else {
+				toks = append(toks, "=")
+				i++
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			j := i
+			for j < len(src) && (src[j] == '_' ||
+				(src[j] >= 'a' && src[j] <= 'z') ||
+				(src[j] >= 'A' && src[j] <= 'Z') ||
+				(src[j] >= '0' && src[j] <= '9')) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		default:
+			toks = append(toks, string(c)) // surfaced as a parse error
+			i++
+		}
+	}
+	return toks
+}
+
+func (p *parser) next() int { p.label++; return p.label }
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) take() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(tok string) error {
+	if got := p.take(); got != tok {
+		return fmt.Errorf("mlang: expected %q, found %q", tok, got)
+	}
+	return nil
+}
+
+func isIdent(t string) bool {
+	if t == "" || t == "fn" || t == "let" || t == "letrec" || t == "in" ||
+		t == "if0" || t == "then" || t == "else" || t == "=>" || t == "=" {
+		return false
+	}
+	c := t[0]
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNum(t string) bool {
+	if t == "" {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		if t[i] < '0' || t[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *parser) expr() (Expr, error) {
+	switch p.peek() {
+	case "fn":
+		p.take()
+		param := p.take()
+		if !isIdent(param) {
+			return nil, fmt.Errorf("mlang: bad parameter %q", param)
+		}
+		if err := p.expect("=>"); err != nil {
+			return nil, err
+		}
+		body, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Lam{base{p.next()}, param, body}, nil
+	case "let":
+		p.take()
+		name := p.take()
+		if !isIdent(name) {
+			return nil, fmt.Errorf("mlang: bad let name %q", name)
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		bound, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("in"); err != nil {
+			return nil, err
+		}
+		body, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Let{base{p.next()}, name, bound, body}, nil
+	case "letrec":
+		p.take()
+		name := p.take()
+		param := p.take()
+		if !isIdent(name) || !isIdent(param) {
+			return nil, fmt.Errorf("mlang: bad letrec header %q %q", name, param)
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		fnBody, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("in"); err != nil {
+			return nil, err
+		}
+		body, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Letrec{base{p.next()}, name, param, fnBody, body}, nil
+	case "if0":
+		p.take()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("then"); err != nil {
+			return nil, err
+		}
+		then, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("else"); err != nil {
+			return nil, err
+		}
+		els, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &If0{base{p.next()}, cond, then, els}, nil
+	}
+	return p.arith()
+}
+
+// arith parses application chains joined by + and -.
+func (p *parser) arith() (Expr, error) {
+	l, err := p.app()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "+" || p.peek() == "-" {
+		op := p.take()[0]
+		r, err := p.app()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binop{base{p.next()}, op, l, r}
+	}
+	return l, nil
+}
+
+// app parses left-associative application of atoms.
+func (p *parser) app() (Expr, error) {
+	fn, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t == "(" || isIdent(t) || isNum(t) {
+			arg, err := p.atom()
+			if err != nil {
+				return nil, err
+			}
+			fn = &App{base{p.next()}, fn, arg}
+			continue
+		}
+		return fn, nil
+	}
+}
+
+func (p *parser) atom() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t == "(":
+		p.take()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case isNum(t):
+		p.take()
+		return &Num{base{p.next()}, t}, nil
+	case isIdent(t):
+		p.take()
+		return &Var{base{p.next()}, t}, nil
+	}
+	return nil, fmt.Errorf("mlang: unexpected token %q", t)
+}

@@ -1,0 +1,127 @@
+package mlang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasics(t *testing.T) {
+	e := MustParse("fn x => x")
+	lam, ok := e.(*Lam)
+	if !ok || lam.Param != "x" {
+		t.Fatalf("parsed %#v", e)
+	}
+	if _, ok := lam.Body.(*Var); !ok {
+		t.Fatalf("body %#v", lam.Body)
+	}
+}
+
+func TestParseApplicationAssociativity(t *testing.T) {
+	e := MustParse("f g h")
+	outer, ok := e.(*App)
+	if !ok {
+		t.Fatalf("not an application: %#v", e)
+	}
+	if _, ok := outer.Fn.(*App); !ok {
+		t.Errorf("application not left-associative: %s", e)
+	}
+}
+
+func TestParseLetAndLetrec(t *testing.T) {
+	e := MustParse("let y = fn x => x in y y")
+	let, ok := e.(*Let)
+	if !ok || let.Name != "y" {
+		t.Fatalf("let parsed wrong: %#v", e)
+	}
+	e = MustParse("letrec loop n = if0 n then 0 else loop (n - 1) in loop 10")
+	lr, ok := e.(*Letrec)
+	if !ok || lr.Name != "loop" || lr.Param != "n" {
+		t.Fatalf("letrec parsed wrong: %#v", e)
+	}
+	if _, ok := lr.FnBody.(*If0); !ok {
+		t.Errorf("letrec body not if0: %#v", lr.FnBody)
+	}
+}
+
+func TestParseArith(t *testing.T) {
+	e := MustParse("1 + 2 - 3")
+	b, ok := e.(*Binop)
+	if !ok || b.Op != '-' {
+		t.Fatalf("top operator: %#v", e)
+	}
+	if inner, ok := b.L.(*Binop); !ok || inner.Op != '+' {
+		t.Errorf("left-associativity broken: %s", e)
+	}
+}
+
+func TestParseArrowNotSplit(t *testing.T) {
+	// '=>' must never lex as '=' '>'.
+	if _, err := Parse("fn x => x = 1"); err == nil {
+		t.Error("trailing '=' should be an error")
+	}
+	MustParse("fn abc => abc")
+}
+
+func TestLabelsUniqueAndCount(t *testing.T) {
+	e := MustParse("let f = fn x => x x in f (fn y => y)")
+	seen := map[int]bool{}
+	Walk(e, func(n Expr) {
+		if seen[n.Label()] {
+			t.Errorf("duplicate label %d", n.Label())
+		}
+		seen[n.Label()] = true
+	})
+	if Count(e) != len(seen) {
+		t.Errorf("Count=%d, labels=%d", Count(e), len(seen))
+	}
+	if Count(e) < 8 {
+		t.Errorf("Count=%d implausibly small", Count(e))
+	}
+}
+
+func TestStringRoundtrip(t *testing.T) {
+	srcs := []string{
+		"fn x => x",
+		"let c = fn f => fn g => fn x => f (g x) in c",
+		"letrec go n = if0 n then 0 else go (n - 1) in go 5",
+		"(fn x => x + 1) 41",
+	}
+	for _, src := range srcs {
+		e1 := MustParse(src)
+		s1 := e1.String()
+		e2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", s1, err)
+		}
+		if s2 := e2.String(); s1 != s2 {
+			t.Errorf("String not a fixpoint:\n%s\n%s", s1, s2)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"fn => x",
+		"let = 1 in x",
+		"let x 1 in x",
+		"if0 1 then 2",
+		"(x",
+		"x)",
+		"fn 1 => x",
+		"letrec f = x in f",
+		"x ?",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	e := MustParse("let x = 1 in let x = fn y => y in x 2")
+	if !strings.Contains(e.String(), "let x") {
+		t.Fatalf("parse failed: %s", e)
+	}
+}

@@ -1,0 +1,104 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRatio51ApproachesPaperValue(t *testing.T) {
+	// Theorem 5.1: for p = 1/n and m/n = 2/3, E(X_SF)/E(X_IF) ≈ 2.5
+	// asymptotically.
+	r := Ratio51(1_000_000, 2.0/3.0)
+	if r < 2.2 || r > 2.8 {
+		t.Errorf("Ratio51(1e6) = %.3f, want ≈2.5", r)
+	}
+	// The ratio grows toward the limit with n.
+	small := Ratio51(1000, 2.0/3.0)
+	if small >= r+0.3 {
+		t.Errorf("ratio not increasing with n: %.3f at 1e3 vs %.3f at 1e6", small, r)
+	}
+}
+
+func TestRatioMonotoneInN(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		r := Ratio51(n, 2.0/3.0)
+		if r <= 1 {
+			t.Fatalf("n=%d: ratio %.3f ≤ 1; SF must do more work than IF", n, r)
+		}
+		if r < prev-0.05 {
+			t.Errorf("n=%d: ratio %.3f dropped from %.3f", n, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestClosedFormApproximations(t *testing.T) {
+	// The paper's √(πn/2)-based approximations should track the exact
+	// sums within a few percent for large n at p = 1/n.
+	for _, n := range []int{10000, 100000} {
+		m := 2 * n / 3
+		p := 1 / float64(n)
+		exact := EdgeAdditionsSF(n, m, p)
+		approx := ApproxSF(n, m)
+		if rel := math.Abs(exact-approx) / exact; rel > 0.10 {
+			t.Errorf("n=%d: SF approx off by %.1f%% (exact %.0f approx %.0f)", n, 100*rel, exact, approx)
+		}
+		exactIF := EdgeAdditionsIF(n, m, p)
+		approxIF := ApproxIF(n, m)
+		if rel := math.Abs(exactIF-approxIF) / exactIF; rel > 0.15 {
+			t.Errorf("n=%d: IF approx off by %.1f%% (exact %.0f approx %.0f)", n, 100*rel, exactIF, approxIF)
+		}
+	}
+}
+
+func TestExpectedReachBound(t *testing.T) {
+	// Theorem 5.2: at k = 2 the bound is (e² − 3)/2 ≈ 2.19.
+	got := ExpectedReachBound(2)
+	want := (math.E*math.E - 3) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ExpectedReachBound(2) = %v, want %v", got, want)
+	}
+	if got < 2.1 || got > 2.3 {
+		t.Errorf("bound %v not ≈2.2", got)
+	}
+}
+
+func TestExpectedReachExactBelowBound(t *testing.T) {
+	for _, n := range []int{100, 1000, 10000} {
+		k := 2.0
+		exact := ExpectedReachExact(n, k/float64(n))
+		bound := ExpectedReachBound(k)
+		if exact > bound {
+			t.Errorf("n=%d: exact %.4f exceeds bound %.4f", n, exact, bound)
+		}
+		if exact < 0.5*bound {
+			t.Errorf("n=%d: exact %.4f implausibly far below bound %.4f", n, exact, bound)
+		}
+	}
+}
+
+func TestReachGrowsSharplyPastK2(t *testing.T) {
+	// The paper warns the method relies on sparse graphs: E(R_X) climbs
+	// sharply for denser graphs.
+	atTwo := ExpectedReachBound(2)
+	atFour := ExpectedReachBound(4)
+	if atFour < 3*atTwo {
+		t.Errorf("bound should climb sharply: k=2 → %.2f, k=4 → %.2f", atTwo, atFour)
+	}
+}
+
+func TestEdgeAdditionsPositiveAndOrdered(t *testing.T) {
+	for _, n := range []int{100, 1000, 10000} {
+		m := 2 * n / 3
+		p := 1 / float64(n)
+		sf := EdgeAdditionsSF(n, m, p)
+		inf := EdgeAdditionsIF(n, m, p)
+		if sf <= 0 || inf <= 0 {
+			t.Fatalf("n=%d: non-positive expectations sf=%v if=%v", n, sf, inf)
+		}
+		if sf <= inf {
+			t.Errorf("n=%d: SF %.0f not above IF %.0f", n, sf, inf)
+		}
+	}
+}

@@ -1,0 +1,515 @@
+// Package progen generates synthetic but realistic pointer-manipulating C
+// programs. It substitutes for the paper's suite of 25 real C benchmarks
+// (allroots … gcc-2.7.2), which we cannot ship: the generator is tuned so
+// the *initial constraint graphs* of the generated programs match the
+// statistics the paper reports in Table 1 — edge density around one edge
+// per variable, roughly one set variable per handful of AST nodes, few
+// variables on cycles initially — while pointer-copy chains, parameter
+// passing, recursion and calls through function pointers make most cycles
+// appear during resolution, exactly the regime the paper studies.
+//
+// Programs are organised into regions (clusters of functions with their
+// own globals, weakly connected through a shared hub and neighbouring
+// calls), which mirrors real programs' module structure and yields many
+// medium-sized strongly connected components rather than one giant one.
+//
+// Generation is deterministic in Config: the same configuration always
+// yields byte-identical source, which the oracle experiments rely on.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config parameterises one generated program.
+type Config struct {
+	// Seed drives all random choices.
+	Seed int64
+	// Functions is the number of function definitions.
+	Functions int
+	// StmtsPerFunc is the average number of statements per function body.
+	StmtsPerFunc int
+	// FuncsPerRegion controls module locality (default 8).
+	FuncsPerRegion int
+	// DataTables emits this many large initialised integer arrays — bulk
+	// that inflates the AST without adding pointer constraints. The
+	// paper's flex benchmark was exactly this kind of outlier (its
+	// footnote 5: "although flex is a large program, it contains large
+	// initialized arrays. Thus as far as points-to analysis is concerned,
+	// it actually behaves like a small program").
+	DataTables int
+}
+
+// ByScaleDataHeavy sizes a program like ByScale but spends most of the
+// AST budget on initialised data tables, reproducing the paper's flex
+// outlier: large in AST nodes, small as a constraint problem.
+func ByScaleDataHeavy(seed int64, ast int) Config {
+	code := ast / 5 // a fifth of the budget is real code
+	cfg := ByScale(seed, code)
+	cfg.DataTables = (ast - code) / 135 // ≈133 AST nodes per table
+	return cfg
+}
+
+// ByScale returns a configuration sized so the generated program has
+// roughly `ast` AST nodes (as counted by cgen.CountNodes).
+func ByScale(seed int64, ast int) Config {
+	funcs := ast / 230
+	if funcs < 3 {
+		funcs = 3
+	}
+	return Config{Seed: seed, Functions: funcs, StmtsPerFunc: 28, FuncsPerRegion: 8}
+}
+
+// pools is one region's (or the hub's) variable pools, grouped by shape.
+type pools struct {
+	objs   []string // int
+	p1s    []string // int *
+	p2s    []string // int **
+	nodes  []string // struct node
+	pnodes []string // struct node *
+	fps    []string // int *(*)(int *, int *)
+	arrs   []string // int *[8]
+}
+
+// fnSig describes a generated function's interface.
+type fnSig struct {
+	name   string
+	node   bool // node-flavoured: struct node *f(struct node *, int *)
+	region int
+}
+
+// generator carries the emission state.
+type generator struct {
+	rng *rand.Rand
+	b   strings.Builder
+	cfg Config
+
+	regions []pools
+	hub     pools
+	funcs   []fnSig
+	indent  int
+
+	// ord assigns every variable a declaration ordinal. Direct copies are
+	// emitted mostly low→high ordinal: real programs' direct assignments
+	// rarely form syntactic cycles (most cyclic flow goes through the
+	// heap and appears only during resolution, as the paper observes),
+	// and the occasional reversal supplies the initial cycles Table 1
+	// does report.
+	ord    map[string]int
+	nextID int
+}
+
+// order registers (or looks up) a variable's ordinal.
+func (g *generator) order(name string) int {
+	if o, ok := g.ord[name]; ok {
+		return o
+	}
+	g.nextID++
+	g.ord[name] = g.nextID
+	return g.nextID
+}
+
+// directed orders a (dst, src) pair so flow runs low→high ordinal, with a
+// small chance of reversal.
+func (g *generator) directed(dst, src string) (string, string) {
+	if g.order(dst) < g.order(src) && g.rng.Intn(100) >= 12 {
+		return src, dst
+	}
+	return dst, src
+}
+
+// callShape orders a call site's destination and arguments: the
+// destination takes the highest ordinal of the candidates (and differs
+// from the arguments when possible), so that values flow low→high through
+// function interfaces and syntactic cycles stay rare, as in real code.
+// A small fraction is left unordered to provide the initial cycles the
+// paper's Table 1 reports.
+func (g *generator) callShape(cands ...string) (dst string, args []string) {
+	if g.rng.Intn(100) < 12 {
+		return cands[0], cands[1:]
+	}
+	hi := 0
+	for i, c := range cands {
+		if g.order(c) > g.order(cands[hi]) {
+			hi = i
+		}
+	}
+	dst = cands[hi]
+	for i, c := range cands {
+		if i != hi {
+			args = append(args, c)
+		}
+	}
+	return dst, args
+}
+
+// Generate emits one C translation unit.
+func Generate(cfg Config) string {
+	if cfg.FuncsPerRegion <= 0 {
+		cfg.FuncsPerRegion = 8
+	}
+	if cfg.StmtsPerFunc <= 0 {
+		cfg.StmtsPerFunc = 28
+	}
+	g := &generator{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg, ord: map[string]int{}}
+	g.prelude()
+	g.dataTables()
+	g.declareGlobals()
+	g.prototypes()
+	for i := range g.funcs {
+		g.function(i)
+	}
+	g.main()
+	return g.b.String()
+}
+
+func (g *generator) line(format string, args ...any) {
+	for i := 0; i < g.indent; i++ {
+		g.b.WriteByte('\t')
+	}
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+func (g *generator) pick(pool []string) string {
+	return pool[g.rng.Intn(len(pool))]
+}
+
+func (g *generator) numRegions() int {
+	n := (g.cfg.Functions + g.cfg.FuncsPerRegion - 1) / g.cfg.FuncsPerRegion
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (g *generator) prelude() {
+	g.line("/* generated by polce progen; seed=%d funcs=%d */", g.cfg.Seed, g.cfg.Functions)
+	g.line("struct node { struct node *next; struct node *prev; int *data; int key; };")
+	g.line("")
+}
+
+// dataTables emits the flex-style initialised integer tables: lots of AST
+// nodes, no pointer flow.
+func (g *generator) dataTables() {
+	for i := 0; i < g.cfg.DataTables; i++ {
+		g.b.WriteString(fmt.Sprintf("int data_tab%d[] = { ", i))
+		n := 128
+		for j := 0; j < n; j++ {
+			if j > 0 {
+				g.b.WriteString(", ")
+			}
+			fmt.Fprintf(&g.b, "%d", g.rng.Intn(512))
+		}
+		g.b.WriteString(" };\n")
+	}
+	if g.cfg.DataTables > 0 {
+		g.line("")
+	}
+}
+
+// declareGlobals emits per-region pools plus a small shared hub.
+func (g *generator) declareGlobals() {
+	emit := func(p *pools, tag string, scale int) {
+		add := func(dst *[]string, decl, pfx string, n int) {
+			for i := 0; i < n; i++ {
+				name := fmt.Sprintf("%s%s%d", pfx, tag, i)
+				*dst = append(*dst, name)
+				g.line(decl, name)
+			}
+		}
+		add(&p.objs, "int %s;", "o", 3*scale)
+		add(&p.p1s, "int *%s;", "p", 3*scale)
+		add(&p.p2s, "int **%s;", "q", scale)
+		add(&p.nodes, "struct node %s;", "n", scale)
+		add(&p.pnodes, "struct node *%s;", "m", 2*scale)
+		add(&p.fps, "int *(*%s)(int *, int *);", "f", scale)
+		add(&p.arrs, "int *%s[8];", "a", scale)
+	}
+	emit(&g.hub, "h", 2)
+	for r := 0; r < g.numRegions(); r++ {
+		g.regions = append(g.regions, pools{})
+		emit(&g.regions[r], fmt.Sprintf("r%d_", r), 3)
+	}
+	g.line("")
+}
+
+func (g *generator) prototypes() {
+	for i := 0; i < g.cfg.Functions; i++ {
+		sig := fnSig{
+			name:   fmt.Sprintf("fn%d", i),
+			node:   g.rng.Intn(3) == 0,
+			region: i / g.cfg.FuncsPerRegion,
+		}
+		g.funcs = append(g.funcs, sig)
+	}
+	for _, f := range g.funcs {
+		if f.node {
+			g.line("struct node *%s(struct node *n0, int *a0);", f.name)
+		} else {
+			g.line("int *%s(int *a0, int *a1);", f.name)
+		}
+	}
+	g.line("")
+}
+
+// scope is the set of names usable inside one function body. Locals are
+// kept separately so statement templates can bias toward them (real code
+// shuffles data through locals, which keeps the *initial* graph nearly
+// acyclic — cycles appear during resolution). The shared hub is touched
+// rarely: it is the weak link between modules, not a freeway.
+type scope struct {
+	g      *generator
+	region pools // this region's globals
+	hub    pools
+	local  pools
+}
+
+// pickg draws from the region's globals, with a small chance of the hub.
+func (sc *scope) pickg(region, hub []string) string {
+	if len(hub) > 0 && (len(region) == 0 || sc.g.rng.Intn(100) < 7) {
+		return sc.g.pick(hub)
+	}
+	return sc.g.pick(region)
+}
+
+// lhs picks a destination: mostly a local, sometimes a global.
+func (sc *scope) lhs(local, region, hub []string) string {
+	if len(local) > 0 && (len(region) == 0 || sc.g.rng.Intn(100) < 70) {
+		return sc.g.pick(local)
+	}
+	return sc.pickg(region, hub)
+}
+
+// rhs picks a source: evenly local or global.
+func (sc *scope) rhs(local, region, hub []string) string {
+	if len(local) > 0 && (len(region) == 0 || sc.g.rng.Intn(100) < 50) {
+		return sc.g.pick(local)
+	}
+	return sc.pickg(region, hub)
+}
+
+// callee picks a function to call from region r: usually local, often the
+// next region (a layered architecture), rarely anyone — the backward calls
+// that occasionally tie distant modules into one component.
+func (g *generator) callee(r int) fnSig {
+	nr := g.numRegions()
+	target := r
+	switch p := g.rng.Intn(100); {
+	case p < 75:
+		// same region
+	case p < 95:
+		target = (r + 1) % nr
+	default:
+		target = g.rng.Intn(nr)
+	}
+	lo := target * g.cfg.FuncsPerRegion
+	hi := lo + g.cfg.FuncsPerRegion
+	if hi > len(g.funcs) {
+		hi = len(g.funcs)
+	}
+	if lo >= hi {
+		return g.funcs[g.rng.Intn(len(g.funcs))]
+	}
+	return g.funcs[lo+g.rng.Intn(hi-lo)]
+}
+
+func (g *generator) function(idx int) {
+	f := g.funcs[idx]
+	sc := &scope{g: g, region: g.regions[f.region], hub: g.hub}
+	if f.node {
+		g.line("struct node *%s(struct node *n0, int *a0) {", f.name)
+		sc.local.pnodes = append(sc.local.pnodes, "n0")
+		sc.local.p1s = append(sc.local.p1s, "a0")
+	} else {
+		g.line("int *%s(int *a0, int *a1) {", f.name)
+		sc.local.p1s = append(sc.local.p1s, "a0", "a1")
+	}
+	g.indent++
+
+	nl := 3 + g.rng.Intn(4)
+	for i := 0; i < nl; i++ {
+		switch g.rng.Intn(6) {
+		case 0:
+			g.line("int lo%d;", i)
+			sc.local.objs = append(sc.local.objs, fmt.Sprintf("lo%d", i))
+		case 1, 2, 3:
+			g.line("int *lp%d;", i)
+			sc.local.p1s = append(sc.local.p1s, fmt.Sprintf("lp%d", i))
+		case 4:
+			g.line("int **lq%d;", i)
+			sc.local.p2s = append(sc.local.p2s, fmt.Sprintf("lq%d", i))
+		default:
+			g.line("struct node *lm%d;", i)
+			sc.local.pnodes = append(sc.local.pnodes, fmt.Sprintf("lm%d", i))
+		}
+	}
+	g.line("int li = 0;")
+
+	n := g.cfg.StmtsPerFunc/2 + g.rng.Intn(g.cfg.StmtsPerFunc)
+	for i := 0; i < n; i++ {
+		g.stmt(sc, f, 0)
+	}
+
+	// Returning parameters and locals threads return values back into
+	// argument flows, creating resolution-time cycles through the call
+	// graph.
+	if f.node {
+		switch g.rng.Intn(10) {
+		case 0, 1:
+			g.line("return n0;")
+		case 2, 3:
+			g.line("return %s;", sc.rhs(sc.local.pnodes, sc.region.pnodes, sc.hub.pnodes))
+		default:
+			g.line("return (struct node *)malloc(sizeof(struct node));")
+		}
+	} else {
+		switch g.rng.Intn(10) {
+		case 0, 1:
+			g.line("return a0;")
+		case 2, 3:
+			g.line("return %s;", sc.rhs(sc.local.p1s, sc.region.p1s, sc.hub.p1s))
+		case 4, 5, 6:
+			g.line("return &%s;", sc.rhs(sc.local.objs, sc.region.objs, sc.hub.objs))
+		default:
+			g.line("return (int *)malloc(sizeof(int));")
+		}
+	}
+	g.indent--
+	g.line("}")
+	g.line("")
+}
+
+// stmt emits one statement; depth bounds control-flow nesting.
+func (g *generator) stmt(sc *scope, f fnSig, depth int) {
+	loc, reg, hub := &sc.local, &sc.region, &sc.hub
+	r := g.rng.Intn(100)
+	switch {
+	case r < 11: // address-of
+		g.line("%s = &%s;", sc.lhs(loc.p1s, reg.p1s, hub.p1s), sc.rhs(loc.objs, reg.objs, hub.objs))
+	case r < 24: // pointer copy, mostly ordinal-directed
+		dst, src := g.directed(sc.lhs(loc.p1s, reg.p1s, hub.p1s), sc.rhs(loc.p1s, reg.p1s, hub.p1s))
+		g.line("%s = %s;", dst, src)
+	case r < 28:
+		g.line("%s = &%s;", sc.lhs(loc.p2s, reg.p2s, hub.p2s), sc.rhs(loc.p1s, reg.p1s, hub.p1s))
+	case r < 33:
+		g.line("%s = *%s;", sc.lhs(loc.p1s, reg.p1s, hub.p1s), sc.rhs(loc.p2s, reg.p2s, hub.p2s))
+	case r < 38:
+		g.line("*%s = %s;", sc.rhs(loc.p2s, reg.p2s, hub.p2s), sc.rhs(loc.p1s, reg.p1s, hub.p1s))
+	case r < 43:
+		g.line("%s = %s->next;", sc.lhs(loc.pnodes, reg.pnodes, hub.pnodes), sc.rhs(loc.pnodes, reg.pnodes, hub.pnodes))
+	case r < 48:
+		g.line("%s->next = %s;", sc.rhs(loc.pnodes, reg.pnodes, hub.pnodes), sc.rhs(loc.pnodes, reg.pnodes, hub.pnodes))
+	case r < 51:
+		g.line("%s->data = %s;", sc.rhs(loc.pnodes, reg.pnodes, hub.pnodes), sc.rhs(loc.p1s, reg.p1s, hub.p1s))
+	case r < 54:
+		g.line("%s = %s->data;", sc.lhs(loc.p1s, reg.p1s, hub.p1s), sc.rhs(loc.pnodes, reg.pnodes, hub.pnodes))
+	case r < 57:
+		g.line("%s = (int *)malloc(sizeof(int));", sc.lhs(loc.p1s, reg.p1s, hub.p1s))
+	case r < 59:
+		g.line("%s = &%s;", sc.lhs(loc.pnodes, reg.pnodes, hub.pnodes), sc.pickg(reg.nodes, hub.nodes))
+	case r < 67: // direct call
+		callee := g.callee(f.region)
+		if callee.node {
+			dst, args := g.callShape(sc.lhs(loc.pnodes, reg.pnodes, hub.pnodes),
+				sc.rhs(loc.pnodes, reg.pnodes, hub.pnodes))
+			g.line("%s = %s(%s, %s);", dst, callee.name, args[0], sc.rhs(loc.p1s, reg.p1s, hub.p1s))
+		} else {
+			dst, args := g.callShape(sc.lhs(loc.p1s, reg.p1s, hub.p1s),
+				sc.rhs(loc.p1s, reg.p1s, hub.p1s), sc.rhs(loc.p1s, reg.p1s, hub.p1s))
+			g.line("%s = %s(%s, %s);", dst, callee.name, args[0], args[1])
+		}
+	case r < 70: // take a function pointer
+		if name := g.flatCallee(f.region); name != "" {
+			if g.rng.Intn(2) == 0 {
+				g.line("%s = %s;", sc.pickg(reg.fps, hub.fps), name)
+			} else {
+				g.line("%s = &%s;", sc.pickg(reg.fps, hub.fps), name)
+			}
+		}
+	case r < 74: // call through a function pointer
+		fp := sc.pickg(reg.fps, hub.fps)
+		dst, args := g.callShape(sc.lhs(loc.p1s, reg.p1s, hub.p1s),
+			sc.rhs(loc.p1s, reg.p1s, hub.p1s), sc.rhs(loc.p1s, reg.p1s, hub.p1s))
+		if g.rng.Intn(2) == 0 {
+			g.line("%s = %s(%s, %s);", dst, fp, args[0], args[1])
+		} else {
+			g.line("%s = (*%s)(%s, %s);", dst, fp, args[0], args[1])
+		}
+	case r < 76: // array writes carry fresh sources; reads feed locals.
+		// Writing arbitrary pointers into shared tables and reading them
+		// back everywhere would weld a region's variables into one
+		// initial SCC; real tables are mostly written at initialisation.
+		if g.rng.Intn(2) == 0 {
+			g.line("%s[li %% 8] = &%s;", sc.pickg(reg.arrs, hub.arrs), sc.rhs(loc.objs, reg.objs, hub.objs))
+		} else {
+			g.line("%s[li %% 8] = (int *)malloc(sizeof(int));", sc.pickg(reg.arrs, hub.arrs))
+		}
+	case r < 80:
+		g.line("%s = %s[li %% 8];", sc.lhs(loc.p1s, reg.p1s, hub.p1s), sc.pickg(reg.arrs, hub.arrs))
+	case r < 88 && depth < 2: // control flow around a nested block
+		switch g.rng.Intn(3) {
+		case 0:
+			g.line("if (li < %d) {", g.rng.Intn(100))
+		case 1:
+			g.line("while (li > %d) {", g.rng.Intn(10))
+		default:
+			g.line("for (li = 0; li < %d; li++) {", 2+g.rng.Intn(8))
+		}
+		g.indent++
+		inner := 1 + g.rng.Intn(3)
+		for i := 0; i < inner; i++ {
+			g.stmt(sc, f, depth+1)
+		}
+		g.indent--
+		g.line("}")
+	default: // integer noise, matching real programs' non-pointer bulk
+		g.line("li = li * %d + %d;", 1+g.rng.Intn(7), g.rng.Intn(97))
+	}
+}
+
+// flatCallee picks a non-node function, preferring the caller's region.
+func (g *generator) flatCallee(region int) string {
+	for tries := 0; tries < 8; tries++ {
+		f := g.callee(region)
+		if !f.node {
+			return f.name
+		}
+	}
+	return ""
+}
+
+func (g *generator) main() {
+	g.line("int main(int argc, char **argv) {")
+	g.indent++
+	g.line("int li = argc;")
+	// Seed the data structures region by region.
+	for r := range g.regions {
+		p := &g.regions[r]
+		for i, pn := range p.pnodes {
+			g.line("%s = &%s;", pn, p.nodes[i%len(p.nodes)])
+		}
+		for i, p1 := range p.p1s {
+			if i%3 == 0 {
+				g.line("%s = &%s;", p1, p.objs[i%len(p.objs)])
+			}
+		}
+	}
+	for i, pn := range g.hub.pnodes {
+		g.line("%s = &%s;", pn, g.hub.nodes[i%len(g.hub.nodes)])
+	}
+	// Call every function so nothing is dead.
+	for _, f := range g.funcs {
+		reg := g.regions[f.region]
+		if f.node {
+			g.line("%s = %s(%s, %s);", g.pick(reg.pnodes), f.name, g.pick(reg.pnodes), g.pick(reg.p1s))
+		} else {
+			g.line("%s = %s(%s, %s);", g.pick(reg.p1s), f.name, g.pick(reg.p1s), g.pick(reg.p1s))
+		}
+	}
+	g.line("return li;")
+	g.indent--
+	g.line("}")
+}

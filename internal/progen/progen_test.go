@@ -1,0 +1,122 @@
+package progen
+
+import (
+	"testing"
+
+	"polce/internal/andersen"
+	"polce/internal/cgen"
+	"polce/internal/core"
+)
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Functions: 10, StmtsPerFunc: 20}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if a != b {
+		t.Fatal("generation is not deterministic")
+	}
+	c := Generate(Config{Seed: 43, Functions: 10, StmtsPerFunc: 20})
+	if a == c {
+		t.Fatal("different seeds produced identical programs")
+	}
+}
+
+func TestGeneratedProgramParses(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		src := Generate(Config{Seed: seed, Functions: 12, StmtsPerFunc: 25})
+		if _, err := cgen.MustParse("gen.c", src); err != nil {
+			t.Fatalf("seed %d: %v\nsource:\n%s", seed, err, src)
+		}
+	}
+}
+
+func TestGeneratedProgramAnalyses(t *testing.T) {
+	src := Generate(Config{Seed: 7, Functions: 15, StmtsPerFunc: 25})
+	f, err := cgen.MustParse("gen.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, form := range []core.Form{core.SF, core.IF} {
+		for _, pol := range []core.CyclePolicy{core.CycleNone, core.CycleOnline} {
+			r := andersen.Analyze(f, andersen.Options{Form: form, Cycles: pol, Seed: 3})
+			if n := r.Sys.ErrorCount(); n != 0 {
+				t.Errorf("%v/%v: %d constraint errors, e.g. %v", form, pol, n, r.Sys.Errors()[0])
+			}
+			if r.PointsToEdges() == 0 {
+				t.Errorf("%v/%v: empty points-to graph", form, pol)
+			}
+		}
+	}
+}
+
+func TestCyclesAriseDuringResolution(t *testing.T) {
+	// The paper's regime: most variables on cycles in the final graph are
+	// not on cycles initially.
+	src := Generate(Config{Seed: 11, Functions: 20, StmtsPerFunc: 30})
+	f, err := cgen.MustParse("gen.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := andersen.AnalyzeInitial(f, andersen.Options{Form: core.IF, Seed: 1})
+	closed := andersen.Analyze(f, andersen.Options{Form: core.IF, Cycles: core.CycleNone, Seed: 1})
+	initIn, _ := initial.Sys.CycleClassStats()
+	finalIn, _ := closed.Sys.CycleClassStats()
+	if finalIn == 0 {
+		t.Fatal("no cyclic variables in the closed graph; generator too weak")
+	}
+	if initIn >= finalIn {
+		t.Errorf("initial cyclic vars %d not below final %d", initIn, finalIn)
+	}
+}
+
+func TestDataHeavyOutlier(t *testing.T) {
+	// The flex personality: similar AST size, far fewer set variables.
+	normal := Generate(ByScale(9, 16000))
+	heavy := Generate(ByScaleDataHeavy(9, 16000))
+	fn, err := cgen.MustParse("n.c", normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh, err := cgen.MustParse("h.c", heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, nh := cgen.CountNodes(fn), cgen.CountNodes(fh)
+	if nh < nn/2 || nh > 2*nn {
+		t.Fatalf("sizes diverge too much: %d vs %d", nn, nh)
+	}
+	vn := andersen.AnalyzeInitial(fn, andersen.Options{Form: core.SF, Seed: 1}).Sys.Stats().VarsCreated
+	vh := andersen.AnalyzeInitial(fh, andersen.Options{Form: core.SF, Seed: 1}).Sys.Stats().VarsCreated
+	if vh*3 > vn {
+		t.Errorf("data-heavy program has %d vars vs %d — not an outlier", vh, vn)
+	}
+}
+
+func TestByScale(t *testing.T) {
+	small := ByScale(1, 1000)
+	big := ByScale(1, 40000)
+	if big.Functions <= small.Functions {
+		t.Errorf("scaling broken: %+v vs %+v", small, big)
+	}
+	srcSmall := Generate(small)
+	srcBig := Generate(big)
+	fs, err := cgen.MustParse("s.c", srcSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := cgen.MustParse("b.c", srcBig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, nb := cgen.CountNodes(fs), cgen.CountNodes(fb)
+	if nb < 10*ns {
+		t.Errorf("node counts don't scale: %d vs %d", ns, nb)
+	}
+	// The small target should land within a factor ~4 of the request.
+	if ns < 250 || ns > 8000 {
+		t.Errorf("ByScale(1000) produced %d nodes", ns)
+	}
+	if nb < 10000 || nb > 160000 {
+		t.Errorf("ByScale(40000) produced %d nodes", nb)
+	}
+}

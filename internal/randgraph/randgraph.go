@@ -1,0 +1,335 @@
+// Package randgraph runs Monte-Carlo experiments on the random constraint
+// graphs G(n, p) of the paper's Section 5, validating the analytical model
+// against direct simulation: the expected closure work of standard versus
+// inductive form under perfect cycle elimination (Theorem 5.1), and the
+// expected number of nodes reachable through order-decreasing chains
+// (Theorem 5.2).
+//
+// The closures here are small, abstract re-implementations working on
+// plain integer graphs — deliberately independent of internal/core — so
+// they double as a cross-check of the solver's asymptotic behaviour.
+package randgraph
+
+import (
+	"math/rand"
+
+	"polce/internal/scc"
+)
+
+// Params describes one random-graph experiment.
+type Params struct {
+	N    int     // variable nodes
+	M    int     // constructed (source/sink) nodes
+	P    float64 // edge probability per ordered pair
+	Seed int64
+}
+
+// ClosureResult reports the closure work of one simulated run.
+type ClosureResult struct {
+	WorkSF int64 // edge additions performed by the SF closure
+	WorkIF int64 // edge additions performed by the IF closure
+}
+
+// edge kinds in the abstract graph: cons nodes are numbered n..n+m-1.
+type graph struct {
+	n, m int
+	// consToVar[c] lists vars with an initial edge c→X.
+	consToVar [][]int
+	// varToVar and varToCons are the var-sourced initial edges.
+	varToVar  [][]int
+	varToCons [][]int
+}
+
+// generate draws G(n, p): each meaningful ordered pair (cons→var,
+// var→var, var→cons) is an edge with probability p. Cons→cons pairs are
+// irrelevant to closure work and omitted.
+func generate(ps Params, rng *rand.Rand) *graph {
+	g := &graph{
+		n: ps.N, m: ps.M,
+		consToVar: make([][]int, ps.M),
+		varToVar:  make([][]int, ps.N),
+		varToCons: make([][]int, ps.N),
+	}
+	for c := 0; c < ps.M; c++ {
+		for x := 0; x < ps.N; x++ {
+			if rng.Float64() < ps.P {
+				g.consToVar[c] = append(g.consToVar[c], x)
+			}
+		}
+	}
+	for x := 0; x < ps.N; x++ {
+		for y := 0; y < ps.N; y++ {
+			if x != y && rng.Float64() < ps.P {
+				g.varToVar[x] = append(g.varToVar[x], y)
+			}
+		}
+	}
+	for x := 0; x < ps.N; x++ {
+		for c := 0; c < ps.M; c++ {
+			if rng.Float64() < ps.P {
+				g.varToCons[x] = append(g.varToCons[x], c)
+			}
+		}
+	}
+	return g
+}
+
+// condense collapses the strongly connected components of the var-var
+// graph — the model's "perfect cycle elimination" — returning the
+// component assignment and count.
+func (g *graph) condense() ([]int, int) {
+	return scc.Strong(g.n, func(x int) []int { return g.varToVar[x] })
+}
+
+// Closure simulates both closures on the same random graph with perfect
+// cycle elimination, counting every attempted edge addition (the model's
+// work measure, redundant additions included).
+func Closure(ps Params) ClosureResult {
+	rng := rand.New(rand.NewSource(ps.Seed))
+	g := generate(ps, rng)
+	comp, nv := g.condense()
+
+	// Rebuild the condensed initial adjacency.
+	type key struct{ a, b int }
+	predS := make([]map[int]bool, nv) // cons sources per var class
+	succV := make([]map[int]bool, nv) // var class successors
+	succK := make([]map[int]bool, nv) // cons sinks per var class
+	predV := make([]map[int]bool, nv) // var class predecessors (IF only)
+	for i := 0; i < nv; i++ {
+		predS[i] = map[int]bool{}
+		succV[i] = map[int]bool{}
+		succK[i] = map[int]bool{}
+		predV[i] = map[int]bool{}
+	}
+	var initSrc []key // (c, class)
+	var initVV []key
+	var initSnk []key // (class, c)
+	for c := range g.consToVar {
+		for _, x := range g.consToVar[c] {
+			initSrc = append(initSrc, key{c, comp[x]})
+		}
+	}
+	for x := range g.varToVar {
+		for _, y := range g.varToVar[x] {
+			if comp[x] != comp[y] {
+				initVV = append(initVV, key{comp[x], comp[y]})
+			}
+		}
+	}
+	for x := range g.varToCons {
+		for _, c := range g.varToCons[x] {
+			initSnk = append(initSnk, key{comp[x], c})
+		}
+	}
+
+	res := ClosureResult{}
+
+	// --- Standard form -----------------------------------------------
+	{
+		var work int64
+		ccPairs := map[key]bool{}
+		type item struct{ c, x int } // pending source propagation c ⊆ x
+		var stack []item
+		addSrc := func(c, x int, initial bool) {
+			if !initial {
+				work++
+			}
+			if predS[x][c] {
+				return
+			}
+			predS[x][c] = true
+			stack = append(stack, item{c, x})
+		}
+		// Seed the initial edges (not counted as closure work).
+		for i := range predS {
+			clear(predS[i])
+			clear(succV[i])
+			clear(succK[i])
+		}
+		for _, e := range initVV {
+			succV[e.a][e.b] = true
+		}
+		for _, e := range initSnk {
+			succK[e.a][e.b] = true
+		}
+		for _, e := range initSrc {
+			addSrc(e.a, e.b, true)
+		}
+		for len(stack) > 0 {
+			it := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for y := range succV[it.x] {
+				addSrc(it.c, y, false)
+			}
+			for k := range succK[it.x] {
+				work++ // the (c, c') addition
+				ccPairs[key{it.c, k}] = true
+			}
+		}
+		res.WorkSF = work
+	}
+
+	// --- Inductive form ----------------------------------------------
+	{
+		var work int64
+		order := rng.Perm(nv)
+		pos := make([]int, nv)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for i := 0; i < nv; i++ {
+			clear(predS[i])
+			clear(succV[i])
+			clear(succK[i])
+			clear(predV[i])
+		}
+		// pending constraints: l ⊆ r where l may be a source (consBase+c)
+		// or var class, r may be a sink or var class.
+		const consBase = 1 << 30
+		type item struct{ l, r int }
+		var stack []item
+		var addEdge func(l, r int, initial bool)
+		addEdge = func(l, r int, initial bool) {
+			if !initial {
+				work++
+			}
+			switch {
+			case l >= consBase && r >= consBase:
+				// source ⊆ sink: counted, no propagation
+			case l >= consBase:
+				c := l - consBase
+				if predS[r][c] {
+					return
+				}
+				predS[r][c] = true
+				for y := range succV[r] {
+					stack = append(stack, item{l, y})
+				}
+				for k := range succK[r] {
+					stack = append(stack, item{l, consBase + k})
+				}
+			case r >= consBase:
+				k := r - consBase
+				if succK[l][k] {
+					return
+				}
+				succK[l][k] = true
+				for c := range predS[l] {
+					stack = append(stack, item{consBase + c, r})
+				}
+				for v := range predV[l] {
+					stack = append(stack, item{v, r})
+				}
+			default:
+				if l == r {
+					return
+				}
+				if pos[l] > pos[r] { // successor edge l → r
+					if succV[l][r] {
+						return
+					}
+					succV[l][r] = true
+					for c := range predS[l] {
+						stack = append(stack, item{consBase + c, r})
+					}
+					for v := range predV[l] {
+						stack = append(stack, item{v, r})
+					}
+				} else { // predecessor edge l ⋯→ r
+					if predV[r][l] {
+						return
+					}
+					predV[r][l] = true
+					for y := range succV[r] {
+						stack = append(stack, item{l, y})
+					}
+					for k := range succK[r] {
+						stack = append(stack, item{l, consBase + k})
+					}
+				}
+			}
+		}
+		drain := func() {
+			for len(stack) > 0 {
+				it := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				addEdge(it.l, it.r, false)
+			}
+		}
+		for _, e := range initSrc {
+			addEdge(consBase+e.a, e.b, true)
+			drain()
+		}
+		for _, e := range initVV {
+			addEdge(e.a, e.b, true)
+			drain()
+		}
+		for _, e := range initSnk {
+			addEdge(e.a, consBase+e.b, true)
+			drain()
+		}
+		res.WorkIF = work
+	}
+	return res
+}
+
+// MeanClosureRatio runs `trials` independent closures and returns the mean
+// WorkSF/WorkIF ratio — the Monte-Carlo counterpart of Theorem 5.1.
+func MeanClosureRatio(ps Params, trials int) float64 {
+	var sum float64
+	for t := 0; t < trials; t++ {
+		p := ps
+		p.Seed = ps.Seed + int64(t)
+		r := Closure(p)
+		if r.WorkIF > 0 {
+			sum += float64(r.WorkSF) / float64(r.WorkIF)
+		}
+	}
+	return sum / float64(trials)
+}
+
+// MeanReach measures the expected number of variables reachable through
+// order-decreasing chains in a random directed graph with n nodes and edge
+// probability p — the Monte-Carlo counterpart of Theorem 5.2. Each node's
+// chain-reachable set is counted by DFS following inclusion edges backward
+// toward strictly smaller order.
+func MeanReach(n int, p float64, seed int64, trials int) float64 {
+	var total, count float64
+	for t := 0; t < trials; t++ {
+		rng := rand.New(rand.NewSource(seed + int64(t)))
+		// incoming[y] lists x for edges x ⊆ y.
+		incoming := make([][]int, n)
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				if x != y && rng.Float64() < p {
+					incoming[y] = append(incoming[y], x)
+				}
+			}
+		}
+		order := rng.Perm(n)
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		mark := make([]int, n)
+		for i := range mark {
+			mark[i] = -1
+		}
+		var dfs func(u, epoch int) int
+		dfs = func(u, epoch int) int {
+			mark[u] = epoch
+			visited := 1
+			for _, v := range incoming[u] {
+				if mark[v] != epoch && pos[v] < pos[u] {
+					visited += dfs(v, epoch)
+				}
+			}
+			return visited
+		}
+		for u := 0; u < n; u++ {
+			total += float64(dfs(u, u) - 1) // exclude u itself
+			count++
+		}
+	}
+	return total / count
+}

@@ -1,0 +1,62 @@
+package randgraph
+
+import (
+	"testing"
+
+	"polce/internal/model"
+)
+
+func TestClosureDeterministic(t *testing.T) {
+	ps := Params{N: 200, M: 133, P: 1.0 / 200, Seed: 7}
+	a := Closure(ps)
+	b := Closure(ps)
+	if a != b {
+		t.Fatalf("closure not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSFDoesMoreWorkThanIF(t *testing.T) {
+	// Theorem 5.1's direction: at the paper's operating point SF does
+	// strictly more closure work than IF on average.
+	ps := Params{N: 1500, M: 1000, P: 1.0 / 1500, Seed: 3}
+	ratio := MeanClosureRatio(ps, 20)
+	if ratio <= 1.2 {
+		t.Errorf("mean work ratio %.2f, want clearly above 1 (paper predicts ≈2.5, measures 4.1)", ratio)
+	}
+	if ratio > 12 {
+		t.Errorf("mean work ratio %.2f implausibly high", ratio)
+	}
+}
+
+func TestMeanReachMatchesTheorem52(t *testing.T) {
+	// At density p = 2/n the expected number of nodes reachable through
+	// order-decreasing chains is below the (e²−3)/2 ≈ 2.19 bound and in
+	// its vicinity.
+	got := MeanReach(400, 2.0/400, 11, 10)
+	bound := model.ExpectedReachBound(2)
+	if got > bound*1.15 {
+		t.Errorf("measured reach %.3f well above the theorem's bound %.3f", got, bound)
+	}
+	if got < 0.8 {
+		t.Errorf("measured reach %.3f implausibly small", got)
+	}
+}
+
+func TestMeanReachSparseVsDense(t *testing.T) {
+	sparse := MeanReach(300, 1.0/300, 5, 8)
+	dense := MeanReach(300, 4.0/300, 5, 8)
+	if dense <= sparse {
+		t.Errorf("reach should grow with density: sparse %.3f dense %.3f", sparse, dense)
+	}
+}
+
+func TestClosureWorkGrowsWithDensity(t *testing.T) {
+	lo := Closure(Params{N: 500, M: 300, P: 0.5 / 500, Seed: 9})
+	hi := Closure(Params{N: 500, M: 300, P: 2.0 / 500, Seed: 9})
+	if hi.WorkSF <= lo.WorkSF {
+		t.Errorf("SF work should grow with density: %d vs %d", lo.WorkSF, hi.WorkSF)
+	}
+	if hi.WorkIF <= lo.WorkIF {
+		t.Errorf("IF work should grow with density: %d vs %d", lo.WorkIF, hi.WorkIF)
+	}
+}

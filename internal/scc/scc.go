@@ -1,0 +1,117 @@
+// Package scc computes strongly connected components of directed graphs
+// given as adjacency lists. It is used by the solver's oracle (to predict
+// eventual cycle membership), by the benchmark harness (Table 1's SCC
+// columns and Figure 11's denominators) and by the Steensgaard baseline.
+package scc
+
+// Strong returns, for a directed graph with n vertices and adjacency
+// function adj, a slice comp of length n assigning each vertex the index of
+// its strongly connected component, and the number of components. Component
+// indices are in reverse topological order: every edge u → v with
+// comp[u] != comp[v] has comp[u] > comp[v].
+//
+// The implementation is Tarjan's algorithm with an explicit stack, so it is
+// safe on graphs whose DFS depth would overflow a goroutine stack.
+func Strong(n int, adj func(int) []int) (comp []int, count int) {
+	const unvisited = -1
+	comp = make([]int, n)
+	index := make([]int, n)
+	lowlink := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+
+	var stack []int // Tarjan's component stack
+	next := 0       // next DFS index
+
+	// frame is an explicit DFS activation record: vertex v, and the
+	// position within adj(v) to resume from.
+	type frame struct {
+		v    int
+		edge int
+	}
+	var dfs []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		dfs = append(dfs[:0], frame{v: root})
+		index[root] = next
+		lowlink[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			v := f.v
+			out := adj(v)
+			if f.edge < len(out) {
+				w := out[f.edge]
+				f.edge++
+				if index[w] == unvisited {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{v: w})
+				} else if onStack[w] && index[w] < lowlink[v] {
+					lowlink[v] = index[w]
+				}
+				continue
+			}
+			// v is finished: pop a component if v is a root.
+			if lowlink[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = count
+					if w == v {
+						break
+					}
+				}
+				count++
+			}
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				parent := dfs[len(dfs)-1].v
+				if lowlink[v] < lowlink[parent] {
+					lowlink[parent] = lowlink[v]
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// Sizes returns the size of each component given the assignment produced by
+// Strong.
+func Sizes(comp []int, count int) []int {
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	return sizes
+}
+
+// NontrivialStats reports how many vertices belong to non-trivial
+// components (size ≥ 2) and the size of the largest component, given a
+// component assignment. These are the two SCC statistics Table 1 reports
+// for initial and final constraint graphs.
+func NontrivialStats(comp []int, count int) (varsInSCCs, maxSCC int) {
+	sizes := Sizes(comp, count)
+	for _, sz := range sizes {
+		if sz >= 2 {
+			varsInSCCs += sz
+			if sz > maxSCC {
+				maxSCC = sz
+			}
+		}
+	}
+	return varsInSCCs, maxSCC
+}

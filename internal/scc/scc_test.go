@@ -1,0 +1,167 @@
+package scc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func adjOf(edges [][2]int, n int) func(int) []int {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	return func(i int) []int { return adj[i] }
+}
+
+func TestEmpty(t *testing.T) {
+	comp, count := Strong(0, func(int) []int { return nil })
+	if len(comp) != 0 || count != 0 {
+		t.Errorf("empty graph: comp=%v count=%d", comp, count)
+	}
+}
+
+func TestSingletons(t *testing.T) {
+	comp, count := Strong(3, func(int) []int { return nil })
+	if count != 3 {
+		t.Errorf("3 isolated vertices: count=%d, want 3", count)
+	}
+	seen := map[int]bool{}
+	for _, c := range comp {
+		if seen[c] {
+			t.Errorf("isolated vertices share a component: %v", comp)
+		}
+		seen[c] = true
+	}
+}
+
+func TestSimpleCycle(t *testing.T) {
+	comp, count := Strong(4, adjOf([][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}}, 4))
+	if count != 2 {
+		t.Fatalf("count=%d, want 2", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("cycle not grouped: %v", comp)
+	}
+	if comp[3] == comp[0] {
+		t.Errorf("vertex 3 wrongly in the cycle: %v", comp)
+	}
+}
+
+func TestReverseTopologicalOrder(t *testing.T) {
+	// For edges across components, the source's component index must be
+	// larger (reverse topological order).
+	edges := [][2]int{{0, 1}, {1, 2}, {3, 1}, {2, 4}}
+	comp, _ := Strong(5, adjOf(edges, 5))
+	for _, e := range edges {
+		if comp[e[0]] != comp[e[1]] && comp[e[0]] < comp[e[1]] {
+			t.Errorf("edge %v violates reverse topological order: %v", e, comp)
+		}
+	}
+}
+
+func TestTwoCycles(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 0}, {2, 3}, {3, 2}, {1, 2}}
+	comp, count := Strong(4, adjOf(edges, 4))
+	if count != 2 {
+		t.Fatalf("count=%d, want 2", count)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] {
+		t.Errorf("bad grouping: %v", comp)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	comp, count := Strong(2, adjOf([][2]int{{0, 0}, {0, 1}}, 2))
+	if count != 2 || comp[0] == comp[1] {
+		t.Errorf("self loop mishandled: comp=%v count=%d", comp, count)
+	}
+}
+
+func TestDeepPathNoOverflow(t *testing.T) {
+	// A 200k-vertex path would overflow a recursive implementation's
+	// stack budget in pathological settings; the explicit stack must cope.
+	const n = 200000
+	adj := func(i int) []int {
+		if i+1 < n {
+			return []int{i + 1}
+		}
+		return nil
+	}
+	comp, count := Strong(n, adj)
+	if count != n {
+		t.Fatalf("path graph: count=%d, want %d", count, n)
+	}
+	_ = comp
+}
+
+func TestLargeCycleDeep(t *testing.T) {
+	const n = 100000
+	adj := func(i int) []int { return []int{(i + 1) % n} }
+	_, count := Strong(n, adj)
+	if count != 1 {
+		t.Fatalf("n-cycle: count=%d, want 1", count)
+	}
+}
+
+func TestSizesAndNontrivialStats(t *testing.T) {
+	comp := []int{0, 0, 1, 2, 2, 2}
+	sizes := Sizes(comp, 3)
+	if sizes[0] != 2 || sizes[1] != 1 || sizes[2] != 3 {
+		t.Errorf("Sizes = %v", sizes)
+	}
+	in, max := NontrivialStats(comp, 3)
+	if in != 5 || max != 3 {
+		t.Errorf("NontrivialStats = (%d,%d), want (5,3)", in, max)
+	}
+}
+
+// reachable computes reachability from u via BFS.
+func reachable(n int, adj func(int) []int, u int) []bool {
+	seen := make([]bool, n)
+	queue := []int{u}
+	seen[u] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj(v) {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen
+}
+
+// TestQuickAgainstReachability cross-checks Tarjan against the definition:
+// u and v share a component iff u reaches v and v reaches u.
+func TestQuickAgainstReachability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		var edges [][2]int
+		m := rng.Intn(3 * n)
+		for i := 0; i < m; i++ {
+			edges = append(edges, [2]int{rng.Intn(n), rng.Intn(n)})
+		}
+		adj := adjOf(edges, n)
+		comp, _ := Strong(n, adj)
+		reach := make([][]bool, n)
+		for u := 0; u < n; u++ {
+			reach[u] = reachable(n, adj, u)
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				same := reach[u][v] && reach[v][u]
+				if same != (comp[u] == comp[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,68 @@
+package scl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"polce/internal/core"
+)
+
+// TestCorpus runs every .scl file under testdata against every solver
+// configuration. Expected query results are written inline as
+// "# expect NAME = {members}" comments, so each corpus file is a
+// self-contained solver test.
+func TestCorpus(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.scl")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus: %v", err)
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(data)
+
+			var want []string
+			for _, line := range strings.Split(src, "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "# expect "); ok {
+					want = append(want, strings.TrimSpace(rest))
+				}
+			}
+			if len(want) == 0 {
+				t.Fatalf("%s has no # expect lines", path)
+			}
+
+			f, err := Parse(src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if len(f.Queries) != len(want) {
+				t.Fatalf("%d queries but %d expectations", len(f.Queries), len(want))
+			}
+
+			for _, form := range []core.Form{core.SF, core.IF} {
+				for _, pol := range []core.CyclePolicy{core.CycleNone, core.CycleOnline, core.CyclePeriodic} {
+					for seed := int64(0); seed < 3; seed++ {
+						s := f.Solve(core.Options{Form: form, Cycles: pol, Seed: seed, PeriodicInterval: 8})
+						got := s.QueryResults()
+						for i := range want {
+							if got[i] != want[i] {
+								t.Errorf("%v/%v seed %d: query %d = %q, want %q",
+									form, pol, seed, i, got[i], want[i])
+							}
+						}
+						if n := s.Sys.ErrorCount(); n != 0 {
+							t.Errorf("%v/%v seed %d: %d solver errors: %v", form, pol, seed, n, s.Sys.Errors()[0])
+						}
+					}
+				}
+			}
+		})
+	}
+}

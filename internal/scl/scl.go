@@ -1,0 +1,387 @@
+// Package scl implements a small textual set-constraint language, so the
+// solver can be driven standalone — the way the authors' BANE toolkit
+// exposed their solver — without going through a program analysis.
+//
+// Syntax (line oriented; '#' starts a comment; ';' also separates
+// statements):
+//
+//	cons c(+, -)        declare constructor c with covariant and
+//	                    contravariant arguments (“cons a” is nullary)
+//	e1 <= e2            an inclusion constraint
+//	query X             print X's least solution when the system is run
+//
+// Expressions:
+//
+//	X, Y, result        variables (auto-created on first use)
+//	c(e1, e2)           constructed terms; a nullary constructor is
+//	                    written bare: a
+//	0, 1                the empty and universal sets
+//	e1 | e2             union (left-hand sides only)
+//	e1 & e2             intersection (right-hand sides only)
+//	( e )               grouping
+//
+// A parsed System can be solved under any representation and cycle
+// policy, which makes .scl files convenient solver test corpora.
+package scl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"polce/internal/core"
+)
+
+// Constraint is one inclusion of the source file.
+type Constraint struct {
+	L, R Expr
+	Line int
+}
+
+// File is a parsed constraint program.
+type File struct {
+	Cons        map[string]*core.Constructor
+	Constraints []Constraint
+	Queries     []string // variable names, in order
+	varNames    []string // first-use order
+	varSet      map[string]bool
+}
+
+// Expr is the surface syntax tree for a set expression.
+type Expr interface{ isExpr() }
+
+// VarExpr names a variable.
+type VarExpr struct{ Name string }
+
+// TermExpr is a constructed term.
+type TermExpr struct {
+	Con  string
+	Args []Expr
+}
+
+// OpExpr is a union ('|') or intersection ('&').
+type OpExpr struct {
+	Op   byte // '|' or '&'
+	L, R Expr
+}
+
+// ZeroExpr and OneExpr are the constant sets.
+type ZeroExpr struct{}
+
+// OneExpr is the universal set.
+type OneExpr struct{}
+
+func (*VarExpr) isExpr()  {}
+func (*TermExpr) isExpr() {}
+func (*OpExpr) isExpr()   {}
+func (*ZeroExpr) isExpr() {}
+func (*OneExpr) isExpr()  {}
+
+// VarNames returns the variables in first-use order.
+func (f *File) VarNames() []string { return f.varNames }
+
+// Parse reads a constraint program.
+func Parse(src string) (*File, error) {
+	f := &File{Cons: map[string]*core.Constructor{}, varSet: map[string]bool{}}
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		if i := strings.IndexByte(raw, '#'); i >= 0 {
+			raw = raw[:i]
+		}
+		for _, stmt := range strings.Split(raw, ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			if err := f.parseStmt(stmt, ln+1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return f, nil
+}
+
+// MustParse parses or panics (tests, embedded corpora).
+func MustParse(src string) *File {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (f *File) parseStmt(stmt string, line int) error {
+	switch {
+	case strings.HasPrefix(stmt, "cons "):
+		return f.parseCons(strings.TrimSpace(stmt[5:]), line)
+	case strings.HasPrefix(stmt, "query "):
+		name := strings.TrimSpace(stmt[6:])
+		if name == "" {
+			return fmt.Errorf("scl:%d: empty query", line)
+		}
+		f.touchVar(name)
+		f.Queries = append(f.Queries, name)
+		return nil
+	}
+	idx := strings.Index(stmt, "<=")
+	if idx < 0 {
+		return fmt.Errorf("scl:%d: statement is not a declaration, query or constraint: %q", line, stmt)
+	}
+	l, err := f.parseExpr(stmt[:idx], line)
+	if err != nil {
+		return err
+	}
+	r, err := f.parseExpr(stmt[idx+2:], line)
+	if err != nil {
+		return err
+	}
+	f.Constraints = append(f.Constraints, Constraint{L: l, R: r, Line: line})
+	return nil
+}
+
+func (f *File) parseCons(decl string, line int) error {
+	name := decl
+	var sig []core.Variance
+	if i := strings.IndexByte(decl, '('); i >= 0 {
+		if !strings.HasSuffix(decl, ")") {
+			return fmt.Errorf("scl:%d: malformed constructor declaration %q", line, decl)
+		}
+		name = strings.TrimSpace(decl[:i])
+		inner := strings.TrimSpace(decl[i+1 : len(decl)-1])
+		if inner != "" {
+			for _, v := range strings.Split(inner, ",") {
+				switch strings.TrimSpace(v) {
+				case "+":
+					sig = append(sig, core.Covariant)
+				case "-":
+					sig = append(sig, core.Contravariant)
+				default:
+					return fmt.Errorf("scl:%d: variance must be + or -, got %q", line, v)
+				}
+			}
+		}
+	}
+	if !isIdent(name) {
+		return fmt.Errorf("scl:%d: bad constructor name %q", line, name)
+	}
+	if _, dup := f.Cons[name]; dup {
+		return fmt.Errorf("scl:%d: constructor %s redeclared", line, name)
+	}
+	f.Cons[name] = core.NewConstructor(name, sig...)
+	return nil
+}
+
+func (f *File) touchVar(name string) {
+	if !f.varSet[name] {
+		f.varSet[name] = true
+		f.varNames = append(f.varNames, name)
+	}
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// --- expression parsing (tiny recursive descent over a rune scanner) -----
+
+type exprParser struct {
+	file *File
+	src  string
+	pos  int
+	line int
+}
+
+func (f *File) parseExpr(src string, line int) (Expr, error) {
+	p := &exprParser{file: f, src: src, line: line}
+	e, err := p.parseOps()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("scl:%d: trailing input %q", line, p.src[p.pos:])
+	}
+	return e, nil
+}
+
+func (p *exprParser) skip() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) parseOps() (Expr, error) {
+	l, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		if p.pos >= len(p.src) || (p.src[p.pos] != '|' && p.src[p.pos] != '&') {
+			return l, nil
+		}
+		op := p.src[p.pos]
+		p.pos++
+		r, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		l = &OpExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *exprParser) parseAtom() (Expr, error) {
+	p.skip()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("scl:%d: expected expression", p.line)
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		e, err := p.parseOps()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("scl:%d: missing ')'", p.line)
+		}
+		p.pos++
+		return e, nil
+	case c == '0':
+		p.pos++
+		return &ZeroExpr{}, nil
+	case c == '1':
+		p.pos++
+		return &OneExpr{}, nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) && isIdentByte(p.src[p.pos], p.pos > start) {
+		p.pos++
+	}
+	name := p.src[start:p.pos]
+	if name == "" {
+		return nil, fmt.Errorf("scl:%d: unexpected character %q", p.line, c)
+	}
+	p.skip()
+	if _, isCon := p.file.Cons[name]; isCon {
+		term := &TermExpr{Con: name}
+		if p.pos < len(p.src) && p.src[p.pos] == '(' {
+			p.pos++
+			for {
+				arg, err := p.parseOps()
+				if err != nil {
+					return nil, err
+				}
+				term.Args = append(term.Args, arg)
+				p.skip()
+				if p.pos < len(p.src) && p.src[p.pos] == ',' {
+					p.pos++
+					continue
+				}
+				break
+			}
+			if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+				return nil, fmt.Errorf("scl:%d: missing ')' after arguments of %s", p.line, name)
+			}
+			p.pos++
+		}
+		if got, want := len(term.Args), p.file.Cons[name].Arity(); got != want {
+			return nil, fmt.Errorf("scl:%d: %s expects %d argument(s), got %d", p.line, name, want, got)
+		}
+		return term, nil
+	}
+	p.file.touchVar(name)
+	return &VarExpr{Name: name}, nil
+}
+
+func isIdentByte(c byte, notFirst bool) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+		(notFirst && c >= '0' && c <= '9')
+}
+
+// --- evaluation -----------------------------------------------------------
+
+// Solved is a constraint program loaded into a live solver.
+type Solved struct {
+	Sys  *core.System
+	Vars map[string]*core.Var
+	file *File
+}
+
+// Solve builds a core.System from the file under the given options and
+// adds every constraint.
+func (f *File) Solve(opt core.Options) *Solved {
+	s := &Solved{Sys: core.NewSystem(opt), Vars: map[string]*core.Var{}, file: f}
+	for _, name := range f.varNames {
+		s.Vars[name] = s.Sys.Fresh(name)
+	}
+	// Terms are interned structurally: every occurrence of the same
+	// written term (same constructor, same sub-expressions) denotes the
+	// same set, so it must be the same *core.Term. Since variables are
+	// interned by name and sub-terms recursively, identity of the built
+	// argument expressions is a sound structural key.
+	terms := map[string]*core.Term{}
+	var build func(e Expr) core.Expr
+	build = func(e Expr) core.Expr {
+		switch x := e.(type) {
+		case *VarExpr:
+			return s.Vars[x.Name]
+		case *ZeroExpr:
+			return core.Zero
+		case *OneExpr:
+			return core.One
+		case *TermExpr:
+			args := make([]core.Expr, len(x.Args))
+			key := x.Con
+			for i, a := range x.Args {
+				args[i] = build(a)
+				key += fmt.Sprintf("|%p", args[i])
+			}
+			if t, ok := terms[key]; ok {
+				return t
+			}
+			t := core.NewTerm(f.Cons[x.Con], args...)
+			terms[key] = t
+			return t
+		case *OpExpr:
+			if x.Op == '|' {
+				return core.NewUnion(build(x.L), build(x.R))
+			}
+			return core.NewIntersection(build(x.L), build(x.R))
+		}
+		panic(fmt.Sprintf("scl: unknown expression %T", e))
+	}
+	for _, c := range f.Constraints {
+		s.Sys.AddConstraint(build(c.L), build(c.R))
+	}
+	return s
+}
+
+// QueryResults renders each `query` line's least solution as
+// "name = {t1, t2, ...}" with sorted members.
+func (s *Solved) QueryResults() []string {
+	var out []string
+	for _, name := range s.file.Queries {
+		v := s.Vars[name]
+		var members []string
+		for _, t := range s.Sys.LeastSolution(v) {
+			members = append(members, t.String())
+		}
+		sort.Strings(members)
+		out = append(out, fmt.Sprintf("%s = {%s}", name, strings.Join(members, ", ")))
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package scl
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"polce/internal/core"
+)
+
+func solve(t *testing.T, src string, opt core.Options) *Solved {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Solve(opt)
+}
+
+func TestBasicProgram(t *testing.T) {
+	src := `
+# a tiny system
+cons apple
+cons pear
+apple <= X
+X <= Y ; pear <= Y
+query X
+query Y
+`
+	for _, form := range []core.Form{core.SF, core.IF} {
+		s := solve(t, src, core.Options{Form: form, Cycles: core.CycleOnline, Seed: 1})
+		got := s.QueryResults()
+		want := []string{"X = {apple}", "Y = {apple, pear}"}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%v: query %d = %q, want %q", form, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestConstructorsAndVariance(t *testing.T) {
+	src := `
+cons a
+cons box(+)
+cons sink(-)
+a <= X
+box(X) <= box(Y)
+sink(Z) <= sink(X)
+query Y
+query Z
+`
+	s := solve(t, src, core.Options{Form: core.IF, Seed: 2})
+	got := s.QueryResults()
+	if got[0] != "Y = {a}" {
+		t.Errorf("covariant flow: %q", got[0])
+	}
+	if got[1] != "Z = {a}" {
+		t.Errorf("contravariant flow: %q", got[1])
+	}
+}
+
+func TestCyclesCollapse(t *testing.T) {
+	src := `
+cons a
+a <= X
+X <= Y
+Y <= Z
+Z <= X
+query Z
+`
+	s := solve(t, src, core.Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 3})
+	if s.Sys.Stats().VarsEliminated != 2 {
+		t.Errorf("eliminated = %d, want 2", s.Sys.Stats().VarsEliminated)
+	}
+	if got := s.QueryResults()[0]; got != "Z = {a}" {
+		t.Errorf("query = %q", got)
+	}
+}
+
+func TestSetOpsAndConstants(t *testing.T) {
+	src := `
+cons a
+cons b
+a <= X
+b <= Y
+X | Y <= Z
+Z <= U & V
+0 <= W
+W <= 1
+query Z
+query U
+query V
+`
+	s := solve(t, src, core.Options{Form: core.SF, Seed: 4})
+	got := s.QueryResults()
+	if got[0] != "Z = {a, b}" || got[1] != "U = {a, b}" || got[2] != "V = {a, b}" {
+		t.Errorf("results: %v", got)
+	}
+	if s.Sys.ErrorCount() != 0 {
+		t.Errorf("errors: %v", s.Sys.Errors())
+	}
+}
+
+func TestNestedTerms(t *testing.T) {
+	src := `
+cons a
+cons pair(+, -)
+cons wrap(+)
+a <= L
+pair(wrap(L), R) <= X
+X <= pair(wrap(M), a | L)
+query M
+`
+	s := solve(t, src, core.Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 5})
+	if got := s.QueryResults()[0]; got != "M = {a}" {
+		t.Errorf("M = %q", got)
+	}
+	// Contravariant side: (a | L) ⊆ R — a union from decomposition.
+	r := s.Vars["R"]
+	if len(s.Sys.LeastSolution(r)) != 1 {
+		t.Errorf("LS(R) = %v", s.Sys.LeastSolution(r))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"cons":                  "statement is not",
+		"cons 9bad":             "bad constructor name",
+		"cons a\ncons a":        "redeclared",
+		"cons c(+,*)":           "variance",
+		"X <= ":                 "expected expression",
+		"X Y":                   "statement is not",
+		"cons box(+)\nbox <= X": "expects 1 argument",
+		"X <= (Y":               "missing ')'",
+		"query":                 "statement is not",
+		"X <= Y extra":          "trailing input",
+	}
+	for src, wantSub := range bad {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", src, wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("Parse(%q) error %q, want substring %q", src, err, wantSub)
+		}
+	}
+}
+
+func TestIllegalPositionsSurfaceAsSolverErrors(t *testing.T) {
+	src := `
+cons a
+a <= X
+X <= Y | Z
+`
+	s := solve(t, src, core.Options{Form: core.SF, Seed: 6})
+	if s.Sys.ErrorCount() == 0 {
+		t.Error("union on the right did not produce a solver error")
+	}
+}
+
+func TestVarNamesFirstUseOrder(t *testing.T) {
+	f := MustParse("cons a\na <= Zed\nZed <= Alpha\nquery Mid")
+	got := fmt.Sprint(f.VarNames())
+	if got != "[Zed Alpha Mid]" {
+		t.Errorf("VarNames = %v", got)
+	}
+}
+
+// TestAllConfigsAgreeOnSCL reuses a cyclic program as a solver corpus
+// across every configuration.
+func TestAllConfigsAgreeOnSCL(t *testing.T) {
+	src := `
+cons a
+cons b
+cons box(+)
+a <= V0 ; b <= V1
+V0 <= V2 ; V2 <= V4 ; V4 <= V0      # a 3-cycle
+V1 <= V3 ; V3 <= V1                 # a 2-cycle
+box(V0) <= box(V5)
+V4 <= V5
+query V0 ; query V3 ; query V5
+`
+	f := MustParse(src)
+	ref := f.Solve(core.Options{Form: core.SF, Cycles: core.CycleNone, Seed: 0})
+	want := fmt.Sprint(ref.QueryResults())
+	for _, form := range []core.Form{core.SF, core.IF} {
+		for _, pol := range []core.CyclePolicy{core.CycleNone, core.CycleOnline, core.CyclePeriodic} {
+			for seed := int64(0); seed < 5; seed++ {
+				s := f.Solve(core.Options{Form: form, Cycles: pol, Seed: seed, PeriodicInterval: 4})
+				if got := fmt.Sprint(s.QueryResults()); got != want {
+					t.Fatalf("%v/%v seed %d:\n got %s\nwant %s", form, pol, seed, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package steens
+
+import (
+	"fmt"
+
+	"polce/internal/cgen"
+)
+
+// This file walks statements and expressions, mirroring the Andersen
+// generator's L-value discipline but emitting unifications instead of
+// inclusion constraints.
+
+func (a *Analysis) genFuncBody(d *cgen.FuncDecl) {
+	l := a.declareFunc(d)
+	sig := find(l.Cell).sig
+	a.fname = d.Name
+	a.ret = sig.Ret
+	a.pushScope()
+	for i, p := range d.Params {
+		if i < len(sig.paramLocs) && p.Name != "" {
+			a.bind(p.Name, sig.paramLocs[i], p.Type)
+		}
+	}
+	a.genStmt(d.Body)
+	a.popScope()
+	a.ret = nil
+	a.fname = ""
+}
+
+func (a *Analysis) genStmt(s cgen.Stmt) {
+	switch st := s.(type) {
+	case nil:
+		return
+	case *cgen.Block:
+		if st == nil {
+			return
+		}
+		a.pushScope()
+		for _, inner := range st.Stmts {
+			a.genStmt(inner)
+		}
+		a.popScope()
+	case *cgen.DeclStmt:
+		for _, d := range st.Decls {
+			switch dd := d.(type) {
+			case *cgen.VarDecl:
+				l := a.declareVar(dd, a.fname)
+				if dd.Init != nil && l != nil {
+					a.genInit(l.Cell, dd.Init)
+				}
+			case *cgen.FuncDecl:
+				a.declareFunc(dd)
+			case *cgen.RecordDecl:
+				a.tenv.DefineRecord(dd)
+			}
+		}
+	case *cgen.ExprStmt:
+		a.rval(st.X)
+	case *cgen.If:
+		a.rval(st.Cond)
+		a.genStmt(st.Then)
+		a.genStmt(st.Else)
+	case *cgen.While:
+		a.rval(st.Cond)
+		a.genStmt(st.Body)
+	case *cgen.DoWhile:
+		a.genStmt(st.Body)
+		a.rval(st.Cond)
+	case *cgen.For:
+		a.pushScope()
+		a.genStmt(st.Init)
+		if st.Cond != nil {
+			a.rval(st.Cond)
+		}
+		if st.Post != nil {
+			a.rval(st.Post)
+		}
+		a.genStmt(st.Body)
+		a.popScope()
+	case *cgen.Return:
+		if st.X != nil {
+			v := a.rval(st.X)
+			if a.ret != nil && v != nil {
+				a.unify(a.ret, v)
+			}
+		}
+	case *cgen.Switch:
+		a.rval(st.Tag)
+		a.genStmt(st.Body)
+	case *cgen.Case:
+		if st.X != nil {
+			a.rval(st.X)
+		}
+		a.genStmt(st.Body)
+	case *cgen.Label:
+		a.genStmt(st.Body)
+	case *cgen.Goto, *cgen.Break, *cgen.Continue, *cgen.Empty:
+	}
+}
+
+func (a *Analysis) genInit(locCell *Cell, init cgen.Expr) {
+	if lst, ok := init.(*cgen.InitList); ok {
+		for _, e := range lst.Elems {
+			a.genInit(locCell, e)
+		}
+		return
+	}
+	if v := a.rval(init); v != nil {
+		a.unify(a.pts(locCell), v)
+	}
+}
+
+func decays(t *cgen.Type) bool {
+	return t != nil && (t.Kind == cgen.TArray || t.Kind == cgen.TFunc)
+}
+
+// lval returns the class of locations e designates, or nil.
+func (a *Analysis) lval(e cgen.Expr) *Cell {
+	switch x := e.(type) {
+	case *cgen.IdentExpr:
+		if l := a.lookup(x.Name); l != nil {
+			return l.Cell
+		}
+		return nil
+	case *cgen.StrExpr:
+		return a.newLocation(fmt.Sprintf("str@%d:%d", x.Line, x.Col)).Cell
+	case *cgen.UnaryExpr:
+		if x.Op == cgen.Star {
+			return a.rval(x.X)
+		}
+		if x.Op == cgen.Inc || x.Op == cgen.Dec {
+			return a.lval(x.X)
+		}
+		a.rval(e)
+		return nil
+	case *cgen.IndexExpr:
+		a.rval(x.Idx)
+		return a.rval(x.X)
+	case *cgen.MemberExpr:
+		if x.Arrow {
+			return a.rval(x.X)
+		}
+		return a.lval(x.X)
+	case *cgen.CastExpr:
+		return a.lval(x.X)
+	case *cgen.AssignExpr:
+		a.rval(e)
+		return a.lval(x.L)
+	case *cgen.CommaExpr:
+		a.rval(x.L)
+		return a.lval(x.R)
+	case *cgen.CondExpr:
+		a.rval(x.Cond)
+		lt := a.lval(x.Then)
+		le := a.lval(x.Else)
+		switch {
+		case lt == nil:
+			return le
+		case le == nil:
+			return lt
+		default:
+			a.unify(lt, le)
+			return lt
+		}
+	case *cgen.PostfixExpr:
+		return a.lval(x.X)
+	}
+	a.rval(e)
+	return nil
+}
+
+// rval returns the value class of e (nil when it cannot carry pointers).
+func (a *Analysis) rval(e cgen.Expr) *Cell {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *cgen.IntExpr, *cgen.FloatExpr:
+		return nil
+	case *cgen.SizeofExpr:
+		if x.X != nil {
+			a.rval(x.X)
+		}
+		return nil
+	case *cgen.StrExpr:
+		return a.lval(e)
+	case *cgen.IdentExpr:
+		l := a.lookup(x.Name)
+		if l == nil {
+			return nil
+		}
+		if decays(a.tenv.Lookup(x.Name)) || find(l.Cell).sig != nil {
+			return l.Cell
+		}
+		return a.pts(l.Cell)
+	case *cgen.UnaryExpr:
+		switch x.Op {
+		case cgen.Amp:
+			return a.lval(x.X)
+		case cgen.Star:
+			inner := a.rval(x.X)
+			if inner == nil {
+				return nil
+			}
+			if t := a.tenv.TypeOf(x.X); t != nil && t.Kind == cgen.TPointer && t.Elem != nil && t.Elem.Kind == cgen.TFunc {
+				return inner
+			}
+			if decays(a.tenv.TypeOf(e)) {
+				return inner
+			}
+			return a.pts(inner)
+		case cgen.Inc, cgen.Dec:
+			return a.rval(x.X)
+		default:
+			a.rval(x.X)
+			return nil
+		}
+	case *cgen.PostfixExpr:
+		return a.rval(x.X)
+	case *cgen.BinaryExpr:
+		l := a.rval(x.L)
+		r := a.rval(x.R)
+		if x.Op == cgen.Plus || x.Op == cgen.Minus {
+			if a.tenv.TypeOf(x.L).IsPointerLike() {
+				return l
+			}
+			if a.tenv.TypeOf(x.R).IsPointerLike() {
+				return r
+			}
+			// Unknown types: join conservatively (this is Steensgaard's
+			// characteristic coarseness).
+			switch {
+			case l == nil:
+				return r
+			case r == nil:
+				return l
+			default:
+				a.unify(l, r)
+				return l
+			}
+		}
+		return nil
+	case *cgen.AssignExpr:
+		val := a.rval(x.R)
+		lv := a.lval(x.L)
+		if x.Op != cgen.Assign {
+			old := a.rval(x.L)
+			if old != nil && val != nil {
+				a.unify(old, val)
+			} else if val == nil {
+				val = old
+			}
+		}
+		if lv != nil && val != nil {
+			a.unify(a.pts(lv), val)
+		}
+		if lv != nil {
+			return a.pts(lv)
+		}
+		return val
+	case *cgen.CondExpr:
+		a.rval(x.Cond)
+		l := a.rval(x.Then)
+		r := a.rval(x.Else)
+		switch {
+		case l == nil:
+			return r
+		case r == nil:
+			return l
+		default:
+			a.unify(l, r)
+			return l
+		}
+	case *cgen.CommaExpr:
+		a.rval(x.L)
+		return a.rval(x.R)
+	case *cgen.CastExpr:
+		return a.rval(x.X)
+	case *cgen.IndexExpr:
+		a.rval(x.Idx)
+		base := a.rval(x.X)
+		if base == nil {
+			return nil
+		}
+		if decays(a.tenv.TypeOf(e)) {
+			return base
+		}
+		return a.pts(base)
+	case *cgen.MemberExpr:
+		lv := a.lval(e)
+		if lv == nil {
+			return nil
+		}
+		if decays(a.tenv.TypeOf(e)) {
+			return lv
+		}
+		return a.pts(lv)
+	case *cgen.CallExpr:
+		return a.genCall(x)
+	case *cgen.InitList:
+		for _, el := range x.Elems {
+			a.rval(el)
+		}
+		return nil
+	}
+	return nil
+}
+
+var allocators = map[string]bool{
+	"malloc": true, "calloc": true, "valloc": true, "alloca": true,
+	"xmalloc": true, "strdup": true, "xstrdup": true,
+}
+
+func (a *Analysis) genCall(call *cgen.CallExpr) *Cell {
+	if id, ok := call.Fun.(*cgen.IdentExpr); ok && a.lookup(id.Name) == nil {
+		return a.genSpecialCall(id.Name, call)
+	}
+	if id, ok := call.Fun.(*cgen.IdentExpr); ok {
+		if l := a.lookup(id.Name); l != nil {
+			if sig := find(l.Cell).sig; sig != nil {
+				return a.genSigCall(sig, call)
+			}
+		}
+	}
+	// Indirect call: the callee's value class contains function
+	// locations; its signature lives on that class.
+	fnVals := a.rval(call.Fun)
+	if fnVals == nil {
+		for _, arg := range call.Args {
+			a.rval(arg)
+		}
+		return nil
+	}
+	cls := find(fnVals)
+	if cls.sig == nil {
+		sig := &Sig{Ret: a.newCell()}
+		for range call.Args {
+			sig.Params = append(sig.Params, a.newCell())
+		}
+		cls.sig = sig
+	}
+	return a.genSigCall(find(fnVals).sig, call)
+}
+
+func (a *Analysis) genSigCall(sig *Sig, call *cgen.CallExpr) *Cell {
+	for i, arg := range call.Args {
+		v := a.rval(arg)
+		if v != nil && i < len(sig.Params) {
+			a.unify(v, sig.Params[i])
+		}
+	}
+	return sig.Ret
+}
+
+func (a *Analysis) genSpecialCall(name string, call *cgen.CallExpr) *Cell {
+	argv := make([]*Cell, len(call.Args))
+	for i, arg := range call.Args {
+		argv[i] = a.rval(arg)
+	}
+	switch {
+	case allocators[name]:
+		return a.newLocation(fmt.Sprintf("heap@%d:%d", call.Line, call.Col)).Cell
+	case name == "realloc":
+		l := a.newLocation(fmt.Sprintf("heap@%d:%d", call.Line, call.Col))
+		if len(argv) > 0 && argv[0] != nil {
+			a.unify(l.Cell, argv[0])
+		}
+		return l.Cell
+	case (name == "memcpy" || name == "memmove" || name == "strcpy" ||
+		name == "strncpy" || name == "strcat" || name == "strncat") && len(argv) >= 2:
+		if argv[0] != nil && argv[1] != nil {
+			a.unify(a.pts(argv[0]), a.pts(argv[1]))
+		}
+		return argv[0]
+	default:
+		return nil
+	}
+}

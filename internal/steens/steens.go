@@ -1,0 +1,288 @@
+// Package steens implements Steensgaard's unification-based points-to
+// analysis as the almost-linear-time baseline the paper's related work
+// compares against (Shapiro and Horwitz's study [SH97] contrasts it with
+// Andersen's analysis). Where Andersen's analysis resolves inclusion
+// constraints, Steensgaard's merges: every assignment unifies the
+// points-to classes of its two sides, so the result is coarser — each
+// location class points to at most one location class — but the analysis
+// runs in near-linear time using only union-find.
+//
+// The implementation mirrors internal/andersen's treatment of C (L-value
+// discipline, array collapsing, field insensitivity, heap location per
+// allocation site) so precision comparisons between the two analyses
+// reflect the algorithms, not the front-end modelling.
+package steens
+
+import (
+	"fmt"
+
+	"polce/internal/cgen"
+)
+
+// Cell is an equivalence class node. Every abstract location starts in its
+// own class; assignments unify classes. A class lazily acquires a single
+// points-to class.
+type Cell struct {
+	parent *Cell
+	rank   int8
+
+	pts *Cell // the one class this class may point to (lazily created)
+	sig *Sig  // function signature if the class contains functions
+
+	// Loc is non-nil when the cell was created for a named abstract
+	// location (variable, function, heap site, string literal).
+	Loc *Location
+}
+
+// Location is a named abstract memory location.
+type Location struct {
+	Name string
+	Cell *Cell
+}
+
+// Sig is the calling interface carried by classes containing functions.
+type Sig struct {
+	Params []*Cell // value classes of the parameters' contents
+	Ret    *Cell
+
+	paramLocs []*Location // parameter locations, for body binding
+}
+
+// find returns the class representative with path compression.
+func find(c *Cell) *Cell {
+	for c.parent != nil {
+		if c.parent.parent != nil {
+			c.parent = c.parent.parent
+		}
+		c = c.parent
+	}
+	return c
+}
+
+// Analysis holds the analysis state and results.
+type Analysis struct {
+	locs  []*Location
+	cells int // total cells allocated (the work-space size metric)
+
+	tenv   *cgen.TypeEnv
+	scopes []map[string]*Location
+	ret    *Cell // return-value class of the function being analysed
+	fname  string
+	names  map[string]int
+}
+
+// Analyze runs Steensgaard's analysis over a parsed file.
+func Analyze(file *cgen.File) *Analysis {
+	a := &Analysis{
+		tenv:   cgen.NewTypeEnv(),
+		scopes: []map[string]*Location{{}},
+		names:  map[string]int{},
+	}
+	// Pass 1: records, globals and function interfaces.
+	for _, d := range file.Decls {
+		switch decl := d.(type) {
+		case *cgen.RecordDecl:
+			a.tenv.DefineRecord(decl)
+		case *cgen.VarDecl:
+			a.declareVar(decl, "")
+		case *cgen.FuncDecl:
+			a.declareFunc(decl)
+		}
+	}
+	// Pass 2: initialisers and bodies.
+	for _, d := range file.Decls {
+		switch decl := d.(type) {
+		case *cgen.VarDecl:
+			if decl.Init != nil {
+				if l := a.lookup(decl.Name); l != nil {
+					a.genInit(l.Cell, decl.Init)
+				}
+			}
+		case *cgen.FuncDecl:
+			if decl.Body != nil {
+				a.genFuncBody(decl)
+			}
+		}
+	}
+	return a
+}
+
+// Locations returns every abstract location, in creation order.
+func (a *Analysis) Locations() []*Location { return a.locs }
+
+// CellCount returns the number of union-find cells allocated.
+func (a *Analysis) CellCount() int { return a.cells }
+
+// LocationByName finds a location by name, or nil.
+func (a *Analysis) LocationByName(name string) *Location {
+	for _, l := range a.locs {
+		if l.Name == name {
+			return l
+		}
+	}
+	return nil
+}
+
+// PointsTo returns the locations l may point to: every location in the
+// class its class points to. Coarse by construction.
+func (a *Analysis) PointsTo(l *Location) []*Location {
+	cls := find(l.Cell)
+	if cls.pts == nil {
+		return nil
+	}
+	target := find(cls.pts)
+	var out []*Location
+	for _, cand := range a.locs {
+		if find(cand.Cell) == target {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// PointsToNames returns the names of PointsTo(l).
+func (a *Analysis) PointsToNames(l *Location) []string {
+	ls := a.PointsTo(l)
+	out := make([]string, len(ls))
+	for i, t := range ls {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// newCell allocates a fresh class.
+func (a *Analysis) newCell() *Cell {
+	a.cells++
+	return &Cell{}
+}
+
+// newLocation allocates a named location in its own class.
+func (a *Analysis) newLocation(name string) *Location {
+	if n := a.names[name]; n > 0 {
+		a.names[name] = n + 1
+		name = fmt.Sprintf("%s#%d", name, n)
+	} else {
+		a.names[name] = 1
+	}
+	l := &Location{Name: name, Cell: a.newCell()}
+	l.Cell.Loc = l
+	a.locs = append(a.locs, l)
+	return l
+}
+
+// pts returns (creating if needed) the class c points to.
+func (a *Analysis) pts(c *Cell) *Cell {
+	c = find(c)
+	if c.pts == nil {
+		c.pts = a.newCell()
+	}
+	return find(c.pts)
+}
+
+// unify merges two classes, recursively unifying their points-to classes
+// and signatures (Steensgaard's join).
+func (a *Analysis) unify(x, y *Cell) {
+	x, y = find(x), find(y)
+	if x == y {
+		return
+	}
+	if x.rank < y.rank {
+		x, y = y, x
+	} else if x.rank == y.rank {
+		x.rank++
+	}
+	// y joins x.
+	y.parent = x
+	ypts, ysig := y.pts, y.sig
+	y.pts, y.sig = nil, nil
+	if ypts != nil {
+		if x.pts != nil {
+			a.unify(x.pts, ypts)
+		} else {
+			x.pts = ypts
+		}
+	}
+	if ysig != nil {
+		if x.sig != nil {
+			a.unifySig(x.sig, ysig)
+		} else {
+			x.sig = ysig
+		}
+	}
+}
+
+// unifySig merges two calling interfaces pointwise.
+func (a *Analysis) unifySig(s, t *Sig) {
+	n := len(s.Params)
+	if len(t.Params) < n {
+		n = len(t.Params)
+	}
+	for i := 0; i < n; i++ {
+		a.unify(s.Params[i], t.Params[i])
+	}
+	a.unify(s.Ret, t.Ret)
+}
+
+// --- scoping -------------------------------------------------------------
+
+func (a *Analysis) pushScope() {
+	a.scopes = append(a.scopes, map[string]*Location{})
+	a.tenv.Push()
+}
+
+func (a *Analysis) popScope() {
+	a.scopes = a.scopes[:len(a.scopes)-1]
+	a.tenv.Pop()
+}
+
+func (a *Analysis) bind(name string, l *Location, t *cgen.Type) {
+	a.scopes[len(a.scopes)-1][name] = l
+	a.tenv.Bind(name, t)
+}
+
+func (a *Analysis) lookup(name string) *Location {
+	for i := len(a.scopes) - 1; i >= 0; i-- {
+		if l, ok := a.scopes[i][name]; ok {
+			return l
+		}
+	}
+	return nil
+}
+
+func (a *Analysis) declareVar(d *cgen.VarDecl, prefix string) *Location {
+	if d.Name == "" {
+		return nil
+	}
+	name := d.Name
+	if prefix != "" {
+		name = prefix + "::" + name
+	}
+	l := a.newLocation(name)
+	a.bind(d.Name, l, d.Type)
+	return l
+}
+
+func (a *Analysis) declareFunc(d *cgen.FuncDecl) *Location {
+	l := a.lookup(d.Name)
+	if l == nil {
+		l = a.newLocation(d.Name)
+		a.bind(d.Name, l, d.Type)
+	}
+	cls := find(l.Cell)
+	if cls.sig != nil {
+		return l
+	}
+	sig := &Sig{Ret: a.newCell()}
+	for i, p := range d.Params {
+		pname := p.Name
+		if pname == "" {
+			pname = fmt.Sprintf("arg%d", i)
+		}
+		pl := a.newLocation(d.Name + "::" + pname)
+		sig.Params = append(sig.Params, a.pts(pl.Cell))
+		// Remember the parameter location for body binding.
+		sig.paramLocs = append(sig.paramLocs, pl)
+	}
+	cls.sig = sig
+	return l
+}

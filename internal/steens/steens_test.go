@@ -1,0 +1,224 @@
+package steens
+
+import (
+	"sort"
+	"testing"
+
+	"polce/internal/andersen"
+	"polce/internal/cgen"
+	"polce/internal/core"
+)
+
+func analyze(t *testing.T, src string) *Analysis {
+	t.Helper()
+	f, err := cgen.MustParse("test.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(f)
+}
+
+func pts(t *testing.T, a *Analysis, name string) []string {
+	t.Helper()
+	l := a.LocationByName(name)
+	if l == nil {
+		t.Fatalf("no location %q", name)
+	}
+	out := a.PointsToNames(l)
+	sort.Strings(out)
+	return out
+}
+
+func has(set []string, name string) bool {
+	for _, s := range set {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBasic(t *testing.T) {
+	a := analyze(t, `
+int x;
+int *p, *q;
+void f(void) { p = &x; q = p; }
+`)
+	if got := pts(t, a, "p"); !has(got, "x") {
+		t.Errorf("pts(p) = %v, want to include x", got)
+	}
+	if got := pts(t, a, "q"); !has(got, "x") {
+		t.Errorf("pts(q) = %v, want to include x", got)
+	}
+}
+
+func TestUnificationCoarseness(t *testing.T) {
+	// The hallmark of Steensgaard: q = &x and p = q force x and y into
+	// one class once p = &y, so pts(q) picks up y even though no
+	// assignment ever put y into q. Andersen keeps them separate.
+	src := `
+int x, y;
+int *p, *q;
+void f(void) {
+	q = &x;
+	p = q;
+	p = &y;
+}
+`
+	a := analyze(t, src)
+	got := pts(t, a, "q")
+	if !has(got, "x") || !has(got, "y") {
+		t.Errorf("pts(q) = %v; unification should have merged x and y", got)
+	}
+
+	f, err := cgen.MustParse("test.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := andersen.Analyze(f, andersen.Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 1})
+	al := and.LocationByName("q")
+	andPts := and.PointsToNames(al)
+	if len(andPts) != 1 || andPts[0] != "x" {
+		t.Errorf("Andersen pts(q) = %v, want exactly [x]", andPts)
+	}
+}
+
+func TestDerefWrite(t *testing.T) {
+	a := analyze(t, `
+int x;
+int *p;
+int **pp;
+void f(void) { pp = &p; *pp = &x; }
+`)
+	if got := pts(t, a, "p"); !has(got, "x") {
+		t.Errorf("pts(p) = %v, want to include x", got)
+	}
+}
+
+func TestHeap(t *testing.T) {
+	a := analyze(t, `
+int *p, *q;
+void f(void) { p = malloc(4); q = malloc(4); }
+`)
+	pp := pts(t, a, "p")
+	qq := pts(t, a, "q")
+	if len(pp) == 0 || len(qq) == 0 {
+		t.Fatalf("pts(p)=%v pts(q)=%v", pp, qq)
+	}
+	// Distinct sites, never assigned together: classes stay apart.
+	if pp[0] == qq[0] {
+		t.Errorf("separate malloc sites unified: %v vs %v", pp, qq)
+	}
+}
+
+func TestCalls(t *testing.T) {
+	a := analyze(t, `
+int x;
+int *id(int *a) { return a; }
+void f(void) { int *p = id(&x); }
+`)
+	if got := pts(t, a, "f::p"); !has(got, "x") {
+		t.Errorf("pts(p) = %v, want to include x", got)
+	}
+	if got := pts(t, a, "id::a"); !has(got, "x") {
+		t.Errorf("pts(id::a) = %v, want to include x", got)
+	}
+}
+
+func TestFunctionPointerCalls(t *testing.T) {
+	a := analyze(t, `
+int x;
+int *id(int *a) { return a; }
+void f(void) {
+	int *(*fp)(int *);
+	int *p;
+	fp = id;
+	p = fp(&x);
+}
+`)
+	if got := pts(t, a, "f::p"); !has(got, "x") {
+		t.Errorf("pts(p) = %v, want to include x", got)
+	}
+}
+
+func TestStructsAndArrays(t *testing.T) {
+	a := analyze(t, `
+int x;
+struct s { int *f; } s1;
+int *arr[4];
+int *q, *r;
+void f(void) {
+	s1.f = &x;
+	q = s1.f;
+	arr[0] = &x;
+	r = arr[1];
+}
+`)
+	if got := pts(t, a, "q"); !has(got, "x") {
+		t.Errorf("pts(q) = %v", got)
+	}
+	if got := pts(t, a, "r"); !has(got, "x") {
+		t.Errorf("pts(r) = %v", got)
+	}
+}
+
+// TestSoundnessVsAndersen: Steensgaard must over-approximate Andersen —
+// every Andersen points-to pair appears in Steensgaard's result.
+func TestSoundnessVsAndersen(t *testing.T) {
+	src := `
+struct node { struct node *next; int *data; };
+int g1, g2, g3;
+int *gp, *gq;
+struct node n1, n2, n3;
+struct node *cur;
+int *pick(struct node *n) { return n->data; }
+void link(struct node *a, struct node *b) { a->next = b; }
+int main(void) {
+	int *(*get)(struct node *) = pick;
+	n1.data = &g1;
+	n2.data = &g2;
+	n3.data = &g3;
+	link(&n1, &n2);
+	link(&n2, &n3);
+	cur = &n1;
+	cur = cur->next;
+	gp = get(cur);
+	gq = pick(&n3);
+	gq = (int *)malloc(8);
+	return 0;
+}
+`
+	f, err := cgen.MustParse("test.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Analyze(f)
+	and := andersen.Analyze(f, andersen.Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 7})
+	if and.Sys.ErrorCount() != 0 {
+		t.Fatalf("andersen errors: %v", and.Sys.Errors())
+	}
+
+	for _, al := range and.Locations {
+		sl := st.LocationByName(al.Name)
+		if sl == nil {
+			continue // fresh temporaries differ; named locations match
+		}
+		sPts := st.PointsToNames(sl)
+		for _, target := range and.PointsToNames(al) {
+			if !has(sPts, target) {
+				t.Errorf("unsound: Andersen has %s → %s but Steensgaard pts = %v",
+					al.Name, target, sPts)
+			}
+		}
+	}
+}
+
+func TestCellCount(t *testing.T) {
+	a := analyze(t, `int x; int *p; void f(void) { p = &x; }`)
+	if a.CellCount() == 0 {
+		t.Error("no cells allocated")
+	}
+	if len(a.Locations()) < 3 {
+		t.Errorf("locations = %v", a.Locations())
+	}
+}
