@@ -10,6 +10,7 @@
 //	polce-bench -max-ast 20000      # bound the suite (Plain runs are superlinear)
 //	polce-bench -bench li           # a single benchmark
 //	polce-bench -ablation -figure 11  # include the SF increasing-chain ablation
+//	polce-bench -metrics -bench li    # phase timings + search-depth p50/p90/max
 //
 // The benchmark programs are synthetic stand-ins generated at the paper's
 // Table 1 scales; see DESIGN.md for the substitution argument.
@@ -43,10 +44,11 @@ func main() {
 		sweep    = flag.Bool("sweep", false, "run the scaling sweep (growth exponents of SF-Plain vs IF-Online)")
 		baseline = flag.Bool("baseline", false, "compare Andersen against the Steensgaard unification baseline (time and precision)")
 		csvPath  = flag.String("csv", "", "also write the full measurement matrix as CSV to this file")
+		metrics  = flag.Bool("metrics", false, "record and print per-benchmark phase timings (solve/closure/least-solution) and search-depth p50/p90/max")
 	)
 	flag.Parse()
 
-	if !*all && *table == 0 && *figure == 0 && *modelSel == "" && !*ablation && !*cfaExp && !*diag && !*orders && !*sweep && !*baseline {
+	if !*all && *table == 0 && *figure == 0 && *modelSel == "" && !*ablation && !*cfaExp && !*diag && !*orders && !*sweep && !*baseline && !*metrics {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -97,7 +99,7 @@ func main() {
 			need[e.Name] = true
 		}
 	}
-	if *diag {
+	if *diag || *metrics {
 		need["SF-Online"], need["IF-Online"] = true, true
 	}
 	var exps []string
@@ -134,7 +136,13 @@ func main() {
 	if len(exps) > 0 || containsInt(tables, 1) {
 		fmt.Fprintf(os.Stderr, "polce-bench: running %d experiment(s) on %d benchmark(s)...\n", len(exps), len(suite))
 		var err error
-		results, err = bench.RunSuite(suite, exps, bench.Options{Seed: *seed, Repeat: *repeat})
+		results, err = bench.RunSuite(suite, exps, bench.Options{
+			Seed:   *seed,
+			Repeat: *repeat,
+			// Phase breakdowns and depth distributions feed the -metrics
+			// table and the CSV's phase/histogram-summary columns.
+			Phases: *metrics || *csvPath != "",
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
 			os.Exit(1)
@@ -191,6 +199,10 @@ func main() {
 
 	if *diag {
 		bench.Diagnostics(out, results)
+		fmt.Fprintln(out)
+	}
+	if *metrics {
+		bench.PhaseTable(out, results)
 		fmt.Fprintln(out)
 	}
 	if *ablation {

@@ -11,6 +11,19 @@
 //
 // With -gen N a synthetic benchmark program of roughly N AST nodes is
 // analysed instead of a file (useful for quick experiments).
+//
+// Observability (see the README's Observability section):
+//
+//	polce -metrics-out m.txt file.c    # Prometheus-text metrics at exit
+//	polce -trace-out t.ndjson file.c   # NDJSON solver-event trace
+//	polce -http :6060 -gen 2000        # serve /metrics, /metrics.json,
+//	                                   # /debug/vars and /debug/pprof while
+//	                                   # solving, and keep serving after
+//
+// The telemetry flags instrument the inclusion-constraint solver path:
+// phase timers (parse, constraint-gen, closure, least-solution), search
+// depth / collapse size / worklist histograms, and edge-attempt counters
+// with a redundant-edge ratio gauge.
 package main
 
 import (
@@ -18,8 +31,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"polce/internal/andersen"
@@ -27,6 +42,7 @@ import (
 	"polce/internal/core"
 	"polce/internal/progen"
 	"polce/internal/steens"
+	"polce/internal/telemetry"
 )
 
 func main() {
@@ -45,8 +61,40 @@ func main() {
 		ptsDotOut = flag.String("pts-dot", "", "write the points-to graph as Graphviz DOT to this file")
 		aliasQ    = flag.String("alias", "", "answer a may-alias query: two location names separated by a comma")
 		jsonOut   = flag.String("json", "", "write the analysis report as JSON to this file ('-' for stdout)")
+
+		metricsOut = flag.String("metrics-out", "", "write Prometheus-text solver metrics to this file at exit")
+		traceOut   = flag.String("trace-out", "", "stream solver events as NDJSON to this file (closing record carries the final stats)")
+		httpAddr   = flag.String("http", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address (e.g. :6060); keeps serving after the run until interrupted")
 	)
 	flag.Parse()
+
+	// Telemetry wiring: the registry and sink exist only when asked for,
+	// so the solver's hot-path hooks stay a single nil check otherwise.
+	var (
+		reg *telemetry.Registry
+		sm  *telemetry.SolverMetrics
+		tw  *telemetry.TraceWriter
+	)
+	if *metricsOut != "" || *traceOut != "" || *httpAddr != "" {
+		reg = telemetry.NewRegistry()
+		sm = telemetry.NewSolverMetrics(reg)
+		telemetry.PublishExpvar("polce", reg)
+	}
+	if *httpAddr != "" {
+		if _, err := telemetry.Serve(*httpAddr, reg, func(err error) {
+			fmt.Fprintf(os.Stderr, "polce: http: %v\n", err)
+		}); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "polce: serving /metrics, /metrics.json, /debug/vars, /debug/pprof on %s\n", *httpAddr)
+	}
+	if *traceOut != "" {
+		var err error
+		tw, err = telemetry.CreateTrace(*traceOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
 
 	var src, name string
 	switch {
@@ -65,7 +113,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	var parseSpan *telemetry.Span
+	if sm != nil {
+		parseSpan = sm.Phases.Start(telemetry.PhaseParse)
+	}
 	file, err := cgen.MustParse(name, src)
+	if parseSpan != nil {
+		parseSpan.Stop()
+	}
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -76,8 +131,12 @@ func main() {
 	}
 
 	opts := andersen.Options{Seed: *seed, PeriodicInterval: *interval}
+	if sm != nil {
+		opts.Metrics = sm
+	}
+	var observers []func(core.Event)
 	if *trace {
-		opts.Observer = func(ev core.Event) {
+		observers = append(observers, func(ev core.Event) {
 			switch ev.Kind {
 			case core.EventCycle:
 				fmt.Fprintf(os.Stderr, "cycle: %d variable(s) collapsed into %s at work=%d\n",
@@ -85,6 +144,20 @@ func main() {
 			case core.EventSweep:
 				fmt.Fprintf(os.Stderr, "sweep: %d variable(s) collapsed at work=%d\n",
 					ev.Collapsed, ev.Work)
+			}
+		})
+	}
+	if tw != nil {
+		observers = append(observers, tw.Observe)
+	}
+	switch len(observers) {
+	case 0:
+	case 1:
+		opts.Observer = observers[0]
+	default:
+		opts.Observer = func(ev core.Event) {
+			for _, o := range observers {
+				o(ev)
 			}
 		}
 	}
@@ -111,7 +184,17 @@ func main() {
 
 	start := time.Now()
 	res := andersen.Analyze(file, opts)
+	if sm != nil {
+		// The closure share was accumulated by the solver's drain hook;
+		// constraint-gen is the analysis remainder.
+		closure, _ := sm.Phases.Get(telemetry.PhaseClosure)
+		sm.Phases.Add(telemetry.PhaseConstraintGen, time.Since(start)-closure)
+	}
+	lsStart := time.Now()
 	res.Sys.ComputeLeastSolutions()
+	if sm != nil {
+		sm.Phases.Add(telemetry.PhaseLeastSolution, time.Since(lsStart))
+	}
 	elapsed := time.Since(start)
 
 	if *pts {
@@ -157,6 +240,27 @@ func main() {
 		} else {
 			writeDOT(*jsonOut, func(w io.Writer) error { return res.WriteJSON(w, false) })
 		}
+	}
+
+	if sm != nil {
+		telemetry.PublishStats(reg, res.Sys.Stats())
+	}
+	if tw != nil {
+		tw.WriteStats(res.Sys.Stats())
+		n := tw.Events()
+		if err := tw.Close(); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "polce: wrote trace %s (%d events)\n", *traceOut, n)
+	}
+	if *metricsOut != "" {
+		writeDOT(*metricsOut, reg.WritePrometheus)
+	}
+	if *httpAddr != "" {
+		fmt.Fprintf(os.Stderr, "polce: run complete; still serving on %s (interrupt to exit)\n", *httpAddr)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
 	}
 }
 

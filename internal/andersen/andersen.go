@@ -70,6 +70,9 @@ type Options struct {
 	PeriodicInterval int
 	// Observer receives solver events; see core.Options.Observer.
 	Observer func(core.Event)
+	// Metrics receives per-operation solver measurements; see
+	// core.Options.Metrics.
+	Metrics core.MetricsSink
 }
 
 // Result is the outcome of an analysis: the solved constraint system plus
@@ -163,6 +166,7 @@ func Analyze(file *cgen.File, opts Options) *Result {
 		Oracle:           opts.Oracle,
 		PeriodicInterval: opts.PeriodicInterval,
 		Observer:         opts.Observer,
+		Metrics:          opts.Metrics,
 	})
 	return analyzeInto(file, sys, opts)
 }

@@ -4,47 +4,35 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"sort"
 )
 
+// perExpCols is the number of CSV columns written per experiment.
+const perExpCols = 11
+
 // WriteCSV emits the full measurement matrix as CSV — one row per
-// benchmark, columns for the Table 1 statistics followed by
-// edges/work/eliminated/seconds for every experiment present in the
-// results — for plotting the figures with external tools.
+// benchmark, columns for the Table 1 statistics followed by, for every
+// experiment present in the results, the headline measurements
+// (edges/work/eliminated/seconds/alloc), the phase breakdown
+// (solve/closure/least-solution seconds) and the search-depth
+// distribution summaries (p50/p90/max) — for plotting the figures and
+// Fig. 11 / diagnostics runs with external tools. The phase and depth
+// columns are zero unless the suite ran with Options.Phases.
 func WriteCSV(w io.Writer, results []*Result) error {
 	cw := csv.NewWriter(w)
 
-	// Collect the union of experiment names, in Table 4 order followed by
-	// any ablations.
-	present := map[string]bool{}
-	for _, r := range results {
-		for name := range r.Runs {
-			present[name] = true
-		}
-	}
-	var names []string
-	for _, e := range Experiments {
-		if present[e.Name] {
-			names = append(names, e.Name)
-			delete(present, e.Name)
-		}
-	}
-	var extra []string
-	for name := range present {
-		extra = append(extra, name)
-	}
-	sort.Strings(extra)
-	names = append(names, extra...)
+	names := phaseExpOrder(results)
 
 	header := []string{
 		"benchmark", "ast_nodes", "loc", "set_vars",
 		"initial_nodes", "initial_edges",
 		"init_scc_vars", "init_scc_max", "final_scc_vars", "final_scc_max",
-		"initial_density", "final_density",
+		"initial_density", "final_density", "oracle_pass1_seconds",
 	}
 	for _, n := range names {
 		header = append(header,
-			n+"_edges", n+"_work", n+"_eliminated", n+"_seconds", n+"_alloc_bytes")
+			n+"_edges", n+"_work", n+"_eliminated", n+"_seconds", n+"_alloc_bytes",
+			n+"_solve_seconds", n+"_closure_seconds", n+"_ls_seconds",
+			n+"_depth_p50", n+"_depth_p90", n+"_depth_max")
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -58,17 +46,26 @@ func WriteCSV(w io.Writer, results []*Result) error {
 			fmt.Sprint(r.InitSCCVars), fmt.Sprint(r.InitSCCMax),
 			fmt.Sprint(r.FinalSCCVars), fmt.Sprint(r.FinalSCCMax),
 			fmt.Sprintf("%.4f", r.InitialDensity), fmt.Sprintf("%.4f", r.FinalDensity),
+			fmt.Sprintf("%.6f", r.OraclePass1.Seconds()),
 		}
 		for _, n := range names {
 			run, ok := r.Runs[n]
 			if !ok {
-				row = append(row, "", "", "", "", "")
+				for i := 0; i < perExpCols; i++ {
+					row = append(row, "")
+				}
 				continue
 			}
 			row = append(row,
 				fmt.Sprint(run.Edges), fmt.Sprint(run.Work),
 				fmt.Sprint(run.Eliminated), fmt.Sprintf("%.6f", run.Time.Seconds()),
-				fmt.Sprint(run.AllocBytes))
+				fmt.Sprint(run.AllocBytes),
+				fmt.Sprintf("%.6f", run.SolveTime.Seconds()),
+				fmt.Sprintf("%.6f", run.ClosureTime.Seconds()),
+				fmt.Sprintf("%.6f", run.LSTime.Seconds()),
+				fmt.Sprintf("%.1f", run.DepthP50),
+				fmt.Sprintf("%.1f", run.DepthP90),
+				fmt.Sprintf("%.1f", run.DepthMax))
 		}
 		if err := cw.Write(row); err != nil {
 			return err

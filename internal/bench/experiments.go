@@ -7,6 +7,7 @@ import (
 
 	"polce/internal/andersen"
 	"polce/internal/core"
+	"polce/internal/telemetry"
 )
 
 // Experiment is one of the paper's configurations (Table 4).
@@ -68,7 +69,8 @@ func ExperimentByName(name string) (Experiment, bool) {
 }
 
 // Run holds the measurements of one (benchmark, experiment) cell: the
-// paper's Tables 2 and 3 columns.
+// paper's Tables 2 and 3 columns, plus (under Options.Phases) the phase
+// breakdown and search-depth distribution summaries.
 type Run struct {
 	Edges      int           // edges in the final graph
 	Work       int64         // total edge additions, including redundant
@@ -77,6 +79,22 @@ type Run struct {
 	Searches   int64         // online chain searches
 	Visits     int64         // nodes visited by the searches
 	AllocBytes uint64        // heap allocated during the run (space cost)
+
+	// Phase breakdown of Time: SolveTime is the constraint-generation +
+	// closure share (the Analyze call), LSTime the least-solution pass
+	// (IF only; Time = SolveTime + LSTime), and ClosureTime the
+	// solver-side closure share of SolveTime (recorded only under
+	// Options.Phases).
+	SolveTime   time.Duration
+	ClosureTime time.Duration
+	LSTime      time.Duration
+
+	// Search-depth distribution summaries (nodes visited per online
+	// cycle search — the empirical distribution behind Theorem 5.2),
+	// recorded only under Options.Phases.
+	DepthP50 float64
+	DepthP90 float64
+	DepthMax float64
 }
 
 // VisitsPerSearch is the measured analogue of Theorem 5.2's E(R_X).
@@ -109,6 +127,11 @@ type Result struct {
 
 	// Runs maps experiment name → measurements.
 	Runs map[string]Run
+
+	// OraclePass1 is the cost of obtaining the oracle — the reference
+	// IF-Online pass plus BuildOracle — recorded when an oracle
+	// experiment ran. The oracle run itself (pass 2) is its Run.Time.
+	OraclePass1 time.Duration
 }
 
 // Options configures a harness run.
@@ -118,6 +141,12 @@ type Options struct {
 	// Repeat re-runs each timed experiment and keeps the best time (the
 	// paper reports best of three). 0 means 1.
 	Repeat int
+	// Phases installs a telemetry sink in every timed run, recording the
+	// closure/least-solution phase breakdown and the search-depth
+	// distribution summaries (Run.ClosureTime, Run.DepthP50/P90/Max).
+	// The hooks add a small constant per edge addition, so leave this
+	// off when reproducing the paper's timing tables exactly.
+	Phases bool
 }
 
 // RunBenchmark measures the named experiments (nil = all six) on one
@@ -150,9 +179,12 @@ func RunBenchmark(b Benchmark, names []string, opt Options) (*Result, error) {
 	res.InitialDensity = initial.Sys.CurrentGraphStats().Density
 
 	// Reference pass: IF-Online, used both for the final SCC statistics
-	// and to build the oracle. Untimed here (it is re-run timed below if
-	// requested).
+	// and to build the oracle. Not part of any experiment's timing (a
+	// requested IF-Online run is re-run timed below), but measured so
+	// the oracle experiments can report their pass-1 cost.
+	refStart := time.Now()
 	ref := andersen.Analyze(p.file, andersen.Options{Form: core.IF, Cycles: core.CycleOnline, Seed: opt.Seed})
+	refElapsed := time.Since(refStart)
 	res.FinalSCCVars, res.FinalSCCMax = ref.Sys.CycleClassStats()
 	res.FinalDensity = ref.Sys.CurrentGraphStats().Density
 	var oracle *core.Oracle
@@ -163,52 +195,68 @@ func RunBenchmark(b Benchmark, names []string, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("bench: unknown experiment %q", name)
 		}
 		if exp.Cycles == core.CycleOracle && oracle == nil {
+			buildStart := time.Now()
 			oracle = core.BuildOracle(ref.Sys)
+			res.OraclePass1 = refElapsed + time.Since(buildStart)
 		}
-		res.Runs[name] = runOne(p, exp, oracle, opt.Seed, repeat)
+		res.Runs[name] = runOne(p, exp, oracle, opt, repeat)
 	}
 	return res, nil
 }
 
-// runOne times one experiment configuration, keeping the best of repeat
-// runs (counters are identical across repeats; only Time varies).
-func runOne(p *program, exp Experiment, oracle *core.Oracle, seed int64, repeat int) Run {
+// runOne times one experiment configuration, keeping the best-timed of
+// repeat runs (the solver is deterministic, so the counters and
+// distribution summaries are identical across repeats; only the timings
+// and allocation noise vary).
+func runOne(p *program, exp Experiment, oracle *core.Oracle, opt Options, repeat int) Run {
 	var best Run
 	for i := 0; i < repeat; i++ {
+		aOpts := andersen.Options{
+			Form:             exp.Form,
+			Cycles:           exp.Cycles,
+			Seed:             opt.Seed,
+			Oracle:           oracle,
+			PeriodicInterval: exp.Interval,
+		}
+		var sm *telemetry.SolverMetrics
+		if opt.Phases {
+			sm = telemetry.NewSolverMetrics(telemetry.NewRegistry())
+			aOpts.Metrics = sm
+		}
 		var msBefore runtime.MemStats
 		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
-		r := andersen.Analyze(p.file, andersen.Options{
-			Form:             exp.Form,
-			Cycles:           exp.Cycles,
-			Seed:             seed,
-			Oracle:           oracle,
-			PeriodicInterval: exp.Interval,
-		})
+		r := andersen.Analyze(p.file, aOpts)
+		solveElapsed := time.Since(start)
+		var lsElapsed time.Duration
 		if exp.Form == core.IF {
 			// The paper always includes the least-solution pass in
 			// inductive-form timings.
+			lsStart := time.Now()
 			r.Sys.ComputeLeastSolutions()
+			lsElapsed = time.Since(lsStart)
 		}
-		elapsed := time.Since(start)
 		var msAfter runtime.MemStats
 		runtime.ReadMemStats(&msAfter)
 		st := r.Sys.Stats()
 		run := Run{
 			Edges:      r.Sys.TotalEdges(),
 			Work:       st.Work,
-			Time:       elapsed,
+			Time:       solveElapsed + lsElapsed,
 			Eliminated: st.VarsEliminated,
 			Searches:   st.CycleSearches,
 			Visits:     st.CycleVisits,
 			AllocBytes: msAfter.TotalAlloc - msBefore.TotalAlloc,
+			SolveTime:  solveElapsed,
+			LSTime:     lsElapsed,
+		}
+		if sm != nil {
+			run.ClosureTime, _ = sm.Phases.Get(telemetry.PhaseClosure)
+			run.DepthP50 = sm.SearchDepth.Quantile(0.5)
+			run.DepthP90 = sm.SearchDepth.Quantile(0.9)
+			run.DepthMax = sm.SearchDepth.Max()
 		}
 		if i == 0 || run.Time < best.Time {
-			t := run.Time
-			if i > 0 {
-				run = best
-				run.Time = t
-			}
 			best = run
 		}
 	}

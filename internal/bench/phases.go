@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// phaseExpOrder returns the experiments present in results, in Table 4
+// order followed by any ablations (the same ordering WriteCSV uses).
+func phaseExpOrder(results []*Result) []string {
+	present := map[string]bool{}
+	for _, r := range results {
+		for name := range r.Runs {
+			present[name] = true
+		}
+	}
+	var names []string
+	for _, e := range Experiments {
+		if present[e.Name] {
+			names = append(names, e.Name)
+			delete(present, e.Name)
+		}
+	}
+	var extra []string
+	for name := range present {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	return append(names, extra...)
+}
+
+// PhaseTable renders the per-benchmark phase timings and search-depth
+// distribution summaries recorded under Options.Phases: the solve
+// (constraint generation + closure) and least-solution shares of each
+// run's time, the solver-side closure share, and the p50/p90/max of the
+// per-search nodes-visited distribution (the empirical shape behind
+// Theorem 5.2, which the tables otherwise collapse to a mean).
+func PhaseTable(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Phase timings and search-depth distributions (best-timed run; closure ⊆ solve)")
+	names := phaseExpOrder(results)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Benchmark\tExperiment\tsolve\tclosure\tleast-sol\ttotal\tdepth p50\tp90\tmax\t")
+	for _, r := range results {
+		for _, name := range names {
+			run, ok := r.Runs[name]
+			if !ok {
+				continue
+			}
+			depths := "-\t-\t-"
+			if run.Searches > 0 {
+				depths = fmt.Sprintf("%.0f\t%.0f\t%.0f", run.DepthP50, run.DepthP90, run.DepthMax)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t\n",
+				r.Bench.Name, name, secs(run.SolveTime), secs(run.ClosureTime),
+				secs(run.LSTime), secs(run.Time), depths)
+		}
+		if r.OraclePass1 > 0 {
+			fmt.Fprintf(tw, "%s\toracle-pass1\t%s\t-\t-\t%s\t-\t-\t-\t\n",
+				r.Bench.Name, secs(r.OraclePass1), secs(r.OraclePass1))
+		}
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "\n(solve = constraint generation + closure; oracle-pass1 = reference run +")
+	fmt.Fprintln(w, " oracle construction; an oracle run's own time is its pass 2.)")
+}

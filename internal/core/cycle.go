@@ -24,6 +24,7 @@ package core
 // witness).
 func (s *System) detectAndCollapse(x, y *Var, asSucc bool) bool {
 	s.stats.CycleSearches++
+	visitsBefore := s.stats.CycleVisits
 	s.searchEpoch++
 	s.path = s.path[:0]
 	var found bool
@@ -37,6 +38,9 @@ func (s *System) detectAndCollapse(x, y *Var, asSucc bool) bool {
 		// SF: the pending edge is x → y; a cycle needs a successor chain
 		// y → ⋯ → x.
 		found = s.succChainSF(y, x, s.opt.Cycles == CycleOnlineIncreasing)
+	}
+	if s.opt.Metrics != nil {
+		s.opt.Metrics.CycleSearch(int(s.stats.CycleVisits - visitsBefore))
 	}
 	if !found {
 		return false
@@ -141,8 +145,13 @@ func (s *System) collapse(nodes []*Var) {
 			merged = append(merged, v)
 		}
 	}
-	if s.opt.Observer != nil && len(merged) > 0 {
-		s.emit(Event{Kind: EventCycle, Witness: witness, Vars: merged})
+	if len(merged) > 0 {
+		if s.opt.Metrics != nil {
+			s.opt.Metrics.Collapse(len(merged))
+		}
+		if s.opt.Observer != nil {
+			s.emit(Event{Kind: EventCycle, Witness: witness, Vars: merged, Collapsed: len(merged)})
+		}
 	}
 }
 

@@ -44,11 +44,15 @@ type Event struct {
 	From, To Expr
 
 	// Witness is the surviving variable of a collapse; Vars are the
-	// variables merged into it (EventCycle), or nil for sweeps.
+	// variables merged into it (EventCycle), or nil for sweeps. The
+	// slice is freshly allocated per event: the solver neither retains
+	// nor mutates it after delivery (the observer-side contract is the
+	// converse — do not retain it into later solver activity).
 	Witness *Var
 	Vars    []*Var
 
-	// Collapsed is the number of variables eliminated by a sweep.
+	// Collapsed is the number of variables eliminated: len(Vars) for a
+	// cycle collapse, the sweep's total for a sweep.
 	Collapsed int
 
 	// Work is the solver's edge-addition counter at the time of the

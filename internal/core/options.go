@@ -1,5 +1,33 @@
 package core
 
+import "time"
+
+// MetricsSink receives per-operation solver measurements as they happen.
+// It is the distribution-level counterpart of Options.Observer: where the
+// observer delivers discrete events, the sink records the per-operation
+// costs — search depth, collapse size, worklist pressure — that exist only
+// as aggregates in Stats. internal/telemetry.SolverMetrics is the standard
+// implementation. Hooks fire on the solver's hot path, so implementations
+// must be cheap; a nil Options.Metrics costs one branch per hook site.
+type MetricsSink interface {
+	// EdgeAttempt fires on every attempted edge addition (each Work
+	// increment); redundant reports whether the edge was already present.
+	EdgeAttempt(redundant bool)
+	// CycleSearch fires after each online closing-chain search with the
+	// number of nodes visited — the per-search distribution behind
+	// Theorem 5.2, which Stats collapses to the VisitsPerSearch mean.
+	CycleSearch(visits int)
+	// Collapse fires after each collapse with the number of variables
+	// merged away, for online cycles and periodic sweeps alike.
+	Collapse(merged int)
+	// WorklistLen samples the pending-constraint worklist length every
+	// worklistSampleInterval steps.
+	WorklistLen(n int)
+	// ClosureDone reports the wall-clock time one closure drain took —
+	// the solver-side share of a client's constraint-generation phase.
+	ClosureDone(d time.Duration)
+}
+
 // Form selects the constraint-graph representation.
 type Form int
 
@@ -122,4 +150,8 @@ type Options struct {
 	// cycle collapses, sweeps) as they happen. Intended for traces,
 	// visualisation and tests; it must not mutate the system.
 	Observer func(Event)
+	// Metrics, when non-nil, receives per-operation measurements (edge
+	// attempts, search depths, collapse sizes, worklist samples, closure
+	// times); see MetricsSink. It must not mutate the system.
+	Metrics MetricsSink
 }

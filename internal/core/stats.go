@@ -48,7 +48,8 @@ func (st Stats) VisitsPerSearch() float64 {
 
 // String summarises the counters on one line.
 func (st Stats) String() string {
-	return fmt.Sprintf("vars=%d elim=%d work=%d redundant=%d searches=%d visits=%d cycles=%d lswork=%d",
+	return fmt.Sprintf("vars=%d elim=%d work=%d redundant=%d searches=%d visits=%d cycles=%d lswork=%d sweeps=%d sweepvisits=%d",
 		st.VarsCreated, st.VarsEliminated, st.Work, st.Redundant,
-		st.CycleSearches, st.CycleVisits, st.CyclesFound, st.LSWork)
+		st.CycleSearches, st.CycleVisits, st.CyclesFound, st.LSWork,
+		st.PeriodicSweeps, st.SweepVisits)
 }

@@ -3,7 +3,12 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 )
+
+// worklistSampleInterval is how many worklist steps pass between
+// MetricsSink.WorklistLen samples.
+const worklistSampleInterval = 64
 
 // constraint is a pending inclusion l ⊆ r awaiting resolution.
 type constraint struct {
@@ -34,8 +39,9 @@ type System struct {
 	mergeEpoch  uint64 // bumped on every collapse; drives lazy compaction
 	path        []*Var // scratch: nodes on the chain found by the last search
 
-	skipClosure bool  // build the initial graph only (no closure, no cycles)
-	lastSweep   int64 // Work count at the last periodic sweep
+	skipClosure bool   // build the initial graph only (no closure, no cycles)
+	lastSweep   int64  // Work count at the last periodic sweep
+	drainSteps  uint64 // worklist steps processed; drives worklist sampling
 
 	lsDirty bool             // least-solution cache invalid
 	ls      map[*Var][]*Term // IF least-solution cache (canonical vars)
@@ -128,14 +134,27 @@ func (s *System) push(l, r Expr) {
 }
 
 func (s *System) drain() {
+	var t0 time.Time
+	if s.opt.Metrics != nil {
+		t0 = time.Now()
+	}
 	for len(s.work) > 0 {
 		if s.opt.Cycles == CyclePeriodic && s.stats.Work-s.lastSweep >= int64(s.periodicInterval()) {
 			s.lastSweep = s.stats.Work
 			s.periodicSweep()
 		}
+		if s.opt.Metrics != nil {
+			s.drainSteps++
+			if s.drainSteps%worklistSampleInterval == 0 {
+				s.opt.Metrics.WorklistLen(len(s.work))
+			}
+		}
 		c := s.work[len(s.work)-1]
 		s.work = s.work[:len(s.work)-1]
 		s.step(c.l, c.r)
+	}
+	if s.opt.Metrics != nil {
+		s.opt.Metrics.ClosureDone(time.Since(t0))
 	}
 }
 
@@ -273,13 +292,22 @@ func (s *System) clean(x *Var) {
 	x.succV.compact(x)
 }
 
+// metricEdge reports one attempted edge addition to the metrics sink.
+func (s *System) metricEdge(redundant bool) {
+	if s.opt.Metrics != nil {
+		s.opt.Metrics.EdgeAttempt(redundant)
+	}
+}
+
 // addSource inserts the source edge t ⊆ x and pairs t with x's successors.
 func (s *System) addSource(t *Term, x *Var) {
 	s.stats.Work++
 	if !x.predS.add(t) {
 		s.stats.Redundant++
+		s.metricEdge(true)
 		return
 	}
+	s.metricEdge(false)
 	if s.opt.Observer != nil {
 		s.emit(Event{Kind: EventSourceEdge, From: t, To: x})
 	}
@@ -300,8 +328,10 @@ func (s *System) addSink(x *Var, t *Term) {
 	s.stats.Work++
 	if !x.succK.add(t) {
 		s.stats.Redundant++
+		s.metricEdge(true)
 		return
 	}
+	s.metricEdge(false)
 	if s.opt.Observer != nil {
 		s.emit(Event{Kind: EventSinkEdge, From: x, To: t})
 	}
@@ -333,8 +363,10 @@ func (s *System) addVarEdge(x, y *Var) {
 	s.stats.Work++
 	if asSucc && x.succV.has(y) || !asSucc && y.predV.has(x) {
 		s.stats.Redundant++
+		s.metricEdge(true)
 		return
 	}
+	s.metricEdge(false)
 	if !s.skipClosure && (s.opt.Cycles == CycleOnline || s.opt.Cycles == CycleOnlineIncreasing) {
 		if s.detectAndCollapse(x, y, asSucc) {
 			return

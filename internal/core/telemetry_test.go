@@ -1,0 +1,176 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// cyclicWorkload builds a system with several overlapping variable cycles
+// so that online collapses (and their events) actually fire.
+func cyclicWorkload(t *testing.T, opt Options) (*System, []*Var) {
+	t.Helper()
+	s := NewSystem(opt)
+	vars := make([]*Var, 24)
+	for i := range vars {
+		vars[i] = s.Fresh("v")
+	}
+	// Three chained cycles of size 8, then a back edge joining them all.
+	for c := 0; c < 3; c++ {
+		base := c * 8
+		for i := 0; i < 8; i++ {
+			s.AddConstraint(vars[base+i], vars[base+(i+1)%8])
+		}
+	}
+	s.AddConstraint(vars[0], vars[8])
+	s.AddConstraint(vars[8], vars[16])
+	s.AddConstraint(vars[16], vars[0])
+	return s, vars
+}
+
+// TestStatsStringIncludesSweepCounters is the regression test for the
+// String method silently omitting the periodic-sweep counters.
+func TestStatsStringIncludesSweepCounters(t *testing.T) {
+	st := Stats{PeriodicSweeps: 3, SweepVisits: 71}
+	got := st.String()
+	if !strings.Contains(got, "sweeps=3") {
+		t.Errorf("Stats.String() = %q; missing PeriodicSweeps (want sweeps=3)", got)
+	}
+	if !strings.Contains(got, "sweepvisits=71") {
+		t.Errorf("Stats.String() = %q; missing SweepVisits (want sweepvisits=71)", got)
+	}
+}
+
+// TestEventVarsNotMutatedAfterDelivery asserts the documented Event
+// contract from the solver's side: the Vars slice delivered with an
+// EventCycle is freshly allocated and never aliased or mutated by later
+// solver activity (events.go says the observer must not retain it; this
+// verifies the solver does not either).
+func TestEventVarsNotMutatedAfterDelivery(t *testing.T) {
+	type delivered struct {
+		vars []*Var // the slice as delivered (retained on purpose here)
+		copy []*Var // a snapshot taken at delivery time
+	}
+	var got []delivered
+	opt := Options{
+		Form:   IF,
+		Cycles: CycleOnline,
+		Seed:   7,
+		Observer: func(ev Event) {
+			if ev.Kind != EventCycle {
+				return
+			}
+			if ev.Collapsed != len(ev.Vars) {
+				t.Errorf("EventCycle Collapsed = %d, want len(Vars) = %d", ev.Collapsed, len(ev.Vars))
+			}
+			got = append(got, delivered{vars: ev.Vars, copy: append([]*Var(nil), ev.Vars...)})
+		},
+	}
+	s, _ := cyclicWorkload(t, opt)
+	if len(got) == 0 {
+		t.Fatal("workload produced no cycle collapses")
+	}
+	if s.Stats().CyclesFound == 0 {
+		t.Fatal("expected online cycles to be found")
+	}
+	for i, d := range got {
+		if len(d.vars) != len(d.copy) {
+			t.Fatalf("event %d: Vars length changed after delivery: %d != %d", i, len(d.vars), len(d.copy))
+		}
+		for j := range d.vars {
+			if d.vars[j] != d.copy[j] {
+				t.Errorf("event %d: Vars[%d] mutated after delivery", i, j)
+			}
+		}
+	}
+	// Distinct events must not share backing storage either (an aliased
+	// scratch buffer would make retained slices see later collapses).
+	for i := 1; i < len(got); i++ {
+		if len(got[i-1].vars) > 0 && len(got[i].vars) > 0 && &got[i-1].vars[0] == &got[i].vars[0] {
+			t.Errorf("events %d and %d share Vars backing storage", i-1, i)
+		}
+	}
+}
+
+// recordingSink captures every MetricsSink callback.
+type recordingSink struct {
+	attempts  int64
+	redundant int64
+	searches  []int
+	collapses []int
+	worklists []int
+	closures  []time.Duration
+}
+
+func (r *recordingSink) EdgeAttempt(red bool) {
+	r.attempts++
+	if red {
+		r.redundant++
+	}
+}
+func (r *recordingSink) CycleSearch(visits int)      { r.searches = append(r.searches, visits) }
+func (r *recordingSink) Collapse(merged int)         { r.collapses = append(r.collapses, merged) }
+func (r *recordingSink) WorklistLen(n int)           { r.worklists = append(r.worklists, n) }
+func (r *recordingSink) ClosureDone(d time.Duration) { r.closures = append(r.closures, d) }
+
+// TestMetricsSinkAgreesWithStats cross-checks the per-operation hook
+// deltas against the aggregate Stats counters.
+func TestMetricsSinkAgreesWithStats(t *testing.T) {
+	for _, form := range []Form{SF, IF} {
+		sink := &recordingSink{}
+		s, _ := cyclicWorkload(t, Options{Form: form, Cycles: CycleOnline, Seed: 11, Metrics: sink})
+		st := s.Stats()
+
+		if sink.attempts != st.Work {
+			t.Errorf("%v: EdgeAttempt count = %d, Stats.Work = %d", form, sink.attempts, st.Work)
+		}
+		if sink.redundant != st.Redundant {
+			t.Errorf("%v: redundant attempts = %d, Stats.Redundant = %d", form, sink.redundant, st.Redundant)
+		}
+		if int64(len(sink.searches)) != st.CycleSearches {
+			t.Errorf("%v: CycleSearch calls = %d, Stats.CycleSearches = %d", form, len(sink.searches), st.CycleSearches)
+		}
+		var visits int64
+		for _, v := range sink.searches {
+			visits += int64(v)
+		}
+		if visits != st.CycleVisits {
+			t.Errorf("%v: summed search depths = %d, Stats.CycleVisits = %d", form, visits, st.CycleVisits)
+		}
+		var merged int
+		for _, m := range sink.collapses {
+			merged += m
+		}
+		if merged != st.VarsEliminated {
+			t.Errorf("%v: summed collapse sizes = %d, Stats.VarsEliminated = %d", form, merged, st.VarsEliminated)
+		}
+		if len(sink.closures) == 0 {
+			t.Errorf("%v: no ClosureDone callbacks", form)
+		}
+	}
+}
+
+// TestWorklistSampling drives enough constraints through the solver to
+// cross the sampling interval and checks samples arrive.
+func TestWorklistSampling(t *testing.T) {
+	sink := &recordingSink{}
+	s := NewSystem(Options{Form: IF, Cycles: CycleOnline, Seed: 3, Metrics: sink})
+	atoms := atoms(4)
+	vars := make([]*Var, 64)
+	for i := range vars {
+		vars[i] = s.Fresh("w")
+	}
+	for i := range vars {
+		s.AddConstraint(atoms[i%len(atoms)], vars[i])
+		s.AddConstraint(vars[i], vars[(i*7+1)%len(vars)])
+		s.AddConstraint(vars[(i*13+5)%len(vars)], vars[i])
+	}
+	if len(sink.worklists) == 0 {
+		t.Fatalf("no worklist samples after %d worklist steps", s.Stats().Work)
+	}
+	for _, n := range sink.worklists {
+		if n < 0 {
+			t.Fatalf("negative worklist sample %d", n)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// writeJSON marshals v with indentation (shared by WriteJSON and the mux).
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// NewMux returns an http.ServeMux serving the live telemetry surface:
+//
+//	/metrics        Prometheus text (JSON with ?format=json)
+//	/metrics.json   JSON exposition
+//	/debug/vars     expvar (stdlib memstats + anything published)
+//	/debug/pprof/   the full net/http/pprof suite
+//
+// Everything is wired explicitly so the registry can be served on a
+// dedicated mux instead of http.DefaultServeMux.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// PublishExpvar publishes the registry's JSON snapshot as one expvar
+// variable, so /debug/vars carries the solver metrics alongside the
+// stdlib's memstats. Publishing the same name twice panics (expvar
+// semantics), so call it once per process.
+func PublishExpvar(name string, reg *Registry) {
+	expvar.Publish(name, expvar.Func(func() any { return reg.Snapshot() }))
+}
+
+// Serve binds addr, then serves NewMux(reg) on it in a background
+// goroutine. The bind happens synchronously so configuration errors (port
+// in use, bad address) surface immediately; Serve errors after that are
+// reported through errs if non-nil. The returned server's Addr is the
+// concretely bound address (useful with ":0"); shut it down via Close or
+// Shutdown.
+func Serve(addr string, reg *Registry, errs func(error)) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: NewMux(reg)}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed && errs != nil {
+			errs(err)
+		}
+	}()
+	return srv, nil
+}

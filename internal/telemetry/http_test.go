@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMux checks every route of the live telemetry surface.
+func TestMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("polce_edge_attempts_total", "help").Add(7)
+	srv := httptest.NewServer(NewMux(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "polce_edge_attempts_total 7") {
+		t.Errorf("/metrics: code %d body %q", code, body)
+	}
+	if code, body := get("/metrics?format=json"); code != 200 || !strings.Contains(body, `"counter"`) {
+		t.Errorf("/metrics?format=json: code %d body %q", code, body)
+	}
+	if code, body := get("/metrics.json"); code != 200 || !strings.Contains(body, `"value": 7`) {
+		t.Errorf("/metrics.json: code %d body %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars: code %d body %.80q", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code %d body %.80q", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline: code %d", code)
+	}
+}
+
+// TestServe binds an ephemeral port and scrapes it, the CLI -http path in
+// miniature.
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("g", "").Set(1)
+	srv, err := Serve("127.0.0.1:0", reg, func(err error) { t.Errorf("serve: %v", err) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "g 1") {
+		t.Errorf("scrape: code %d body %q", resp.StatusCode, body)
+	}
+	// The bound port must be concrete, not the requested ":0".
+	if strings.HasSuffix(srv.Addr, ":0") {
+		t.Errorf("Serve did not report the bound address: %s", srv.Addr)
+	}
+}

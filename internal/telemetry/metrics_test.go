@@ -1,0 +1,237 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLogBuckets(t *testing.T) {
+	got := LogBuckets(1, 2, 5)
+	want := []float64{1, 2, 4, 8, 16}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("LogBuckets(1,2,5) = %v, want %v", got, want)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound ("le")
+// semantics: an observation equal to a bound lands in that bound's bucket,
+// one just above it lands in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(LogBuckets(1, 2, 4)) // bounds 1 2 4 8, plus overflow
+	obs := []float64{0, 1, 1.5, 2, 3, 4, 8, 8.1, 100}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	// v ≤ 1 → bucket 0; 1 < v ≤ 2 → bucket 1; …; v > 8 → overflow.
+	want := []uint64{2, 2, 2, 1, 2}
+	if got := h.BucketCounts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("BucketCounts = %v, want %v", got, want)
+	}
+	if h.Count() != uint64(len(obs)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(obs))
+	}
+	var sum float64
+	for _, v := range obs {
+		sum += v
+	}
+	if math.Abs(h.Sum()-sum) > 1e-9 {
+		t.Errorf("Sum = %v, want %v", h.Sum(), sum)
+	}
+	if h.Max() != 100 {
+		t.Errorf("Max = %v, want 100", h.Max())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(LogBuckets(1, 2, 8))
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram Quantile(0.5) = %v, want 0", q)
+	}
+	// 90 observations of 1, 10 of 5: p50 in the le=1 bucket, p99 in le=8.
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	if q := h.Quantile(0.5); q != 1 {
+		t.Errorf("Quantile(0.5) = %v, want 1", q)
+	}
+	if q := h.Quantile(0.99); q != 8 {
+		t.Errorf("Quantile(0.99) = %v, want 8 (upper bound of 5's bucket)", q)
+	}
+	// Overflow observations report the tracked max.
+	h2 := NewHistogram(LogBuckets(1, 2, 2))
+	h2.Observe(1000)
+	if q := h2.Quantile(0.5); q != 1000 {
+		t.Errorf("overflow Quantile(0.5) = %v, want Max = 1000", q)
+	}
+}
+
+// TestConcurrentUpdates exercises the lock-free paths; run under -race it
+// is the concurrency regression test for a future parallel solver sharing
+// the metrics.
+func TestConcurrentUpdates(t *testing.T) {
+	const goroutines = 8
+	const perG = 10000
+	c := &Counter{}
+	g := &Gauge{}
+	h := NewHistogram(LogBuckets(1, 2, 10))
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(1 + (j % 512)))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != goroutines*perG {
+		t.Errorf("Counter = %d, want %d", c.Value(), goroutines*perG)
+	}
+	if g.Value() != goroutines*perG {
+		t.Errorf("Gauge = %v, want %d", g.Value(), goroutines*perG)
+	}
+	if h.Count() != goroutines*perG {
+		t.Errorf("Histogram count = %d, want %d", h.Count(), goroutines*perG)
+	}
+	if h.Max() != 512 {
+		t.Errorf("Histogram max = %v, want 512", h.Max())
+	}
+	var total uint64
+	for _, n := range h.BucketCounts() {
+		total += n
+	}
+	if total != h.Count() {
+		t.Errorf("bucket counts sum %d != count %d", total, h.Count())
+	}
+}
+
+// goldenRegistry builds a registry with one metric of every kind and
+// fully deterministic values.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("zz_edges_total", "attempted edge additions").Add(42)
+	reg.Gauge("aa_ratio", "a plain gauge").Set(0.25)
+	reg.GaugeFunc("mm_live", "a computed gauge", func() float64 { return 3 })
+	h := reg.Histogram("hh_depth", "search depth", LogBuckets(1, 2, 3))
+	for _, v := range []float64{1, 2, 2, 5, 50} {
+		h.Observe(v)
+	}
+	tm := reg.Timers("pp_phase", "phase timers")
+	tm.Add(PhaseParse, 250*time.Millisecond)
+	tm.Add(PhaseClosure, time.Second)
+	tm.Add(PhaseClosure, 500*time.Millisecond)
+	return reg
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_ratio a plain gauge
+# TYPE aa_ratio gauge
+aa_ratio 0.25
+# HELP hh_depth search depth
+# TYPE hh_depth histogram
+hh_depth_bucket{le="1"} 1
+hh_depth_bucket{le="2"} 3
+hh_depth_bucket{le="4"} 3
+hh_depth_bucket{le="+Inf"} 5
+hh_depth_sum 60
+hh_depth_count 5
+# HELP mm_live a computed gauge
+# TYPE mm_live gauge
+mm_live 3
+# HELP pp_phase phase timers
+# TYPE pp_phase_seconds counter
+pp_phase_seconds{phase="closure"} 1.5
+pp_phase_seconds{phase="parse"} 0.25
+# TYPE pp_phase_count counter
+pp_phase_count{phase="closure"} 2
+pp_phase_count{phase="parse"} 1
+# HELP zz_edges_total attempted edge additions
+# TYPE zz_edges_total counter
+zz_edges_total 42
+`
+	if got := b.String(); got != want {
+		t.Errorf("Prometheus exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through a map: json.Marshal sorts map keys, so the text
+	// is deterministic, but asserting on structure is less brittle.
+	var got map[string]map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("exposition is not valid JSON: %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d metrics, want 5: %v", len(got), b.String())
+	}
+	if k := got["zz_edges_total"]["kind"]; k != "counter" {
+		t.Errorf("zz_edges_total kind = %v", k)
+	}
+	if v := got["zz_edges_total"]["value"]; v != float64(42) {
+		t.Errorf("zz_edges_total value = %v", v)
+	}
+	if v := got["aa_ratio"]["value"]; v != 0.25 {
+		t.Errorf("aa_ratio value = %v", v)
+	}
+	if v := got["mm_live"]["value"]; v != float64(3) {
+		t.Errorf("mm_live value = %v", v)
+	}
+	hist := got["hh_depth"]
+	if hist["count"] != float64(5) || hist["sum"] != float64(60) || hist["max"] != float64(50) {
+		t.Errorf("hh_depth summary = %v", hist)
+	}
+	if n := len(hist["buckets"].([]any)); n != 4 {
+		t.Errorf("hh_depth has %d buckets, want 4 (3 bounds + overflow)", n)
+	}
+	phases := got["pp_phase"]["phases"].(map[string]any)
+	closure := phases["closure"].(map[string]any)
+	if closure["seconds"] != 1.5 || closure["count"] != float64(2) {
+		t.Errorf("closure phase = %v", closure)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	reg := NewRegistry()
+	reg.Counter("x", "")
+	reg.Gauge("x", "")
+}
+
+func TestSpanStop(t *testing.T) {
+	tm := NewTimers()
+	sp := tm.Start("p")
+	d1 := sp.Stop()
+	if d1 < 0 {
+		t.Fatalf("negative span duration %v", d1)
+	}
+	if d2 := sp.Stop(); d2 != 0 {
+		t.Fatalf("second Stop returned %v, want 0", d2)
+	}
+	total, count := tm.Get("p")
+	if count != 1 || total != d1 {
+		t.Fatalf("Get = (%v, %d), want (%v, 1)", total, count, d1)
+	}
+}

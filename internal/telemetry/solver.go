@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"time"
+
+	"polce/internal/core"
+)
+
+// SolverMetrics is the standard core.MetricsSink implementation: it turns
+// the solver's per-operation callbacks into distribution-level metrics.
+// Where core.Stats collapses the cycle-search cost to a mean
+// (VisitsPerSearch), SearchDepth records the empirical distribution behind
+// Theorem 5.2; CollapseSize does the same for the sizes of collapsed
+// cycles and Worklist for the pending-constraint backlog.
+type SolverMetrics struct {
+	// EdgeAttempts counts every attempted edge addition (the paper's
+	// Work); RedundantEdges the attempts that found the edge present.
+	EdgeAttempts   *Counter
+	RedundantEdges *Counter
+	// SearchDepth is the per-search nodes-visited distribution.
+	SearchDepth *Histogram
+	// CollapseSize is the distribution of variables merged per collapse.
+	CollapseSize *Histogram
+	// Worklist is the sampled pending-constraint worklist length.
+	Worklist *Histogram
+	// Phases accumulates per-phase wall-clock; the solver feeds the
+	// closure phase, clients add parse/constraint-gen/least-solution.
+	Phases *Timers
+}
+
+var _ core.MetricsSink = (*SolverMetrics)(nil)
+
+// NewSolverMetrics registers the standard solver metrics in reg and
+// returns the sink to install as core.Options.Metrics. The redundant-edge
+// ratio is exposed as a gauge computed at exposition time.
+func NewSolverMetrics(reg *Registry) *SolverMetrics {
+	m := &SolverMetrics{
+		EdgeAttempts:   reg.Counter("polce_edge_attempts_total", "attempted edge additions (the paper's Work), redundant included"),
+		RedundantEdges: reg.Counter("polce_edge_redundant_total", "edge additions that found the edge already present"),
+		SearchDepth:    reg.Histogram("polce_cycle_search_depth", "nodes visited per online cycle search (Theorem 5.2's R_X)", LogBuckets(1, 2, 16)),
+		CollapseSize:   reg.Histogram("polce_collapse_size", "variables merged away per cycle collapse or sweep", LogBuckets(1, 2, 16)),
+		Worklist:       reg.Histogram("polce_worklist_len", "pending-constraint worklist length, sampled every 64 steps", LogBuckets(1, 4, 12)),
+		Phases:         reg.Timers("polce_phase", "cumulative wall-clock per solver phase"),
+	}
+	reg.GaugeFunc("polce_redundant_edge_ratio", "fraction of attempted edge additions that were redundant",
+		func() float64 {
+			w := m.EdgeAttempts.Value()
+			if w == 0 {
+				return 0
+			}
+			return float64(m.RedundantEdges.Value()) / float64(w)
+		})
+	return m
+}
+
+// EdgeAttempt implements core.MetricsSink.
+func (m *SolverMetrics) EdgeAttempt(redundant bool) {
+	m.EdgeAttempts.Inc()
+	if redundant {
+		m.RedundantEdges.Inc()
+	}
+}
+
+// CycleSearch implements core.MetricsSink.
+func (m *SolverMetrics) CycleSearch(visits int) {
+	m.SearchDepth.Observe(float64(visits))
+}
+
+// Collapse implements core.MetricsSink.
+func (m *SolverMetrics) Collapse(merged int) {
+	m.CollapseSize.Observe(float64(merged))
+}
+
+// WorklistLen implements core.MetricsSink.
+func (m *SolverMetrics) WorklistLen(n int) {
+	m.Worklist.Observe(float64(n))
+}
+
+// ClosureDone implements core.MetricsSink.
+func (m *SolverMetrics) ClosureDone(d time.Duration) {
+	m.Phases.Add(PhaseClosure, d)
+}
+
+// PublishStats registers the final core.Stats counters as gauges named
+// polce_stats_*. Call it after solving completes: a System is not safe
+// for concurrent use, so live scrapes read the lock-free SolverMetrics
+// and the cumulative Stats snapshot is published once at the end.
+func PublishStats(reg *Registry, st core.Stats) {
+	pub := func(name, help string, v float64) {
+		reg.Gauge("polce_stats_"+name, help).Set(v)
+	}
+	pub("vars_created", "variables allocated", float64(st.VarsCreated))
+	pub("vars_eliminated", "variables merged away by cycle elimination", float64(st.VarsEliminated))
+	pub("work", "total attempted edge additions", float64(st.Work))
+	pub("redundant", "attempted edge additions that were redundant", float64(st.Redundant))
+	pub("cycle_searches", "online closing-chain searches", float64(st.CycleSearches))
+	pub("cycle_visits", "nodes visited across all searches", float64(st.CycleVisits))
+	pub("cycles_found", "searches that found and collapsed a cycle", float64(st.CyclesFound))
+	pub("ls_work", "term insertions by the least-solution pass", float64(st.LSWork))
+	pub("periodic_sweeps", "offline elimination sweeps", float64(st.PeriodicSweeps))
+	pub("sweep_visits", "variables examined by periodic sweeps", float64(st.SweepVisits))
+}

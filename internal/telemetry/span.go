@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Canonical phase names for the solver pipeline. Clients are free to use
+// their own, but sticking to these keeps dashboards and the bench CSV
+// comparable across runs.
+const (
+	PhaseParse         = "parse"          // front-end lexing/parsing
+	PhaseConstraintGen = "constraint-gen" // constraint generation minus closure
+	PhaseClosure       = "closure"        // worklist drains inside AddConstraint
+	PhaseLeastSolution = "least-solution" // IF least-solution pass
+	PhaseOraclePass1   = "oracle-pass1"   // reference run + oracle construction
+	PhaseOraclePass2   = "oracle-pass2"   // the oracle-policy run itself
+)
+
+// Timers accumulates wall-clock time per named phase. Unlike the metric
+// types it takes a mutex: phase boundaries are rare (a handful per run),
+// never on the solver's hot path.
+type Timers struct {
+	mu     sync.Mutex
+	phases map[string]*phaseAgg
+}
+
+type phaseAgg struct {
+	total time.Duration
+	count int
+}
+
+// NewTimers returns an empty timer set. Registry.Timers both creates and
+// registers one.
+func NewTimers() *Timers {
+	return &Timers{phases: map[string]*phaseAgg{}}
+}
+
+// Span is one in-flight timed region; obtain with Timers.Start, finish
+// with Stop.
+type Span struct {
+	t     *Timers
+	phase string
+	start time.Time
+	done  bool
+}
+
+// Start begins timing one span of the named phase.
+func (t *Timers) Start(phase string) *Span {
+	return &Span{t: t, phase: phase, start: time.Now()}
+}
+
+// Stop ends the span, accumulates its duration under the phase, and
+// returns it. Stopping twice is a no-op.
+func (s *Span) Stop() time.Duration {
+	if s.done {
+		return 0
+	}
+	s.done = true
+	d := time.Since(s.start)
+	s.t.Add(s.phase, d)
+	return d
+}
+
+// Add accumulates an externally measured duration under phase (used when a
+// phase is derived, e.g. constraint-gen = analysis total − closure).
+func (t *Timers) Add(phase string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a := t.phases[phase]
+	if a == nil {
+		a = &phaseAgg{}
+		t.phases[phase] = a
+	}
+	a.total += d
+	a.count++
+}
+
+// Get returns the accumulated duration and span count of a phase.
+func (t *Timers) Get(phase string) (time.Duration, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if a := t.phases[phase]; a != nil {
+		return a.total, a.count
+	}
+	return 0, 0
+}
+
+// PhaseTiming is one phase's accumulated totals.
+type PhaseTiming struct {
+	Phase string
+	Total time.Duration
+	Count int
+}
+
+// Snapshot returns every phase's totals, sorted by phase name.
+func (t *Timers) Snapshot() []PhaseTiming {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PhaseTiming, 0, len(t.phases))
+	for name, a := range t.phases {
+		out = append(out, PhaseTiming{Phase: name, Total: a.total, Count: a.count})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Phase < out[j].Phase })
+	return out
+}

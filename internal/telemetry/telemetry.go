@@ -1,0 +1,372 @@
+// Package telemetry is a zero-dependency, stdlib-only observability layer
+// for the solver: atomic Counter/Gauge/Histogram metrics collected in a
+// Registry with Prometheus-text and JSON exposition, a Span/Phase timer
+// API for the solver's pipeline phases, an NDJSON trace writer streaming
+// solver events with wall-clock and Work stamps, and an HTTP mux serving
+// /metrics, /debug/vars (expvar) and /debug/pprof.
+//
+// The paper's argument is quantitative — Work counts, redundant edge
+// additions, nodes visited per online cycle search (Theorem 5.2) — and
+// most of those quantities are distributions, not means. Counters and
+// histograms here are lock-free (sync/atomic) so a future parallel solver
+// can share them; the Registry serialises only at exposition time.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the counter to stay monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 metric. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the current value.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// GaugeFunc is a gauge whose value is computed at exposition time.
+type GaugeFunc func() float64
+
+// Histogram counts observations into fixed buckets with inclusive upper
+// bounds (Prometheus "le" semantics) plus an overflow bucket, and tracks
+// the observation count, sum and maximum. All methods are safe for
+// concurrent use and lock-free. Observations must be non-negative (every
+// solver quantity — search depth, collapse size, worklist length — is).
+type Histogram struct {
+	bounds  []float64       // inclusive upper bounds, ascending
+	counts  []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
+	total   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+	maxBits atomic.Uint64 // float64 bits of the maximum (non-negative)
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// Most callers want LogBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be ascending")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// LogBuckets returns n log-spaced upper bounds start, start·factor,
+// start·factor², …  (factor > 1). LogBuckets(1, 2, 16) covers 1..32768 in
+// powers of two, a good default for search depths and collapse sizes.
+func LogBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("telemetry: LogBuckets wants start > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v, or overflow
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for { // sum += v
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for { // max = max(max, v)
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Max returns the largest observation (0 before any observation).
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.maxBits.Load()) }
+
+// Bounds returns the bucket upper bounds (not including the overflow
+// bucket). The returned slice must not be modified.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns a snapshot of the per-bucket counts; the last entry
+// is the overflow bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the bucket counts,
+// returning the upper bound of the bucket containing the rank (Max for the
+// overflow bucket, 0 with no observations). The estimate is conservative:
+// it never under-reports by more than one bucket's width.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := h.BucketCounts()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i == len(h.bounds) {
+				return h.Max()
+			}
+			return h.bounds[i]
+		}
+	}
+	return h.Max()
+}
+
+// entry is one registered metric.
+type entry struct {
+	name, help string
+	metric     any // *Counter | *Gauge | GaugeFunc | *Histogram | *Timers
+}
+
+// Registry holds named metrics and renders them as Prometheus text or
+// JSON. Registration is typically done once at start-up; exposition may
+// run concurrently with metric updates.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]entry{}}
+}
+
+func (r *Registry) register(name, help string, m any) {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		panic("telemetry: duplicate metric " + name)
+	}
+	r.entries[name] = entry{name, help, m}
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, c)
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, g)
+	return g
+}
+
+// GaugeFunc registers a gauge computed by fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, GaugeFunc(fn))
+}
+
+// Histogram registers and returns a new histogram over bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(name, help, h)
+	return h
+}
+
+// Timers registers and returns a new phase-timer set; it is exposed as
+// <name>_seconds{phase="…"} and <name>_count{phase="…"}.
+func (r *Registry) Timers(name, help string) *Timers {
+	t := NewTimers()
+	r.register(name, help, t)
+	return t
+}
+
+// sorted returns the entries in name order.
+func (r *Registry) sorted() []entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// fmtFloat renders a float the way Prometheus expects.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format, in name order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, e := range r.sorted() {
+		if e.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", e.name, e.help)
+		}
+		switch m := e.metric.(type) {
+		case *Counter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", e.name, e.name, m.Value())
+		case *Gauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", e.name, e.name, fmtFloat(m.Value()))
+		case GaugeFunc:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", e.name, e.name, fmtFloat(m()))
+		case *Histogram:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", e.name)
+			counts := m.BucketCounts()
+			var cum uint64
+			for i, bound := range m.Bounds() {
+				cum += counts[i]
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", e.name, fmtFloat(bound), cum)
+			}
+			cum += counts[len(counts)-1]
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", e.name, cum)
+			fmt.Fprintf(&b, "%s_sum %s\n", e.name, fmtFloat(m.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", e.name, m.Count())
+		case *Timers:
+			fmt.Fprintf(&b, "# TYPE %s_seconds counter\n", e.name)
+			snap := m.Snapshot()
+			for _, p := range snap {
+				fmt.Fprintf(&b, "%s_seconds{phase=%q} %s\n", e.name, p.Phase, fmtFloat(p.Total.Seconds()))
+			}
+			fmt.Fprintf(&b, "# TYPE %s_count counter\n", e.name)
+			for _, p := range snap {
+				fmt.Fprintf(&b, "%s_count{phase=%q} %d\n", e.name, p.Phase, p.Count)
+			}
+		default:
+			fmt.Fprintf(&b, "# %s: unknown metric kind %T\n", e.name, e.metric)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Snapshot returns a JSON-marshalable view of every metric, keyed by name.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	for _, e := range r.sorted() {
+		switch m := e.metric.(type) {
+		case *Counter:
+			out[e.name] = map[string]any{"kind": "counter", "value": m.Value()}
+		case *Gauge:
+			out[e.name] = map[string]any{"kind": "gauge", "value": m.Value()}
+		case GaugeFunc:
+			out[e.name] = map[string]any{"kind": "gauge", "value": m()}
+		case *Histogram:
+			counts := m.BucketCounts()
+			buckets := make([]map[string]any, 0, len(counts))
+			for i, bound := range m.Bounds() {
+				buckets = append(buckets, map[string]any{"le": bound, "n": counts[i]})
+			}
+			buckets = append(buckets, map[string]any{"le": "+Inf", "n": counts[len(counts)-1]})
+			out[e.name] = map[string]any{
+				"kind":    "histogram",
+				"count":   m.Count(),
+				"sum":     m.Sum(),
+				"max":     m.Max(),
+				"buckets": buckets,
+			}
+		case *Timers:
+			phases := map[string]any{}
+			for _, p := range m.Snapshot() {
+				phases[p.Phase] = map[string]any{"seconds": p.Total.Seconds(), "count": p.Count}
+			}
+			out[e.name] = map[string]any{"kind": "timer", "phases": phases}
+		}
+	}
+	return out
+}
+
+// WriteJSON renders the Snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return writeJSON(w, r.Snapshot())
+}
+
+// Handler serves the registry: Prometheus text by default, JSON with
+// ?format=json.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = r.WritePrometheus(w)
+	})
+}
