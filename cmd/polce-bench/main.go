@@ -20,8 +20,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"polce/internal/bench"
+	"polce/internal/core"
 	"polce/internal/model"
 	"polce/internal/randgraph"
 )
@@ -45,10 +48,13 @@ func main() {
 		baseline = flag.Bool("baseline", false, "compare Andersen against the Steensgaard unification baseline (time and precision)")
 		csvPath  = flag.String("csv", "", "also write the full measurement matrix as CSV to this file")
 		metrics  = flag.Bool("metrics", false, "record and print per-benchmark phase timings (solve/closure/least-solution) and search-depth p50/p90/max")
+		parallel = flag.Bool("parallel", false, "run the experiment grid on the worker-pool runner (form × policy × order × seed across GOMAXPROCS workers)")
+		workers  = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
+		baseOut  = flag.String("baseline-out", "", "write the -parallel grid measurements as a JSON baseline to this file")
 	)
 	flag.Parse()
 
-	if !*all && *table == 0 && *figure == 0 && *modelSel == "" && !*ablation && !*cfaExp && !*diag && !*orders && !*sweep && !*baseline && !*metrics {
+	if !*all && *table == 0 && *figure == 0 && *modelSel == "" && !*ablation && !*cfaExp && !*diag && !*orders && !*sweep && !*baseline && !*metrics && !*parallel && *baseOut == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -130,6 +136,10 @@ func main() {
 			os.Exit(1)
 		}
 		suite = []bench.Benchmark{b}
+	}
+
+	if *parallel || *baseOut != "" {
+		runParallelGrid(suite, exps, *seed, *workers, *repeat, *baseOut)
 	}
 
 	var results []*bench.Result
@@ -252,6 +262,71 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "polce-bench: wrote %s\n", *csvPath)
 	}
+}
+
+// runParallelGrid fans the experiment grid across the worker pool and
+// prints a per-cell summary; with baseOut it also writes the committed
+// baseline JSON (see BENCH_pr2.json). Each cell's seed is derived
+// deterministically from the base seed and the cell's coordinates.
+func runParallelGrid(suite []bench.Benchmark, expNames []string, seed int64, workers, repeat int, baseOut string) {
+	var exps []bench.Experiment
+	for _, name := range expNames {
+		if e, ok := bench.ExperimentByName(name); ok {
+			exps = append(exps, e)
+		}
+	}
+	if len(exps) == 0 {
+		// The baseline's minimum coverage: the two online configurations.
+		for _, name := range []string{"SF-Online", "IF-Online"} {
+			e, _ := bench.ExperimentByName(name)
+			exps = append(exps, e)
+		}
+	}
+	cells := bench.Grid(suite, exps, []core.OrderStrategy{core.OrderRandom}, []int64{seed})
+	for i := range cells {
+		cells[i].Seed = bench.CellSeed(seed, cells[i])
+	}
+	opt := bench.ParallelOptions{Workers: workers, Repeat: repeat, Phases: true}
+	fmt.Fprintf(os.Stderr, "polce-bench: running %d cell(s) on %d worker(s)...\n", len(cells), effectiveWorkers(workers))
+	start := time.Now()
+	results := bench.RunParallel(cells, opt)
+	fmt.Fprintf(os.Stderr, "polce-bench: grid done in %s\n", time.Since(start).Round(time.Millisecond))
+	bench.ParallelTable(os.Stdout, results)
+	fmt.Fprintln(os.Stdout)
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "polce-bench: %d cell(s) failed\n", failed)
+		os.Exit(1)
+	}
+	if baseOut != "" {
+		f, err := os.Create(baseOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
+			os.Exit(1)
+		}
+		b := bench.NewBaseline(results, opt, time.Now())
+		if err := bench.WriteBaseline(f, b); err != nil {
+			fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "polce-bench: wrote %s (%d cells)\n", baseOut, len(b.Cells))
+	}
+}
+
+func effectiveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
 }
 
 func containsInt(xs []int, v int) bool {

@@ -138,6 +138,9 @@ type Result struct {
 type Options struct {
 	// Seed is the solver's variable-order seed.
 	Seed int64
+	// Order selects the variable-order strategy (default OrderRandom, as
+	// in the paper's experiments).
+	Order core.OrderStrategy
 	// Repeat re-runs each timed experiment and keeps the best time (the
 	// paper reports best of three). 0 means 1.
 	Repeat int
@@ -183,7 +186,7 @@ func RunBenchmark(b Benchmark, names []string, opt Options) (*Result, error) {
 	// requested IF-Online run is re-run timed below), but measured so
 	// the oracle experiments can report their pass-1 cost.
 	refStart := time.Now()
-	ref := andersen.Analyze(p.file, andersen.Options{Form: core.IF, Cycles: core.CycleOnline, Seed: opt.Seed})
+	ref := andersen.Analyze(p.file, andersen.Options{Form: core.IF, Cycles: core.CycleOnline, Seed: opt.Seed, Order: opt.Order})
 	refElapsed := time.Since(refStart)
 	res.FinalSCCVars, res.FinalSCCMax = ref.Sys.CycleClassStats()
 	res.FinalDensity = ref.Sys.CurrentGraphStats().Density
@@ -215,6 +218,7 @@ func runOne(p *program, exp Experiment, oracle *core.Oracle, opt Options, repeat
 			Form:             exp.Form,
 			Cycles:           exp.Cycles,
 			Seed:             opt.Seed,
+			Order:            opt.Order,
 			Oracle:           oracle,
 			PeriodicInterval: exp.Interval,
 		}

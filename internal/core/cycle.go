@@ -54,44 +54,12 @@ func (s *System) detectAndCollapse(x, y *Var, asSucc bool) bool {
 // following only predecessor edges to lower-ordered variables. On success
 // s.path holds every variable on the chain, endpoints included.
 func (s *System) predChain(from, to *Var) bool {
-	s.stats.CycleVisits++
-	if from == to {
-		s.path = append(s.path, from)
-		return true
-	}
-	from.visited = s.searchEpoch
-	for _, v := range from.predV.list {
-		v = find(v)
-		if v == from || v.visited == s.searchEpoch {
-			continue
-		}
-		if before(v, from) && s.predChain(v, to) {
-			s.path = append(s.path, from)
-			return true
-		}
-	}
-	return false
+	return s.chainSearch(from, to, false, false)
 }
 
 // succChain is the successor-edge dual of predChain.
 func (s *System) succChain(from, to *Var) bool {
-	s.stats.CycleVisits++
-	if from == to {
-		s.path = append(s.path, from)
-		return true
-	}
-	from.visited = s.searchEpoch
-	for _, w := range from.succV.list {
-		w = find(w)
-		if w == from || w.visited == s.searchEpoch {
-			continue
-		}
-		if before(w, from) && s.succChain(w, to) {
-			s.path = append(s.path, from)
-			return true
-		}
-	}
-	return false
+	return s.chainSearch(from, to, true, false)
 }
 
 // succChainSF searches successor chains under standard form. With
@@ -99,24 +67,68 @@ func (s *System) succChain(from, to *Var) bool {
 // paper's cheap partial search); with increasing=true each step must
 // increase (the §4 ablation, which finds more cycles at much higher cost).
 func (s *System) succChainSF(from, to *Var, increasing bool) bool {
+	return s.chainSearch(from, to, true, increasing)
+}
+
+// chainFrame is one node on the explicit chain-search stack; next is the
+// adjacency index to resume from.
+type chainFrame struct {
+	node *Var
+	next int
+}
+
+// chainSearch is the order-restricted depth-first chain search behind
+// predChain, succChain and succChainSF, run on an explicit stack so chain
+// depth is bounded by the heap, not the goroutine stack (input graphs can
+// hold chains of 10^5+ variables). It preserves the recursive search
+// exactly: a node's visit is counted on entry, the to-test precedes the
+// visited mark, adjacency is scanned in stored order, and on success
+// s.path holds the chain with `to` first and `from` last.
+func (s *System) chainSearch(from, to *Var, succ, increasing bool) bool {
 	s.stats.CycleVisits++
 	if from == to {
 		s.path = append(s.path, from)
 		return true
 	}
 	from.visited = s.searchEpoch
-	for _, w := range from.succV.list {
-		w = find(w)
-		if w == from || w.visited == s.searchEpoch {
-			continue
+	frames := append(s.frames[:0], chainFrame{node: from})
+	defer func() { s.frames = frames[:0] }()
+	for len(frames) > 0 {
+		f := &frames[len(frames)-1]
+		cur := f.node
+		adj := cur.predV.list
+		if succ {
+			adj = cur.succV.list
 		}
-		ok := before(w, from)
-		if increasing {
-			ok = before(from, w)
+		descended := false
+		for f.next < len(adj) {
+			v := find(adj[f.next])
+			f.next++
+			if v == cur || v.visited == s.searchEpoch {
+				continue
+			}
+			ok := before(v, cur)
+			if increasing {
+				ok = before(cur, v)
+			}
+			if !ok {
+				continue
+			}
+			s.stats.CycleVisits++
+			if v == to {
+				s.path = append(s.path, to)
+				for i := len(frames) - 1; i >= 0; i-- {
+					s.path = append(s.path, frames[i].node)
+				}
+				return true
+			}
+			v.visited = s.searchEpoch
+			frames = append(frames, chainFrame{node: v})
+			descended = true
+			break
 		}
-		if ok && s.succChainSF(w, to, increasing) {
-			s.path = append(s.path, from)
-			return true
+		if !descended {
+			frames = frames[:len(frames)-1]
 		}
 	}
 	return false
@@ -158,6 +170,7 @@ func (s *System) collapse(nodes []*Var) {
 // absorb forwards a to w and re-inserts a's constraints onto w.
 func (s *System) absorb(a, w *Var) {
 	a.parent = w
+	s.deadVars++
 	s.stats.VarsEliminated++
 	for _, t := range a.predS.take() {
 		s.push(t, w) // t ⊆ a becomes t ⊆ w
@@ -192,6 +205,9 @@ func (s *System) CollapseCycles() int {
 			collapsed += len(g) - 1
 		}
 	}
-	s.drain()
+	s.drain(false)
+	// Collapses reroute absorbed variables onto their witness, so any
+	// cached least solution is keyed by now-eliminated variables.
+	s.lsDirty = true
 	return collapsed
 }

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+	"testing"
+)
+
+// TestDeepChainNoStackOverflow is the regression test for the cycle search
+// recursing once per chain node: a strictly decreasing predecessor chain of
+// 100k variables forces the closing-chain search to walk the entire chain.
+// The explicit-stack search keeps its frames on the heap; the goroutine
+// stack is capped tightly enough here that a one-call-per-node recursion
+// would overflow (fatally), while the iterative search stays well inside.
+func TestDeepChainNoStackOverflow(t *testing.T) {
+	defer debug.SetMaxStack(debug.SetMaxStack(4 << 20))
+
+	const n = 100_000
+	s := NewSystem(Options{Form: IF, Order: OrderCreation, Cycles: CycleOnline, Seed: 1})
+	vars := make([]*Var, n)
+	for i := range vars {
+		vars[i] = s.Fresh(fmt.Sprintf("v%d", i))
+	}
+	// v0 ⊆ v1 ⊆ ... ⊆ v(n-1): under creation order each edge is stored as
+	// a predecessor edge of the higher variable, so the chain search from
+	// v(n-1) descends through all n variables.
+	for i := 0; i+1 < n; i++ {
+		s.AddConstraint(vars[i], vars[i+1])
+	}
+	visitsBefore := s.Stats().CycleVisits
+	// The closing edge v(n-1) ⊆ v0 triggers predChain(v(n-1), v0), which
+	// must walk the whole decreasing chain and collapse the cycle.
+	s.AddConstraint(vars[n-1], vars[0])
+
+	st := s.Stats()
+	if st.CyclesFound == 0 {
+		t.Fatalf("deep chain cycle not found (searches=%d)", st.CycleSearches)
+	}
+	if got := st.CycleVisits - visitsBefore; got < n {
+		t.Errorf("closing search visited %d nodes, want >= %d (did it walk the chain?)", got, n)
+	}
+	if st.VarsEliminated != n-1 {
+		t.Errorf("eliminated %d variables, want %d", st.VarsEliminated, n-1)
+	}
+	w := s.Find(vars[0])
+	for _, v := range []*Var{vars[1], vars[n/2], vars[n-1]} {
+		if s.Find(v) != w {
+			t.Fatalf("chain not fully collapsed onto one witness")
+		}
+	}
+}

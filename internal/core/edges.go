@@ -1,61 +1,108 @@
 package core
 
-// varSet is an insertion-ordered set of variables. The slice preserves
+// smallSetThreshold is the size at which a hybrid adjacency set promotes
+// from a plain linear-scanned slice to slice + membership map. Most
+// variables in real constraint graphs have only a handful of edges (the
+// closed graphs sit near density k ≈ 2, see Section 5), so staying below
+// the threshold avoids a map allocation per adjacency set — up to four
+// per variable.
+const smallSetThreshold = 8
+
+// smallSet is an insertion-ordered hybrid set. The slice preserves
 // insertion order so that graph closure — and therefore cycle detection,
 // which is sensitive to the order in which edges appear — is deterministic
-// for a deterministic client. After cycles are collapsed, entries may
-// become stale (their variable forwarded to a witness); stale entries are
-// canonicalised lazily by compact.
-type varSet struct {
-	list []*Var
-	set  map[*Var]struct{}
+// for a deterministic client. Membership is answered by scanning the slice
+// while the set is small; once it outgrows smallSetThreshold a map is
+// built and kept in sync.
+type smallSet[T comparable] struct {
+	list []T
+	set  map[T]struct{} // nil while len(list) <= smallSetThreshold
 }
 
 // add inserts v and reports whether it was new.
-func (s *varSet) add(v *Var) bool {
-	if _, ok := s.set[v]; ok {
-		return false
+func (s *smallSet[T]) add(v T) bool {
+	if s.set != nil {
+		if _, ok := s.set[v]; ok {
+			return false
+		}
+		s.set[v] = struct{}{}
+		s.list = append(s.list, v)
+		return true
 	}
-	if s.set == nil {
-		s.set = make(map[*Var]struct{})
+	for _, w := range s.list {
+		if w == v {
+			return false
+		}
 	}
-	s.set[v] = struct{}{}
 	s.list = append(s.list, v)
+	if len(s.list) > smallSetThreshold {
+		s.promote()
+	}
 	return true
 }
 
-// has reports whether v is present (under the exact pointer; callers
-// canonicalise first).
-func (s *varSet) has(v *Var) bool {
-	_, ok := s.set[v]
-	return ok
+// promote builds the membership map from the current slice.
+func (s *smallSet[T]) promote() {
+	m := make(map[T]struct{}, 2*len(s.list))
+	for _, w := range s.list {
+		m[w] = struct{}{}
+	}
+	s.set = m
 }
 
-// len returns the number of stored entries, including stale aliases.
-func (s *varSet) size() int { return len(s.list) }
+// has reports whether v is present (under the exact value; callers
+// canonicalise variables first).
+func (s *smallSet[T]) has(v T) bool {
+	if s.set != nil {
+		_, ok := s.set[v]
+		return ok
+	}
+	for _, w := range s.list {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// size returns the number of stored entries, including stale aliases.
+func (s *smallSet[T]) size() int { return len(s.list) }
 
 // take removes and returns all entries, leaving the set empty. Used when a
 // collapsed variable's edges are re-inserted onto the witness.
-func (s *varSet) take() []*Var {
+func (s *smallSet[T]) take() []T {
 	l := s.list
 	s.list = nil
 	s.set = nil
 	return l
 }
 
+// varSet is the variable adjacency set. After cycles are collapsed,
+// entries may become stale (their variable forwarded to a witness); stale
+// entries are canonicalised lazily by compact.
+type varSet struct {
+	smallSet[*Var]
+}
+
 // compact canonicalises every entry under find, dropping duplicates and
 // any entry equal to self. It returns the canonical slice, which aliases
-// the set's own storage.
+// the set's own storage. A set that shrinks back under the threshold
+// demotes to the plain-slice representation.
 func (s *varSet) compact(self *Var) []*Var {
 	out := s.list[:0]
-	var seen map[*Var]struct{}
-	if s.set != nil {
-		seen = s.set
-		clear(seen)
-	} else {
-		seen = make(map[*Var]struct{})
-		s.set = seen
+	if s.set == nil {
+		for _, v := range s.list {
+			v = find(v)
+			if v == self || sliceHas(out, v) {
+				continue
+			}
+			out = append(out, v)
+		}
+		s.list = out
+		return out
 	}
+	seen := s.set
+	clear(seen)
 	for _, v := range s.list {
 		v = find(v)
 		if v == self {
@@ -68,45 +115,24 @@ func (s *varSet) compact(self *Var) []*Var {
 		out = append(out, v)
 	}
 	s.list = out
+	if len(out) <= smallSetThreshold {
+		s.set = nil
+	}
 	return out
 }
 
-// termSet is an insertion-ordered set of terms, used for source and sink
-// adjacency. Terms never become stale, so no compaction is needed.
-type termSet struct {
-	list []*Term
-	set  map[*Term]struct{}
-}
-
-// add inserts t and reports whether it was new.
-func (s *termSet) add(t *Term) bool {
-	if _, ok := s.set[t]; ok {
-		return false
+func sliceHas(xs []*Var, v *Var) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
 	}
-	if s.set == nil {
-		s.set = make(map[*Term]struct{})
-	}
-	s.set[t] = struct{}{}
-	s.list = append(s.list, t)
-	return true
+	return false
 }
 
-// has reports whether t is present.
-func (s *termSet) has(t *Term) bool {
-	_, ok := s.set[t]
-	return ok
-}
-
-// size returns the number of stored terms.
-func (s *termSet) size() int { return len(s.list) }
-
-// take removes and returns all entries, leaving the set empty.
-func (s *termSet) take() []*Term {
-	l := s.list
-	s.list = nil
-	s.set = nil
-	return l
-}
+// termSet is the source/sink adjacency set. Terms never become stale, so
+// no compaction is needed.
+type termSet = smallSet[*Term]
 
 // find follows forwarding pointers to v's representative, compressing the
 // path as it goes.

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestLeastSolutionInvalidatedByOfflineCollapse is the regression test for
+// CollapseCycles leaving the least-solution cache valid: a cache computed
+// before an offline collapse is keyed by now-eliminated variables, and on
+// an initial graph (where no closure has propagated sources around the
+// cycle) the stale entries are observably wrong — here the absorbed
+// variable's sources vanish entirely, because the lookup lands on the
+// witness's pre-collapse entry.
+func TestLeastSolutionInvalidatedByOfflineCollapse(t *testing.T) {
+	s := NewInitialGraph(Options{Form: IF, Order: OrderCreation, Seed: 1})
+	a := atoms(1)
+	x := s.Fresh("X")
+	y := s.Fresh("Y")
+	s.AddConstraint(a[0], y) // a0 ⊆ Y
+	s.AddConstraint(x, y)    // X ⊆ Y
+	s.AddConstraint(y, x)    // Y ⊆ X: closes the cycle
+
+	// Prime the cache before the collapse. On the unclosed graph a0 has
+	// not propagated to X.
+	if got := lsNames(s, x); len(got) != 0 {
+		t.Fatalf("pre-collapse LS(X) = %v, want empty on the initial graph", got)
+	}
+	if got := lsNames(s, y); len(got) != 1 || got[0] != "a0" {
+		t.Fatalf("pre-collapse LS(Y) = %v, want [a0]", got)
+	}
+
+	if n := s.CollapseCycles(); n != 1 {
+		t.Fatalf("CollapseCycles = %d, want 1", n)
+	}
+	if s.Find(y) != x {
+		t.Fatalf("expected Y to be absorbed into the lower-ordered witness X")
+	}
+
+	// Querying the absorbed variable must see the collapsed graph, not the
+	// cache keyed by the pre-collapse variables.
+	if got := lsNames(s, y); len(got) != 1 || got[0] != "a0" {
+		t.Errorf("post-collapse LS(Y) = %v, want [a0] (stale cache?)", got)
+	}
+	if got := lsNames(s, x); len(got) != 1 || got[0] != "a0" {
+		t.Errorf("post-collapse LS(X) = %v, want [a0] (stale cache?)", got)
+	}
+}
+
+// TestLeastSolutionAfterOfflineCollapseClosed covers the same sequence on
+// fully closed systems: prime the cache, collapse offline, and check every
+// variable — absorbed ones included — against a plain reference run of the
+// same script.
+func TestLeastSolutionAfterOfflineCollapseClosed(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		ops := genScript(seed, 40, 160)
+		ref, refVars := runScript(Options{Form: SF, Cycles: CycleNone, Seed: seed}, ops)
+		s, vars := runScript(Options{Form: IF, Cycles: CycleNone, Seed: seed}, ops)
+
+		// Prime the cache, then collapse every cycle offline.
+		for _, v := range vars {
+			_ = s.LeastSolution(v)
+		}
+		s.CollapseCycles()
+
+		for i, v := range vars {
+			want := lsNames(ref, refVars[i])
+			got := lsNames(s, v)
+			if fmt.Sprint(want) != fmt.Sprint(got) {
+				t.Fatalf("seed %d: LS(v%d) after offline collapse = %v, want %v", seed, i, got, want)
+			}
+		}
+	}
+}

@@ -26,8 +26,9 @@ type System struct {
 	opt Options
 	rng *rand.Rand
 
-	vars    []*Var // variables actually allocated
-	created []*Var // creation-index → variable handed out (oracle aliases included)
+	vars     []*Var // live variables in creation order, lazily compacted
+	deadVars int    // eliminated variables still present in vars
+	created  []*Var // creation-index → variable handed out (oracle aliases included)
 
 	work  []constraint // LIFO worklist of pending constraints
 	stats Stats
@@ -35,9 +36,10 @@ type System struct {
 	errs     []error
 	errCount int
 
-	searchEpoch uint64 // current cycle-search mark
-	mergeEpoch  uint64 // bumped on every collapse; drives lazy compaction
-	path        []*Var // scratch: nodes on the chain found by the last search
+	searchEpoch uint64       // current cycle-search mark
+	mergeEpoch  uint64       // bumped on every collapse; drives lazy compaction
+	path        []*Var       // scratch: nodes on the chain found by the last search
+	frames      []chainFrame // scratch: explicit stack for chainSearch
 
 	skipClosure bool   // build the initial graph only (no closure, no cycles)
 	lastSweep   int64  // Work count at the last periodic sweep
@@ -125,7 +127,7 @@ func before(a, b *Var) bool {
 // at every constraint).
 func (s *System) AddConstraint(l, r Expr) {
 	s.push(l, r)
-	s.drain()
+	s.drain(true)
 	s.lsDirty = true
 }
 
@@ -133,9 +135,14 @@ func (s *System) push(l, r Expr) {
 	s.work = append(s.work, constraint{l, r})
 }
 
-func (s *System) drain() {
+// drain empties the worklist. topLevel marks drains triggered directly by
+// AddConstraint: only those report ClosureDone, so offline collapse drains
+// (CollapseCycles, periodic sweeps' re-inserted constraints) are not
+// misattributed as closure time.
+func (s *System) drain(topLevel bool) {
+	report := topLevel && s.opt.Metrics != nil
 	var t0 time.Time
-	if s.opt.Metrics != nil {
+	if report {
 		t0 = time.Now()
 	}
 	for len(s.work) > 0 {
@@ -153,7 +160,7 @@ func (s *System) drain() {
 		s.work = s.work[:len(s.work)-1]
 		s.step(c.l, c.r)
 	}
-	if s.opt.Metrics != nil {
+	if report {
 		s.opt.Metrics.ClosureDone(time.Since(t0))
 	}
 }
@@ -417,10 +424,29 @@ func (s *System) CreatedVar(i int) *Var { return s.created[i] }
 // has been eliminated).
 func (s *System) Find(v *Var) *Var { return find(v) }
 
+// compactLive drops eliminated variables from s.vars once a quarter of the
+// list is dead, so whole-graph walks cost O(live), not O(ever created).
+// Compaction preserves creation order and is amortised O(1) per
+// elimination. Callers must not be mid-iteration over s.vars.
+func (s *System) compactLive() {
+	if s.deadVars == 0 || s.deadVars < len(s.vars)/4 {
+		return
+	}
+	out := s.vars[:0]
+	for _, v := range s.vars {
+		if v.parent == nil {
+			out = append(out, v)
+		}
+	}
+	s.vars = out
+	s.deadVars = 0
+}
+
 // CanonicalVars returns the canonical (non-eliminated) variables in
 // creation order.
 func (s *System) CanonicalVars() []*Var {
-	out := make([]*Var, 0, len(s.vars))
+	s.compactLive()
+	out := make([]*Var, 0, len(s.vars)-s.deadVars)
 	for _, v := range s.vars {
 		if v.parent == nil {
 			out = append(out, v)
@@ -434,6 +460,7 @@ func (s *System) CanonicalVars() []*Var {
 // c(...) ⊆ X and sink edges X ⊆ c(...). Stale aliases left by collapses are
 // canonicalised before counting.
 func (s *System) EdgeCounts() (varVar, source, sink int) {
+	s.compactLive()
 	for _, v := range s.vars {
 		if v.parent != nil {
 			continue

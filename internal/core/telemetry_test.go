@@ -150,6 +150,42 @@ func TestMetricsSinkAgreesWithStats(t *testing.T) {
 	}
 }
 
+// TestClosureDoneOnlyFromAddConstraint is the regression test for phase
+// misattribution: ClosureDone samples must come only from top-level
+// AddConstraint drains. CollapseCycles drains the worklist too, but its
+// time is offline collapse work, not closure — reporting it double-counts
+// closure time in the phase timers.
+func TestClosureDoneOnlyFromAddConstraint(t *testing.T) {
+	sink := &recordingSink{}
+	s := NewSystem(Options{Form: IF, Cycles: CycleNone, Seed: 5, Metrics: sink})
+	vars := make([]*Var, 12)
+	for i := range vars {
+		vars[i] = s.Fresh("v")
+	}
+	a := atoms(1)
+	s.AddConstraint(a[0], vars[0])
+	for i := range vars {
+		s.AddConstraint(vars[i], vars[(i+1)%len(vars)])
+	}
+	adds := len(vars) + 1
+	if got := len(sink.closures); got != adds {
+		t.Fatalf("ClosureDone samples after %d AddConstraint calls = %d", adds, got)
+	}
+
+	// The offline collapse drains re-inserted constraints but must not
+	// report its drain as closure time.
+	if n := s.CollapseCycles(); n == 0 {
+		t.Fatal("offline collapse found no cycles")
+	}
+	if got := len(sink.closures); got != adds {
+		t.Errorf("CollapseCycles added %d ClosureDone sample(s); offline drains must not report closure time", got-adds)
+	}
+	// The collapse itself is still observed through its own hook.
+	if len(sink.collapses) == 0 {
+		t.Error("offline collapse reported no Collapse sample")
+	}
+}
+
 // TestWorklistSampling drives enough constraints through the solver to
 // cross the sampling interval and checks samples arrive.
 func TestWorklistSampling(t *testing.T) {
