@@ -25,12 +25,13 @@ import (
 
 func main() {
 	var (
-		form     = flag.String("form", "if", "graph representation: sf or if")
-		cycles   = flag.String("cycles", "online", "cycle policy: none, online, online-incr, periodic")
-		seed     = flag.Int64("seed", 1, "variable-order seed")
-		interval = flag.Int("interval", 0, "sweep interval for -cycles periodic")
-		stats    = flag.Bool("stats", false, "print solver statistics")
-		dotOut   = flag.String("dot", "", "write the final constraint graph as Graphviz DOT to this file")
+		form      = flag.String("form", "if", "graph representation: sf or if")
+		cycles    = flag.String("cycles", "online", "cycle policy: none, online, online-incr, periodic")
+		seed      = flag.Int64("seed", 1, "variable-order seed")
+		interval  = flag.Int("interval", 0, "sweep interval for -cycles periodic")
+		lsWorkers = flag.Int("ls-workers", 0, "least-solution pass worker count (0 = GOMAXPROCS, 1 = sequential)")
+		stats     = flag.Bool("stats", false, "print solver statistics")
+		dotOut    = flag.String("dot", "", "write the final constraint graph as Graphviz DOT to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -54,7 +55,7 @@ func main() {
 		fatal("%v", err)
 	}
 
-	opt := core.Options{Seed: *seed, PeriodicInterval: *interval}
+	opt := core.Options{Seed: *seed, PeriodicInterval: *interval, LSWorkers: *lsWorkers}
 	switch strings.ToLower(*form) {
 	case "sf":
 		opt.Form = core.SF

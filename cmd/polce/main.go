@@ -56,6 +56,7 @@ func main() {
 		steensOpt = flag.Bool("steensgaard", false, "run the Steensgaard unification baseline instead")
 		gen       = flag.Int("gen", 0, "analyse a generated program of roughly N AST nodes instead of a file")
 		interval  = flag.Int("interval", 0, "sweep interval for -cycles periodic (0 = default)")
+		lsWorkers = flag.Int("ls-workers", 0, "least-solution pass worker count (0 = GOMAXPROCS, 1 = sequential)")
 		trace     = flag.Bool("trace", false, "print cycle collapses and sweeps as they happen")
 		dotOut    = flag.String("dot", "", "write the final constraint graph as Graphviz DOT to this file")
 		ptsDotOut = flag.String("pts-dot", "", "write the points-to graph as Graphviz DOT to this file")
@@ -130,7 +131,7 @@ func main() {
 		return
 	}
 
-	opts := andersen.Options{Seed: *seed, PeriodicInterval: *interval}
+	opts := andersen.Options{Seed: *seed, PeriodicInterval: *interval, LSWorkers: *lsWorkers}
 	if sm != nil {
 		opts.Metrics = sm
 	}
@@ -190,11 +191,10 @@ func main() {
 		closure, _ := sm.Phases.Get(telemetry.PhaseClosure)
 		sm.Phases.Add(telemetry.PhaseConstraintGen, time.Since(start)-closure)
 	}
-	lsStart := time.Now()
+	// The least-solution phase timer is fed by the solver's
+	// LeastSolutionDone hook (when sm is installed as the metrics sink),
+	// so no external Phases.Add here — that would double-count the pass.
 	res.Sys.ComputeLeastSolutions()
-	if sm != nil {
-		sm.Phases.Add(telemetry.PhaseLeastSolution, time.Since(lsStart))
-	}
 	elapsed := time.Since(start)
 
 	if *pts {

@@ -73,6 +73,9 @@ type Options struct {
 	// Metrics receives per-operation solver measurements; see
 	// core.Options.Metrics.
 	Metrics core.MetricsSink
+	// LSWorkers is the least-solution pass worker count; see
+	// core.Options.LSWorkers.
+	LSWorkers int
 }
 
 // Result is the outcome of an analysis: the solved constraint system plus
@@ -167,6 +170,7 @@ func Analyze(file *cgen.File, opts Options) *Result {
 		PeriodicInterval: opts.PeriodicInterval,
 		Observer:         opts.Observer,
 		Metrics:          opts.Metrics,
+		LSWorkers:        opts.LSWorkers,
 	})
 	return analyzeInto(file, sys, opts)
 }

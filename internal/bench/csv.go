@@ -7,14 +7,15 @@ import (
 )
 
 // perExpCols is the number of CSV columns written per experiment.
-const perExpCols = 11
+const perExpCols = 13
 
 // WriteCSV emits the full measurement matrix as CSV — one row per
 // benchmark, columns for the Table 1 statistics followed by, for every
 // experiment present in the results, the headline measurements
 // (edges/work/eliminated/seconds/alloc), the phase breakdown
-// (solve/closure/least-solution seconds) and the search-depth
-// distribution summaries (p50/p90/max) — for plotting the figures and
+// (solve/closure/least-solution seconds), the search-depth
+// distribution summaries (p50/p90/max) and the least-solution engine
+// shape (levels, union-memo hit rate) — for plotting the figures and
 // Fig. 11 / diagnostics runs with external tools. The phase and depth
 // columns are zero unless the suite ran with Options.Phases.
 func WriteCSV(w io.Writer, results []*Result) error {
@@ -32,7 +33,8 @@ func WriteCSV(w io.Writer, results []*Result) error {
 		header = append(header,
 			n+"_edges", n+"_work", n+"_eliminated", n+"_seconds", n+"_alloc_bytes",
 			n+"_solve_seconds", n+"_closure_seconds", n+"_ls_seconds",
-			n+"_depth_p50", n+"_depth_p90", n+"_depth_max")
+			n+"_depth_p50", n+"_depth_p90", n+"_depth_max",
+			n+"_ls_levels", n+"_ls_union_hit_rate")
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -65,7 +67,9 @@ func WriteCSV(w io.Writer, results []*Result) error {
 				fmt.Sprintf("%.6f", run.LSTime.Seconds()),
 				fmt.Sprintf("%.1f", run.DepthP50),
 				fmt.Sprintf("%.1f", run.DepthP90),
-				fmt.Sprintf("%.1f", run.DepthMax))
+				fmt.Sprintf("%.1f", run.DepthMax),
+				fmt.Sprint(run.LSLevels),
+				fmt.Sprintf("%.4f", run.LSUnionHitRate))
 		}
 		if err := cw.Write(row); err != nil {
 			return err

@@ -95,6 +95,11 @@ type Run struct {
 	DepthP50 float64
 	DepthP90 float64
 	DepthMax float64
+
+	// Least-solution engine shape (IF only): topological levels of the
+	// predecessor DAG and the memoized-union hit rate of the pass.
+	LSLevels       int64
+	LSUnionHitRate float64
 }
 
 // VisitsPerSearch is the measured analogue of Theorem 5.2's E(R_X).
@@ -150,6 +155,9 @@ type Options struct {
 	// The hooks add a small constant per edge addition, so leave this
 	// off when reproducing the paper's timing tables exactly.
 	Phases bool
+	// LSWorkers is the least-solution pass worker count; see
+	// core.Options.LSWorkers.
+	LSWorkers int
 }
 
 // RunBenchmark measures the named experiments (nil = all six) on one
@@ -221,6 +229,7 @@ func runOne(p *program, exp Experiment, oracle *core.Oracle, opt Options, repeat
 			Order:            opt.Order,
 			Oracle:           oracle,
 			PeriodicInterval: exp.Interval,
+			LSWorkers:        opt.LSWorkers,
 		}
 		var sm *telemetry.SolverMetrics
 		if opt.Phases {
@@ -242,6 +251,8 @@ func runOne(p *program, exp Experiment, oracle *core.Oracle, opt Options, repeat
 		}
 		var msAfter runtime.MemStats
 		runtime.ReadMemStats(&msAfter)
+		// Stats are read after ComputeLeastSolutions so the LS engine
+		// counters (levels, union hit rate) describe the pass just timed.
 		st := r.Sys.Stats()
 		run := Run{
 			Edges:      r.Sys.TotalEdges(),
@@ -253,6 +264,10 @@ func runOne(p *program, exp Experiment, oracle *core.Oracle, opt Options, repeat
 			AllocBytes: msAfter.TotalAlloc - msBefore.TotalAlloc,
 			SolveTime:  solveElapsed,
 			LSTime:     lsElapsed,
+		}
+		if exp.Form == core.IF {
+			run.LSLevels = st.LSLevels
+			run.LSUnionHitRate = st.LSUnionHitRate()
 		}
 		if sm != nil {
 			run.ClosureTime, _ = sm.Phases.Get(telemetry.PhaseClosure)

@@ -94,6 +94,9 @@ type ParallelOptions struct {
 	// Phases installs the telemetry sink per cell, recording closure time
 	// and search-depth quantiles (see Options.Phases).
 	Phases bool
+	// LSWorkers is the least-solution pass worker count per cell; see
+	// core.Options.LSWorkers.
+	LSWorkers int
 }
 
 // RunParallel measures every cell on a pool of workers. Cells are claimed
@@ -147,7 +150,7 @@ func runCell(c Cell, opt ParallelOptions) CellResult {
 	if repeat <= 0 {
 		repeat = 1
 	}
-	run := runOne(p, c.Exp, oracle, Options{Seed: c.Seed, Order: c.Order, Phases: opt.Phases}, repeat)
+	run := runOne(p, c.Exp, oracle, Options{Seed: c.Seed, Order: c.Order, Phases: opt.Phases, LSWorkers: opt.LSWorkers}, repeat)
 	return CellResult{Cell: c, Run: run}
 }
 
@@ -161,6 +164,7 @@ type Baseline struct {
 	GoVersion string         `json:"go_version"`
 	Workers   int            `json:"workers"`
 	Repeat    int            `json:"repeat"`
+	LSWorkers int            `json:"ls_workers"`
 	Cells     []BaselineCell `json:"cells"`
 }
 
@@ -184,6 +188,10 @@ type BaselineCell struct {
 	DepthP50   float64 `json:"depth_p50"`
 	DepthP90   float64 `json:"depth_p90"`
 	DepthMax   float64 `json:"depth_max"`
+
+	// Least-solution engine shape (schema /2; zero for SF cells).
+	LSLevels       int64   `json:"ls_levels"`
+	LSUnionHitRate float64 `json:"ls_union_hit_rate"`
 }
 
 // NewBaseline assembles the baseline record for a parallel run. Cells with
@@ -198,11 +206,12 @@ func NewBaseline(results []CellResult, opt ParallelOptions, now time.Time) Basel
 		repeat = 1
 	}
 	b := Baseline{
-		Schema:    "polce-bench-baseline/1",
+		Schema:    "polce-bench-baseline/2",
 		Generated: now.UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		Workers:   workers,
 		Repeat:    repeat,
+		LSWorkers: opt.LSWorkers,
 	}
 	for _, r := range results {
 		if r.Err != nil {
@@ -225,6 +234,8 @@ func NewBaseline(results []CellResult, opt ParallelOptions, now time.Time) Basel
 			DepthP50:        r.Run.DepthP50,
 			DepthP90:        r.Run.DepthP90,
 			DepthMax:        r.Run.DepthMax,
+			LSLevels:        r.Run.LSLevels,
+			LSUnionHitRate:  r.Run.LSUnionHitRate,
 		})
 	}
 	return b

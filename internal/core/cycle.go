@@ -158,6 +158,11 @@ func (s *System) collapse(nodes []*Var) {
 		}
 	}
 	if len(merged) > 0 {
+		// The witness inherits every absorbed variable's edges (and any
+		// dirty mark they carried), so it seeds the recomputation cone;
+		// consumers holding a now-forwarded predecessor reach it through
+		// the witness when the next pass canonicalises their adjacency.
+		s.markLS(witness)
 		if s.opt.Metrics != nil {
 			s.opt.Metrics.Collapse(len(merged))
 		}
@@ -191,23 +196,10 @@ func (s *System) absorb(a, w *Var) {
 // connected component. It is exposed for tests and for periodic-offline
 // comparison experiments; the online policies never need it.
 func (s *System) CollapseCycles() int {
-	vars := s.CanonicalVars()
-	comp, count, _ := sccStrong(s, vars)
-	groups := make(map[int][]*Var)
-	for i, c := range comp {
-		groups[c] = append(groups[c], vars[i])
-	}
-	collapsed := 0
-	for c := 0; c < count; c++ {
-		g := groups[c]
-		if len(g) >= 2 {
-			s.collapse(g)
-			collapsed += len(g) - 1
-		}
-	}
+	// Each collapse marks its witness and bumps the graph version, so the
+	// least-solution cache is invalidated exactly when something merged —
+	// a cycle-free offline pass leaves the cache hot.
+	_, collapsed := s.collapseSCCGroups()
 	s.drain(false)
-	// Collapses reroute absorbed variables onto their witness, so any
-	// cached least solution is keyed by now-eliminated variables.
-	s.lsDirty = true
 	return collapsed
 }

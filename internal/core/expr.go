@@ -23,7 +23,10 @@
 // found is collapsed onto a witness variable.
 package core
 
-import "strings"
+import (
+	"strings"
+	"sync/atomic"
+)
 
 // Variance describes how a constructor argument position behaves under
 // inclusion: a covariant position grows the constructed set as the argument
@@ -94,6 +97,10 @@ type Var struct {
 
 	visited      uint64 // epoch mark used by the online cycle search
 	visitedClean uint64 // last merge epoch at which adjacency was compacted
+
+	lsNode    *lsNode // interned least solution (inductive form; nil = never computed)
+	lsPending bool    // queued in System.lsPending for the next pass's dirty cone
+	lsIdx     int32   // position in the current pass's ascending sweep
 }
 
 // Name returns the name the variable was created with.
@@ -116,6 +123,7 @@ func (v *Var) isExpr() {}
 type Term struct {
 	con  *Constructor
 	args []Expr
+	seq  uint32 // global creation sequence; hashed by the LS engine
 }
 
 // NewTerm builds a constructed term. It panics if the number of arguments
@@ -125,8 +133,14 @@ func NewTerm(c *Constructor, args ...Expr) *Term {
 	if len(args) != c.Arity() {
 		panic("core: term arity mismatch for constructor " + c.name)
 	}
-	return &Term{con: c, args: args}
+	return &Term{con: c, args: args, seq: termSeq.Add(1)}
 }
+
+// termSeq numbers terms at creation. The sequence exists so the
+// least-solution engine can content-hash term lists without touching
+// pointer values; it is atomic because clients may build terms from
+// multiple goroutines even though each System is single-threaded.
+var termSeq atomic.Uint32
 
 // Con returns the term's constructor.
 func (t *Term) Con() *Constructor { return t.con }

@@ -13,49 +13,32 @@ import "sort"
 //
 //	LS(Y) = { c(...) | c(...) ⋯→ Y } ∪ ⋃ { LS(X) | X ⋯→ Y }
 //
-// Every variable predecessor X of Y satisfies o(X) < o(Y), so a single pass
-// over the variables in increasing order computes LS for every variable.
-// As in the paper, inductive-form experiment timings always include this
-// pass.
+// Every variable predecessor X of Y satisfies o(X) < o(Y), so a pass over
+// the variables in increasing order computes LS for every variable. As in
+// the paper, inductive-form experiment timings always include this pass.
+//
+// The pass itself is implemented by the engine in lsengine.go: interned
+// shared term-sets combined by memoized unions, evaluated level-parallel
+// over the predecessor DAG, and recomputed incrementally for only the
+// dirty cone after an update. The straightforward algorithm is retained
+// below as leastSolutionsReference, the oracle the engine is
+// property-tested against.
 
 // ComputeLeastSolutions materialises the least solution for every
 // variable. It is a no-op under standard form, where the closed graph is
-// already the least solution. The result is cached until the next
-// constraint is added.
+// already the least solution, and a no-op under inductive form while the
+// cache is hot: the cache is keyed on a graph version bumped only by real
+// edge insertions and collapses, so redundant constraint re-additions do
+// not trigger a pass, and after real updates only the affected cone is
+// recomputed.
 func (s *System) ComputeLeastSolutions() {
 	if s.opt.Form == SF {
 		return
 	}
-	if !s.lsDirty && s.ls != nil {
+	if s.lsEngine != nil && s.lsVersion == s.graphVersion {
 		return
 	}
-	vars := s.CanonicalVars()
-	sort.Slice(vars, func(i, j int) bool { return before(vars[i], vars[j]) })
-
-	s.ls = make(map[*Var][]*Term, len(vars))
-	for _, y := range vars {
-		s.clean(y)
-		set := make(map[*Term]struct{}, y.predS.size())
-		list := make([]*Term, 0, y.predS.size())
-		for _, t := range y.predS.list {
-			if _, ok := set[t]; !ok {
-				set[t] = struct{}{}
-				list = append(list, t)
-				s.stats.LSWork++
-			}
-		}
-		for _, x := range y.predV.list {
-			for _, t := range s.ls[find(x)] {
-				if _, ok := set[t]; !ok {
-					set[t] = struct{}{}
-					list = append(list, t)
-					s.stats.LSWork++
-				}
-			}
-		}
-		s.ls[y] = list
-	}
-	s.lsDirty = false
+	s.runLeastSolutionPass()
 }
 
 // LeastSolution returns the source terms in the least solution of v, in
@@ -68,5 +51,48 @@ func (s *System) LeastSolution(v *Var) []*Term {
 		return v.predS.list
 	}
 	s.ComputeLeastSolutions()
-	return s.ls[v]
+	if v.lsNode == nil {
+		return nil
+	}
+	return v.lsNode.terms
+}
+
+// leastSolutionsReference is the naive least-solution computation the
+// engine replaced: one fresh map and slice per variable, every term
+// copied, no caching. It is deliberately kept (not exported) as the
+// reference implementation for the engine's property tests — the engine
+// must produce exactly these slices, order included, for every canonical
+// variable.
+func (s *System) leastSolutionsReference() map[*Var][]*Term {
+	if s.opt.Form == SF {
+		out := make(map[*Var][]*Term)
+		for _, v := range s.CanonicalVars() {
+			out[v] = v.predS.list
+		}
+		return out
+	}
+	vars := s.CanonicalVars()
+	sort.Slice(vars, func(i, j int) bool { return before(vars[i], vars[j]) })
+	ls := make(map[*Var][]*Term, len(vars))
+	for _, y := range vars {
+		s.clean(y)
+		set := make(map[*Term]struct{}, y.predS.size())
+		list := make([]*Term, 0, y.predS.size())
+		for _, t := range y.predS.list {
+			if _, ok := set[t]; !ok {
+				set[t] = struct{}{}
+				list = append(list, t)
+			}
+		}
+		for _, x := range y.predV.list {
+			for _, t := range ls[find(x)] {
+				if _, ok := set[t]; !ok {
+					set[t] = struct{}{}
+					list = append(list, t)
+				}
+			}
+		}
+		ls[y] = list
+	}
+	return ls
 }

@@ -26,6 +26,31 @@ type MetricsSink interface {
 	// ClosureDone reports the wall-clock time one closure drain took —
 	// the solver-side share of a client's constraint-generation phase.
 	ClosureDone(d time.Duration)
+	// LeastSolutionDone fires after each inductive-form least-solution
+	// pass with its shape and cost; see LSPass.
+	LeastSolutionDone(p LSPass)
+}
+
+// LSPass describes one least-solution engine pass for MetricsSink
+// consumers: how long it took, how the predecessor DAG levelled, how much
+// of the graph was stale (ConeVars out of TotalVars), and how the union
+// memo fared during this pass specifically (hit/miss deltas, not running
+// totals).
+type LSPass struct {
+	// Duration is the wall-clock time of the pass.
+	Duration time.Duration
+	// Levels is the number of topological levels in the predecessor DAG.
+	Levels int
+	// ConeVars is the number of variables actually recomputed (the dirty
+	// cone); TotalVars is the number of canonical variables swept.
+	ConeVars  int
+	TotalVars int
+	// UnionHits and UnionMisses count memoized-union lookups during this
+	// pass: a hit reuses an interned result, a miss computes the union.
+	UnionHits   int64
+	UnionMisses int64
+	// Workers is the resolved worker count the pass ran with.
+	Workers int
 }
 
 // Form selects the constraint-graph representation.
@@ -154,4 +179,10 @@ type Options struct {
 	// attempts, search depths, collapse sizes, worklist samples, closure
 	// times); see MetricsSink. It must not mutate the system.
 	Metrics MetricsSink
+	// LSWorkers is the worker count for the inductive-form least-solution
+	// pass. Levels of the predecessor DAG with enough stale variables are
+	// fanned across this many goroutines; results are bit-identical at any
+	// setting. Zero or negative means GOMAXPROCS; 1 forces the sequential
+	// pass.
+	LSWorkers int
 }

@@ -25,9 +25,24 @@ type Stats struct {
 	CycleVisits int64
 	// CyclesFound counts searches that found (and collapsed) a cycle.
 	CyclesFound int64
-	// LSWork counts term insertions performed by the inductive-form
-	// least-solution pass.
+	// LSWork counts terms materialised by the inductive-form
+	// least-solution engine. Interned nodes are shared, so a suffix reused
+	// across many variables is counted once — unlike the naive pass, which
+	// recopied it per variable.
 	LSWork int64
+	// LSPasses counts least-solution engine passes actually run (cache
+	// misses); a hot cache answers LeastSolution without a pass.
+	LSPasses int64
+	// LSConeVars counts variables recomputed across all passes — the sum
+	// of dirty-cone sizes, the engine's cost measure.
+	LSConeVars int64
+	// LSLevels is the number of topological levels of the predecessor DAG
+	// in the most recent pass.
+	LSLevels int64
+	// LSUnionHits and LSUnionMisses count memoized-union lookups across
+	// all passes: a hit reuses an interned result, a miss computes one.
+	LSUnionHits   int64
+	LSUnionMisses int64
 	// PeriodicSweeps counts offline elimination passes under
 	// CyclePeriodic.
 	PeriodicSweeps int64
@@ -46,10 +61,21 @@ func (st Stats) VisitsPerSearch() float64 {
 	return float64(st.CycleVisits) / float64(st.CycleSearches)
 }
 
+// LSUnionHitRate returns the fraction of memoized-union lookups answered
+// from the memo (0 when no unions were attempted).
+func (st Stats) LSUnionHitRate() float64 {
+	total := st.LSUnionHits + st.LSUnionMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.LSUnionHits) / float64(total)
+}
+
 // String summarises the counters on one line.
 func (st Stats) String() string {
-	return fmt.Sprintf("vars=%d elim=%d work=%d redundant=%d searches=%d visits=%d cycles=%d lswork=%d sweeps=%d sweepvisits=%d",
+	return fmt.Sprintf("vars=%d elim=%d work=%d redundant=%d searches=%d visits=%d cycles=%d lswork=%d lspasses=%d lscone=%d lslevels=%d lsunionhits=%d lsunionmisses=%d sweeps=%d sweepvisits=%d",
 		st.VarsCreated, st.VarsEliminated, st.Work, st.Redundant,
 		st.CycleSearches, st.CycleVisits, st.CyclesFound, st.LSWork,
+		st.LSPasses, st.LSConeVars, st.LSLevels, st.LSUnionHits, st.LSUnionMisses,
 		st.PeriodicSweeps, st.SweepVisits)
 }

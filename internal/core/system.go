@@ -45,9 +45,18 @@ type System struct {
 	lastSweep   int64  // Work count at the last periodic sweep
 	drainSteps  uint64 // worklist steps processed; drives worklist sampling
 
-	lsDirty bool             // least-solution cache invalid
-	ls      map[*Var][]*Term // IF least-solution cache (canonical vars)
-	maxErr  int
+	// Least-solution engine state (inductive form; see lsengine.go).
+	// graphVersion is bumped only by mutations that can change a least
+	// solution — new source edges, new predecessor edges, collapses — so
+	// redundant re-additions leave the cache hot. lsVersion is the graph
+	// version the last pass ran at, and lsPending seeds the next pass's
+	// dirty cone.
+	graphVersion uint64
+	lsVersion    uint64
+	lsEngine     *lsEngine
+	lsPending    []*Var
+
+	maxErr int
 }
 
 // NewSystem creates an empty constraint system with the given options.
@@ -124,11 +133,12 @@ func before(a, b *Var) bool {
 
 // AddConstraint adds l ⊆ r and immediately restores closure (this is the
 // "online" in online cycle elimination: the graph is updated and searched
-// at every constraint).
+// at every constraint). The least-solution cache is invalidated by the
+// edge insertions themselves (markLS), so a constraint whose edges are
+// all already present leaves the cache hot.
 func (s *System) AddConstraint(l, r Expr) {
 	s.push(l, r)
 	s.drain(true)
-	s.lsDirty = true
 }
 
 func (s *System) push(l, r Expr) {
@@ -173,26 +183,35 @@ func (s *System) periodicInterval() int {
 	return 1000
 }
 
-// periodicSweep runs one offline elimination pass (the prior-work
-// strategy): Tarjan over the current variable-variable graph, collapsing
-// every non-trivial component. Runs between worklist steps so no adjacency
-// iteration is in flight.
-func (s *System) periodicSweep() {
+// collapseSCCGroups runs Tarjan over the current variable-variable graph
+// and collapses every non-trivial strongly connected component onto its
+// witness. It is the shared group-and-collapse core of periodicSweep and
+// CollapseCycles, so their accounting cannot drift. It returns the number
+// of variables examined and the number merged away.
+func (s *System) collapseSCCGroups() (visited, collapsed int) {
 	vars := s.CanonicalVars()
 	comp, count, _ := sccStrong(s, vars)
 	groups := make(map[int][]*Var)
 	for i, c := range comp {
 		groups[c] = append(groups[c], vars[i])
 	}
-	collapsed := 0
 	for c := 0; c < count; c++ {
 		if g := groups[c]; len(g) >= 2 {
 			s.collapse(g)
 			collapsed += len(g) - 1
 		}
 	}
+	return len(vars), collapsed
+}
+
+// periodicSweep runs one offline elimination pass (the prior-work
+// strategy): Tarjan over the current variable-variable graph, collapsing
+// every non-trivial component. Runs between worklist steps so no adjacency
+// iteration is in flight.
+func (s *System) periodicSweep() {
+	visited, collapsed := s.collapseSCCGroups()
 	s.stats.PeriodicSweeps++
-	s.stats.SweepVisits += int64(len(vars))
+	s.stats.SweepVisits += int64(visited)
 	s.emit(Event{Kind: EventSweep, Collapsed: collapsed})
 }
 
@@ -314,6 +333,7 @@ func (s *System) addSource(t *Term, x *Var) {
 		s.metricEdge(true)
 		return
 	}
+	s.markLS(x)
 	s.metricEdge(false)
 	if s.opt.Observer != nil {
 		s.emit(Event{Kind: EventSourceEdge, From: t, To: x})
@@ -395,6 +415,7 @@ func (s *System) addVarEdge(x, y *Var) {
 		}
 	} else {
 		y.predV.add(x)
+		s.markLS(y)
 		if s.skipClosure {
 			return
 		}

@@ -100,6 +100,7 @@ type recordingSink struct {
 	collapses []int
 	worklists []int
 	closures  []time.Duration
+	lsPasses  []LSPass
 }
 
 func (r *recordingSink) EdgeAttempt(red bool) {
@@ -112,6 +113,7 @@ func (r *recordingSink) CycleSearch(visits int)      { r.searches = append(r.sea
 func (r *recordingSink) Collapse(merged int)         { r.collapses = append(r.collapses, merged) }
 func (r *recordingSink) WorklistLen(n int)           { r.worklists = append(r.worklists, n) }
 func (r *recordingSink) ClosureDone(d time.Duration) { r.closures = append(r.closures, d) }
+func (r *recordingSink) LeastSolutionDone(p LSPass)  { r.lsPasses = append(r.lsPasses, p) }
 
 // TestMetricsSinkAgreesWithStats cross-checks the per-operation hook
 // deltas against the aggregate Stats counters.

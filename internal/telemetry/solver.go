@@ -24,8 +24,18 @@ type SolverMetrics struct {
 	// Worklist is the sampled pending-constraint worklist length.
 	Worklist *Histogram
 	// Phases accumulates per-phase wall-clock; the solver feeds the
-	// closure phase, clients add parse/constraint-gen/least-solution.
+	// closure and least-solution phases, clients add parse and
+	// constraint-gen.
 	Phases *Timers
+	// LSLevels is the topological level count of the predecessor DAG in
+	// the most recent least-solution pass; LSCone is the distribution of
+	// dirty-cone sizes (variables recomputed per pass).
+	LSLevels *Gauge
+	LSCone   *Histogram
+	// LSUnionHits and LSUnionMisses count the engine's memoized-union
+	// lookups; the hit-ratio gauge is derived at exposition time.
+	LSUnionHits   *Counter
+	LSUnionMisses *Counter
 }
 
 var _ core.MetricsSink = (*SolverMetrics)(nil)
@@ -41,6 +51,10 @@ func NewSolverMetrics(reg *Registry) *SolverMetrics {
 		CollapseSize:   reg.Histogram("polce_collapse_size", "variables merged away per cycle collapse or sweep", LogBuckets(1, 2, 16)),
 		Worklist:       reg.Histogram("polce_worklist_len", "pending-constraint worklist length, sampled every 64 steps", LogBuckets(1, 4, 12)),
 		Phases:         reg.Timers("polce_phase", "cumulative wall-clock per solver phase"),
+		LSLevels:       reg.Gauge("polce_ls_levels", "topological levels of the predecessor DAG in the last least-solution pass"),
+		LSCone:         reg.Histogram("polce_ls_cone_vars", "variables recomputed per least-solution pass (dirty cone size)", LogBuckets(1, 4, 12)),
+		LSUnionHits:    reg.Counter("polce_ls_union_hits_total", "least-solution memoized-union lookups answered from the memo"),
+		LSUnionMisses:  reg.Counter("polce_ls_union_misses_total", "least-solution memoized-union lookups that computed a union"),
 	}
 	reg.GaugeFunc("polce_redundant_edge_ratio", "fraction of attempted edge additions that were redundant",
 		func() float64 {
@@ -49,6 +63,14 @@ func NewSolverMetrics(reg *Registry) *SolverMetrics {
 				return 0
 			}
 			return float64(m.RedundantEdges.Value()) / float64(w)
+		})
+	reg.GaugeFunc("polce_ls_union_hit_ratio", "fraction of least-solution union lookups answered from the memo",
+		func() float64 {
+			h, ms := m.LSUnionHits.Value(), m.LSUnionMisses.Value()
+			if h+ms == 0 {
+				return 0
+			}
+			return float64(h) / float64(h+ms)
 		})
 	return m
 }
@@ -81,6 +103,15 @@ func (m *SolverMetrics) ClosureDone(d time.Duration) {
 	m.Phases.Add(PhaseClosure, d)
 }
 
+// LeastSolutionDone implements core.MetricsSink.
+func (m *SolverMetrics) LeastSolutionDone(p core.LSPass) {
+	m.Phases.Add(PhaseLeastSolution, p.Duration)
+	m.LSLevels.Set(float64(p.Levels))
+	m.LSCone.Observe(float64(p.ConeVars))
+	m.LSUnionHits.Add(p.UnionHits)
+	m.LSUnionMisses.Add(p.UnionMisses)
+}
+
 // PublishStats registers the final core.Stats counters as gauges named
 // polce_stats_*. Call it after solving completes: a System is not safe
 // for concurrent use, so live scrapes read the lock-free SolverMetrics
@@ -96,7 +127,11 @@ func PublishStats(reg *Registry, st core.Stats) {
 	pub("cycle_searches", "online closing-chain searches", float64(st.CycleSearches))
 	pub("cycle_visits", "nodes visited across all searches", float64(st.CycleVisits))
 	pub("cycles_found", "searches that found and collapsed a cycle", float64(st.CyclesFound))
-	pub("ls_work", "term insertions by the least-solution pass", float64(st.LSWork))
+	pub("ls_work", "terms materialised by the least-solution engine", float64(st.LSWork))
+	pub("ls_passes", "least-solution engine passes run", float64(st.LSPasses))
+	pub("ls_cone_vars", "variables recomputed across all least-solution passes", float64(st.LSConeVars))
+	pub("ls_levels", "predecessor-DAG levels in the most recent least-solution pass", float64(st.LSLevels))
+	pub("ls_union_hit_rate", "fraction of least-solution union lookups answered from the memo", st.LSUnionHitRate())
 	pub("periodic_sweeps", "offline elimination sweeps", float64(st.PeriodicSweeps))
 	pub("sweep_visits", "variables examined by periodic sweeps", float64(st.SweepVisits))
 }
