@@ -24,9 +24,9 @@ import (
 	"time"
 
 	"polce/internal/bench"
-	"polce/internal/core"
 	"polce/internal/model"
 	"polce/internal/randgraph"
+	"polce/internal/solver"
 )
 
 func main() {
@@ -301,7 +301,7 @@ func runParallelGrid(suite []bench.Benchmark, expNames []string, seed int64, wor
 			exps = append(exps, e)
 		}
 	}
-	cells := bench.Grid(suite, exps, []core.OrderStrategy{core.OrderRandom}, []int64{seed})
+	cells := bench.Grid(suite, exps, []solver.OrderStrategy{solver.OrderRandom}, []int64{seed})
 	for i := range cells {
 		cells[i].Seed = bench.CellSeed(seed, cells[i])
 	}

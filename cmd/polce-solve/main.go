@@ -10,6 +10,13 @@
 //	echo 'cons a; a <= X; X <= Y; query Y' | polce-solve -
 //
 // Each `query V` line in the program prints V's least solution.
+//
+// Observability (same flags as the polce command):
+//
+//	polce-solve -metrics-out m.txt constraints.scl   # Prometheus text at exit
+//	polce-solve -trace-out t.ndjson constraints.scl  # NDJSON solver-event trace
+//	polce-solve -http :6060 constraints.scl          # serve /metrics, /metrics.json,
+//	                                                 # /debug/vars and /debug/pprof
 package main
 
 import (
@@ -17,10 +24,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
-	"polce/internal/core"
 	"polce/internal/scl"
+	"polce/internal/solver"
+	"polce/internal/telemetry"
 )
 
 func main() {
@@ -32,11 +42,44 @@ func main() {
 		lsWorkers = flag.Int("ls-workers", 0, "least-solution pass worker count (0 = GOMAXPROCS, 1 = sequential)")
 		stats     = flag.Bool("stats", false, "print solver statistics")
 		dotOut    = flag.String("dot", "", "write the final constraint graph as Graphviz DOT to this file")
+
+		metricsOut = flag.String("metrics-out", "", "write Prometheus-text solver metrics to this file at exit")
+		traceOut   = flag.String("trace-out", "", "stream solver events as NDJSON to this file (closing record carries the final stats)")
+		httpAddr   = flag.String("http", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address (e.g. :6060); keeps serving after the run until interrupted")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Telemetry wiring, mirroring cmd/polce: the registry and sink exist
+	// only when asked for, so the solver's hooks stay a single nil check
+	// otherwise.
+	var (
+		reg *telemetry.Registry
+		sm  *telemetry.SolverMetrics
+		tw  *telemetry.TraceWriter
+	)
+	if *metricsOut != "" || *traceOut != "" || *httpAddr != "" {
+		reg = telemetry.NewRegistry()
+		sm = telemetry.NewSolverMetrics(reg)
+		telemetry.PublishExpvar("polce-solve", reg)
+	}
+	if *httpAddr != "" {
+		if _, err := telemetry.Serve(*httpAddr, reg, func(err error) {
+			fmt.Fprintf(os.Stderr, "polce-solve: http: %v\n", err)
+		}); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "polce-solve: serving /metrics, /metrics.json, /debug/vars, /debug/pprof on %s\n", *httpAddr)
+	}
+	if *traceOut != "" {
+		var err error
+		tw, err = telemetry.CreateTrace(*traceOut)
+		if err != nil {
+			fatal("%v", err)
+		}
 	}
 
 	var src []byte
@@ -55,24 +98,30 @@ func main() {
 		fatal("%v", err)
 	}
 
-	opt := core.Options{Seed: *seed, PeriodicInterval: *interval, LSWorkers: *lsWorkers}
+	opt := solver.Options{Seed: *seed, PeriodicInterval: *interval, LSWorkers: *lsWorkers}
+	if sm != nil {
+		opt.Metrics = sm
+	}
+	if tw != nil {
+		opt.Observer = tw.Observe
+	}
 	switch strings.ToLower(*form) {
 	case "sf":
-		opt.Form = core.SF
+		opt.Form = solver.SF
 	case "if":
-		opt.Form = core.IF
+		opt.Form = solver.IF
 	default:
 		fatal("unknown form %q", *form)
 	}
 	switch strings.ToLower(*cycles) {
 	case "none", "plain":
-		opt.Cycles = core.CycleNone
+		opt.Cycles = solver.CycleNone
 	case "online":
-		opt.Cycles = core.CycleOnline
+		opt.Cycles = solver.CycleOnline
 	case "online-incr", "incr":
-		opt.Cycles = core.CycleOnlineIncreasing
+		opt.Cycles = solver.CycleOnlineIncreasing
 	case "periodic":
-		opt.Cycles = core.CyclePeriodic
+		opt.Cycles = solver.CyclePeriodic
 	default:
 		fatal("unknown cycle policy %q", *cycles)
 	}
@@ -89,16 +138,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%d inconsistent constraint(s) (first: %v)\n", n, solved.Sys.Errors()[0])
 	}
 	if *dotOut != "" {
-		f, err := os.Create(*dotOut)
-		if err != nil {
+		writeFile(*dotOut, solved.Sys.WriteDOT)
+	}
+
+	if sm != nil {
+		telemetry.PublishStats(reg, solved.Sys.Stats())
+	}
+	if tw != nil {
+		tw.WriteStats(solved.Sys.Stats())
+		n := tw.Events()
+		if err := tw.Close(); err != nil {
 			fatal("%v", err)
 		}
-		if err := solved.Sys.WriteDOT(f); err != nil {
-			fatal("%v", err)
-		}
-		if err := f.Close(); err != nil {
-			fatal("%v", err)
-		}
+		fmt.Fprintf(os.Stderr, "polce-solve: wrote trace %s (%d events)\n", *traceOut, n)
+	}
+	if *metricsOut != "" {
+		writeFile(*metricsOut, reg.WritePrometheus)
+	}
+	if *httpAddr != "" {
+		fmt.Fprintf(os.Stderr, "polce-solve: run complete; still serving on %s (interrupt to exit)\n", *httpAddr)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
+}
+
+// writeFile writes a rendering to path via render.
+func writeFile(path string, render func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := render(f); err != nil {
+		fatal("%v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("%v", err)
 	}
 }
 

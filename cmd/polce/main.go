@@ -39,8 +39,8 @@ import (
 
 	"polce/internal/andersen"
 	"polce/internal/cgen"
-	"polce/internal/core"
 	"polce/internal/progen"
+	"polce/internal/solver"
 	"polce/internal/steens"
 	"polce/internal/telemetry"
 )
@@ -135,14 +135,14 @@ func main() {
 	if sm != nil {
 		opts.Metrics = sm
 	}
-	var observers []func(core.Event)
+	var observers []func(solver.Event)
 	if *trace {
-		observers = append(observers, func(ev core.Event) {
+		observers = append(observers, func(ev solver.Event) {
 			switch ev.Kind {
-			case core.EventCycle:
+			case solver.EventCycle:
 				fmt.Fprintf(os.Stderr, "cycle: %d variable(s) collapsed into %s at work=%d\n",
 					len(ev.Vars), ev.Witness.Name(), ev.Work)
-			case core.EventSweep:
+			case solver.EventSweep:
 				fmt.Fprintf(os.Stderr, "sweep: %d variable(s) collapsed at work=%d\n",
 					ev.Collapsed, ev.Work)
 			}
@@ -156,7 +156,7 @@ func main() {
 	case 1:
 		opts.Observer = observers[0]
 	default:
-		opts.Observer = func(ev core.Event) {
+		opts.Observer = func(ev solver.Event) {
 			for _, o := range observers {
 				o(ev)
 			}
@@ -164,21 +164,21 @@ func main() {
 	}
 	switch strings.ToLower(*form) {
 	case "sf":
-		opts.Form = core.SF
+		opts.Form = solver.SF
 	case "if":
-		opts.Form = core.IF
+		opts.Form = solver.IF
 	default:
 		fatal("unknown form %q (sf, if)", *form)
 	}
 	switch strings.ToLower(*cycles) {
 	case "none", "plain":
-		opts.Cycles = core.CycleNone
+		opts.Cycles = solver.CycleNone
 	case "online":
-		opts.Cycles = core.CycleOnline
+		opts.Cycles = solver.CycleOnline
 	case "online-incr", "incr":
-		opts.Cycles = core.CycleOnlineIncreasing
+		opts.Cycles = solver.CycleOnlineIncreasing
 	case "periodic":
-		opts.Cycles = core.CyclePeriodic
+		opts.Cycles = solver.CyclePeriodic
 	default:
 		fatal("unknown cycle policy %q (none, online, online-incr, periodic)", *cycles)
 	}

@@ -14,7 +14,7 @@ import (
 
 	"polce/internal/andersen"
 	"polce/internal/cgen"
-	"polce/internal/core"
+	"polce/internal/solver"
 )
 
 const src = `
@@ -48,7 +48,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	res := andersen.Analyze(file, andersen.Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 3})
+	res := andersen.Analyze(file, andersen.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 3})
 
 	loc := func(name string) *andersen.Location {
 		l := res.LocationByName(name)

@@ -14,8 +14,8 @@ import (
 
 	"polce/internal/andersen"
 	"polce/internal/cgen"
-	"polce/internal/core"
 	"polce/internal/progen"
+	"polce/internal/solver"
 )
 
 func main() {
@@ -29,22 +29,22 @@ func main() {
 
 	type cfg struct {
 		name   string
-		form   core.Form
-		cycles core.CyclePolicy
+		form   solver.Form
+		cycles solver.CyclePolicy
 	}
 	configs := []cfg{
-		{"SF-Plain", core.SF, core.CycleNone},
-		{"IF-Plain", core.IF, core.CycleNone},
-		{"SF-Online", core.SF, core.CycleOnline},
-		{"IF-Online", core.IF, core.CycleOnline},
-		{"SF-Oracle", core.SF, core.CycleOracle},
-		{"IF-Oracle", core.IF, core.CycleOracle},
+		{"SF-Plain", solver.SF, solver.CycleNone},
+		{"IF-Plain", solver.IF, solver.CycleNone},
+		{"SF-Online", solver.SF, solver.CycleOnline},
+		{"IF-Online", solver.IF, solver.CycleOnline},
+		{"SF-Oracle", solver.SF, solver.CycleOracle},
+		{"IF-Oracle", solver.IF, solver.CycleOracle},
 	}
 
 	// The oracle needs a completed run to predict eventual cycle
 	// membership; the paper builds it the same way.
-	ref := andersen.Analyze(file, andersen.Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 1})
-	oracle := core.BuildOracle(ref.Sys)
+	ref := andersen.Analyze(file, andersen.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 1})
+	oracle := solver.BuildOracle(ref.Sys)
 	cycVars, maxSCC := ref.Sys.CycleClassStats()
 	fmt.Printf("cyclic variables in the closed graph: %d (largest class %d)\n\n", cycVars, maxSCC)
 
@@ -54,7 +54,7 @@ func main() {
 		r := andersen.Analyze(file, andersen.Options{
 			Form: c.form, Cycles: c.cycles, Seed: 1, Oracle: oracle,
 		})
-		if c.form == core.IF {
+		if c.form == solver.IF {
 			r.Sys.ComputeLeastSolutions() // included in IF timings, as in the paper
 		}
 		elapsed := time.Since(start)

@@ -17,7 +17,7 @@ import (
 
 	"polce/internal/andersen"
 	"polce/internal/cgen"
-	"polce/internal/core"
+	"polce/internal/solver"
 	"polce/internal/steens"
 )
 
@@ -57,7 +57,7 @@ func main() {
 
 	fmt.Println("=== Andersen (inclusion constraints, IF + online cycle elimination) ===")
 	res := andersen.Analyze(file, andersen.Options{
-		Form: core.IF, Cycles: core.CycleOnline, Seed: 7,
+		Form: solver.IF, Cycles: solver.CycleOnline, Seed: 7,
 	})
 	var names []string
 	rows := map[string][]string{}

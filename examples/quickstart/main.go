@@ -11,18 +11,18 @@ package main
 import (
 	"fmt"
 
-	"polce/internal/core"
+	"polce/internal/solver"
 )
 
 func main() {
 	// A system in inductive form with online cycle elimination — the
 	// paper's recommended configuration.
-	sys := core.NewSystem(core.Options{Form: core.IF, Cycles: core.CycleOnline, Seed: 42})
+	sys := solver.New(solver.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 42})
 
 	// Nullary constructors act as atoms; the least solution of a variable
 	// is the set of constructed terms that reach it.
-	apple := core.NewTerm(core.NewConstructor("apple"))
-	pear := core.NewTerm(core.NewConstructor("pear"))
+	apple := solver.NewTerm(solver.NewConstructor("apple"))
+	pear := solver.NewTerm(solver.NewConstructor("pear"))
 
 	x := sys.Fresh("X")
 	y := sys.Fresh("Y")
@@ -34,7 +34,7 @@ func main() {
 	sys.AddConstraint(y, z)
 	sys.AddConstraint(pear, y)
 
-	show := func(name string, v *core.Var) {
+	show := func(name string, v *solver.Var) {
 		fmt.Printf("  LS(%s) = %v\n", name, sys.LeastSolution(v))
 	}
 	fmt.Println("after apple ⊆ X ⊆ Y ⊆ Z and pear ⊆ Y:")
@@ -54,11 +54,11 @@ func main() {
 	// Constructed terms decompose by variance: box is covariant, sink is
 	// contravariant, so box(A) ⊆ box(B) yields A ⊆ B while
 	// sink(A̅) ⊆ sink(B̅) yields B ⊆ A.
-	box := core.NewConstructor("box", core.Covariant)
+	box := solver.NewConstructor("box", solver.Covariant)
 	a := sys.Fresh("A")
 	b := sys.Fresh("B")
 	sys.AddConstraint(apple, a)
-	sys.AddConstraint(core.NewTerm(box, a), core.NewTerm(box, b))
+	sys.AddConstraint(solver.NewTerm(box, a), solver.NewTerm(box, b))
 	fmt.Println("\nafter box(A) ⊆ box(B) with apple ⊆ A:")
 	show("B", b)
 

@@ -1,6 +1,6 @@
 package andersen
 
-import "polce/internal/core"
+import "polce/internal/solver"
 
 // This file computes interprocedural MOD sets — for every function, the
 // abstract locations it may modify, directly or through any (possibly
@@ -11,14 +11,14 @@ import "polce/internal/core"
 
 // locsOf resolves a location-set expression (a ref term or a variable
 // holding ref terms) to locations.
-func (r *Result) locsOf(e core.Expr) []*Location {
+func (r *Result) locsOf(e solver.Expr) []*Location {
 	switch x := e.(type) {
-	case *core.Term:
+	case *solver.Term:
 		if l, ok := r.locOf[x]; ok {
 			return []*Location{l}
 		}
 		return nil
-	case *core.Var:
+	case *solver.Var:
 		var out []*Location
 		for _, t := range r.Sys.LeastSolution(x) {
 			if l, ok := r.locOf[t]; ok {

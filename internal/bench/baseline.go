@@ -7,7 +7,7 @@ import (
 	"time"
 
 	"polce/internal/andersen"
-	"polce/internal/core"
+	"polce/internal/solver"
 	"polce/internal/steens"
 )
 
@@ -39,11 +39,11 @@ func BaselineComparison(w io.Writer, benches []Benchmark, seed int64) error {
 		steensTime := time.Since(start)
 
 		start = time.Now()
-		_ = andersen.Analyze(p.file, andersen.Options{Form: core.SF, Cycles: core.CycleNone, Seed: seed})
+		_ = andersen.Analyze(p.file, andersen.Options{Form: solver.SF, Cycles: solver.CycleNone, Seed: seed})
 		plainTime := time.Since(start)
 
 		start = time.Now()
-		online := andersen.Analyze(p.file, andersen.Options{Form: core.IF, Cycles: core.CycleOnline, Seed: seed})
+		online := andersen.Analyze(p.file, andersen.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: seed})
 		online.Sys.ComputeLeastSolutions()
 		onlineTime := time.Since(start)
 

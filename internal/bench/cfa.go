@@ -7,8 +7,8 @@ import (
 	"time"
 
 	"polce/internal/cfa"
-	"polce/internal/core"
 	"polce/internal/mlang"
+	"polce/internal/solver"
 )
 
 // CFAExperiment runs the paper's stated future-work study: the impact of
@@ -25,14 +25,14 @@ func CFAExperiment(w io.Writer, sizes []int, seed int64) error {
 	fmt.Fprintln(tw, "Nodes\tCycleVars\tSF-Plain Work/Time\tIF-Plain Work/Time\tSF-Online Work/Elim/Time\tIF-Online Work/Elim/Time\t")
 
 	type cfg struct {
-		form core.Form
-		pol  core.CyclePolicy
+		form solver.Form
+		pol  solver.CyclePolicy
 	}
 	configs := []cfg{
-		{core.SF, core.CycleNone},
-		{core.IF, core.CycleNone},
-		{core.SF, core.CycleOnline},
-		{core.IF, core.CycleOnline},
+		{solver.SF, solver.CycleNone},
+		{solver.IF, solver.CycleNone},
+		{solver.SF, solver.CycleOnline},
+		{solver.IF, solver.CycleOnline},
 	}
 
 	var lastRatio float64
@@ -53,7 +53,7 @@ func CFAExperiment(w io.Writer, sizes []int, seed int64) error {
 		for i, c := range configs {
 			start := time.Now()
 			r := cfa.Analyze(prog, cfa.Options{Form: c.form, Cycles: c.pol, Seed: seed})
-			if c.form == core.IF {
+			if c.form == solver.IF {
 				r.Sys.ComputeLeastSolutions()
 			}
 			out[i] = meas{

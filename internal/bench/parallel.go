@@ -10,7 +10,7 @@ import (
 	"time"
 
 	"polce/internal/andersen"
-	"polce/internal/core"
+	"polce/internal/solver"
 )
 
 // This file is the parallel experiment runner. The sequential harness
@@ -28,7 +28,7 @@ import (
 type Cell struct {
 	Bench Benchmark
 	Exp   Experiment
-	Order core.OrderStrategy
+	Order solver.OrderStrategy
 	Seed  int64
 }
 
@@ -36,7 +36,7 @@ type Cell struct {
 // cells, in that nesting order (seed varies fastest). The expansion is
 // deterministic, so two processes given the same inputs enumerate the same
 // cells at the same indices.
-func Grid(benches []Benchmark, exps []Experiment, orders []core.OrderStrategy, seeds []int64) []Cell {
+func Grid(benches []Benchmark, exps []Experiment, orders []solver.OrderStrategy, seeds []int64) []Cell {
 	cells := make([]Cell, 0, len(benches)*len(exps)*len(orders)*len(seeds))
 	for _, b := range benches {
 		for _, e := range exps {
@@ -95,7 +95,7 @@ type ParallelOptions struct {
 	// and search-depth quantiles (see Options.Phases).
 	Phases bool
 	// LSWorkers is the least-solution pass worker count per cell; see
-	// core.Options.LSWorkers.
+	// solver.Options.LSWorkers.
 	LSWorkers int
 }
 
@@ -139,12 +139,12 @@ func runCell(c Cell, opt ParallelOptions) CellResult {
 	if err != nil {
 		return CellResult{Cell: c, Err: err}
 	}
-	var oracle *core.Oracle
-	if c.Exp.Cycles == core.CycleOracle {
+	var oracle *solver.Oracle
+	if c.Exp.Cycles == solver.CycleOracle {
 		ref := andersen.Analyze(p.file, andersen.Options{
-			Form: core.IF, Cycles: core.CycleOnline, Seed: c.Seed, Order: c.Order,
+			Form: solver.IF, Cycles: solver.CycleOnline, Seed: c.Seed, Order: c.Order,
 		})
-		oracle = core.BuildOracle(ref.Sys)
+		oracle = solver.BuildOracle(ref.Sys)
 	}
 	repeat := opt.Repeat
 	if repeat <= 0 {

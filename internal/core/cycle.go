@@ -1,8 +1,9 @@
 package core
 
 // This file implements the paper's partial online cycle elimination
-// (Section 2.5, Figure 3). When a variable-variable edge is about to be
-// inserted, the solver searches for a chain that would close a cycle:
+// (Section 2.5, Figure 3) as the online CycleStrategy. When a
+// variable-variable edge is about to be inserted, the strategy searches
+// for a chain that would close a cycle:
 //
 //   - inserting a successor edge X → Y (constraint X ⊆ Y): search along
 //     predecessor edges starting at X for a predecessor chain Y ⋯→ X;
@@ -16,28 +17,55 @@ package core
 // the restriction is what keeps the search cheap — and what makes
 // detection partial. The CycleOnlineIncreasing ablation flips the
 // restriction for SF, which detects more cycles but visits far more nodes.
+//
+// The collapse machinery itself (collapse, absorb, the offline Tarjan
+// pass) stays on System: every strategy that finds a cycle funnels into
+// the same engine-owned merge path, so their accounting cannot drift.
 
-// detectAndCollapse searches for a chain closing a cycle with the pending
-// edge x ⊆ y and, if one is found, collapses every variable on the cycle
-// onto the lowest-ordered witness. It reports whether a collapse happened
-// (in which case the pending edge must not be inserted: it lies inside the
+// onlineStrategy is the paper's partial online elimination. It owns the
+// chain-search scratch state (epoch mark, found path, explicit stack);
+// the search marks are parked in each variable's Mark slot.
+type onlineStrategy struct {
+	sys        *System
+	increasing bool // SF ablation: search up-order instead of down
+
+	searchEpoch uint64       // current cycle-search mark
+	path        []*Var       // scratch: nodes on the chain found by the last search
+	frames      []chainFrame // scratch: explicit stack for chainSearch
+}
+
+func (o *onlineStrategy) Policy() CyclePolicy {
+	if o.increasing {
+		return CycleOnlineIncreasing
+	}
+	return CycleOnline
+}
+
+func (o *onlineStrategy) ReuseVar(int) *Var { return nil }
+func (o *onlineStrategy) BeforeStep()       {}
+
+// PendingEdge searches for a chain closing a cycle with the pending edge
+// x ⊆ y and, if one is found, collapses every variable on the cycle onto
+// the lowest-ordered witness. It reports whether a collapse happened (in
+// which case the pending edge must not be inserted: it lies inside the
 // witness).
-func (s *System) detectAndCollapse(x, y *Var, asSucc bool) bool {
+func (o *onlineStrategy) PendingEdge(x, y *Var, asSucc bool) bool {
+	s := o.sys
 	s.stats.CycleSearches++
 	visitsBefore := s.stats.CycleVisits
-	s.searchEpoch++
-	s.path = s.path[:0]
+	o.searchEpoch++
+	o.path = o.path[:0]
 	var found bool
 	if s.opt.Form == IF {
 		if asSucc {
-			found = s.predChain(x, y)
+			found = o.predChain(x, y)
 		} else {
-			found = s.succChain(y, x)
+			found = o.succChain(y, x)
 		}
 	} else {
 		// SF: the pending edge is x → y; a cycle needs a successor chain
 		// y → ⋯ → x.
-		found = s.succChainSF(y, x, s.opt.Cycles == CycleOnlineIncreasing)
+		found = o.succChainSF(y, x, o.increasing)
 	}
 	if s.opt.Metrics != nil {
 		s.opt.Metrics.CycleSearch(int(s.stats.CycleVisits - visitsBefore))
@@ -46,28 +74,28 @@ func (s *System) detectAndCollapse(x, y *Var, asSucc bool) bool {
 		return false
 	}
 	s.stats.CyclesFound++
-	s.collapse(s.path)
+	s.collapse(o.path)
 	return true
 }
 
 // predChain reports whether a predecessor chain to ⋯→ from exists,
 // following only predecessor edges to lower-ordered variables. On success
-// s.path holds every variable on the chain, endpoints included.
-func (s *System) predChain(from, to *Var) bool {
-	return s.chainSearch(from, to, false, false)
+// o.path holds every variable on the chain, endpoints included.
+func (o *onlineStrategy) predChain(from, to *Var) bool {
+	return o.chainSearch(from, to, false, false)
 }
 
 // succChain is the successor-edge dual of predChain.
-func (s *System) succChain(from, to *Var) bool {
-	return s.chainSearch(from, to, true, false)
+func (o *onlineStrategy) succChain(from, to *Var) bool {
+	return o.chainSearch(from, to, true, false)
 }
 
 // succChainSF searches successor chains under standard form. With
 // increasing=false each step must decrease in the variable order (the
 // paper's cheap partial search); with increasing=true each step must
 // increase (the §4 ablation, which finds more cycles at much higher cost).
-func (s *System) succChainSF(from, to *Var, increasing bool) bool {
-	return s.chainSearch(from, to, true, increasing)
+func (o *onlineStrategy) succChainSF(from, to *Var, increasing bool) bool {
+	return o.chainSearch(from, to, true, increasing)
 }
 
 // chainFrame is one node on the explicit chain-search stack; next is the
@@ -83,28 +111,29 @@ type chainFrame struct {
 // hold chains of 10^5+ variables). It preserves the recursive search
 // exactly: a node's visit is counted on entry, the to-test precedes the
 // visited mark, adjacency is scanned in stored order, and on success
-// s.path holds the chain with `to` first and `from` last.
-func (s *System) chainSearch(from, to *Var, succ, increasing bool) bool {
+// o.path holds the chain with `to` first and `from` last.
+func (o *onlineStrategy) chainSearch(from, to *Var, succ, increasing bool) bool {
+	s := o.sys
 	s.stats.CycleVisits++
 	if from == to {
-		s.path = append(s.path, from)
+		o.path = append(o.path, from)
 		return true
 	}
-	from.visited = s.searchEpoch
-	frames := append(s.frames[:0], chainFrame{node: from})
-	defer func() { s.frames = frames[:0] }()
+	from.Mark = o.searchEpoch
+	frames := append(o.frames[:0], chainFrame{node: from})
+	defer func() { o.frames = frames[:0] }()
 	for len(frames) > 0 {
 		f := &frames[len(frames)-1]
 		cur := f.node
-		adj := cur.predV.list
+		adj := cur.PredV.List()
 		if succ {
-			adj = cur.succV.list
+			adj = cur.SuccV.List()
 		}
 		descended := false
 		for f.next < len(adj) {
 			v := find(adj[f.next])
 			f.next++
-			if v == cur || v.visited == s.searchEpoch {
+			if v == cur || v.Mark == o.searchEpoch {
 				continue
 			}
 			ok := before(v, cur)
@@ -116,13 +145,13 @@ func (s *System) chainSearch(from, to *Var, succ, increasing bool) bool {
 			}
 			s.stats.CycleVisits++
 			if v == to {
-				s.path = append(s.path, to)
+				o.path = append(o.path, to)
 				for i := len(frames) - 1; i >= 0; i-- {
-					s.path = append(s.path, frames[i].node)
+					o.path = append(o.path, frames[i].node)
 				}
 				return true
 			}
-			v.visited = s.searchEpoch
+			v.Mark = o.searchEpoch
 			frames = append(frames, chainFrame{node: v})
 			descended = true
 			break
@@ -148,7 +177,7 @@ func (s *System) collapse(nodes []*Var) {
 			witness = v
 		}
 	}
-	s.mergeEpoch++
+	s.store.BumpMergeEpoch()
 	var merged []*Var
 	for _, v := range nodes {
 		v = find(v)
@@ -174,21 +203,41 @@ func (s *System) collapse(nodes []*Var) {
 
 // absorb forwards a to w and re-inserts a's constraints onto w.
 func (s *System) absorb(a, w *Var) {
-	a.parent = w
-	s.deadVars++
+	s.store.Forward(a, w)
 	s.stats.VarsEliminated++
-	for _, t := range a.predS.take() {
+	for _, t := range a.PredS.Take() {
 		s.push(t, w) // t ⊆ a becomes t ⊆ w
 	}
-	for _, v := range a.predV.take() {
+	for _, v := range a.PredV.Take() {
 		s.push(v, w) // v ⊆ a becomes v ⊆ w
 	}
-	for _, v := range a.succV.take() {
+	for _, v := range a.SuccV.Take() {
 		s.push(w, v) // a ⊆ v becomes w ⊆ v
 	}
-	for _, k := range a.succK.take() {
+	for _, k := range a.SuccK.Take() {
 		s.push(w, k) // a ⊆ k becomes w ⊆ k
 	}
+}
+
+// collapseSCCGroups runs Tarjan over the current variable-variable graph
+// and collapses every non-trivial strongly connected component onto its
+// witness. It is the shared group-and-collapse core of the periodic
+// strategy's sweep and CollapseCycles, so their accounting cannot drift.
+// It returns the number of variables examined and the number merged away.
+func (s *System) collapseSCCGroups() (visited, collapsed int) {
+	vars := s.CanonicalVars()
+	comp, count, _ := sccStrong(s, vars)
+	groups := make(map[int][]*Var)
+	for i, c := range comp {
+		groups[c] = append(groups[c], vars[i])
+	}
+	for c := 0; c < count; c++ {
+		if g := groups[c]; len(g) >= 2 {
+			s.collapse(g)
+			collapsed += len(g) - 1
+		}
+	}
+	return len(vars), collapsed
 }
 
 // CollapseCycles runs an offline Tarjan pass over the current

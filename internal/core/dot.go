@@ -1,64 +1,10 @@
 package core
 
-import (
-	"fmt"
-	"io"
-	"sort"
-)
+import "io"
 
-// WriteDOT renders the current constraint graph in Graphviz DOT format:
-// canonical variables as ellipses, sources and sinks as boxes, successor
-// edges solid and predecessor edges dashed (the paper's dotted arrows).
-// Intended for debugging and for visualising small systems; the output is
-// deterministic.
-func (s *System) WriteDOT(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "digraph constraints {"); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "  rankdir=LR;")
-	fmt.Fprintln(w, "  node [fontsize=10];")
-
-	vars := s.CanonicalVars()
-	sort.Slice(vars, func(i, j int) bool { return vars[i].id < vars[j].id })
-
-	termID := map[*Term]string{}
-	nextTerm := 0
-	termNode := func(t *Term, sink bool) string {
-		if id, ok := termID[t]; ok {
-			return id
-		}
-		id := fmt.Sprintf("t%d", nextTerm)
-		nextTerm++
-		termID[t] = id
-		shape := "box"
-		if sink {
-			shape = "box, style=dashed"
-		}
-		fmt.Fprintf(w, "  %s [label=%q, shape=%s];\n", id, t.String(), shape)
-		return id
-	}
-
-	for _, v := range vars {
-		fmt.Fprintf(w, "  v%d [label=%q];\n", v.id, v.name)
-	}
-	for _, v := range vars {
-		s.clean(v)
-		for _, t := range v.predS.list {
-			fmt.Fprintf(w, "  %s -> v%d [style=dashed];\n", termNode(t, false), v.id)
-		}
-		for _, p := range v.predV.list {
-			fmt.Fprintf(w, "  v%d -> v%d [style=dashed];\n", find(p).id, v.id)
-		}
-		for _, y := range v.succV.list {
-			fmt.Fprintf(w, "  v%d -> v%d;\n", v.id, find(y).id)
-		}
-		for _, t := range v.succK.list {
-			fmt.Fprintf(w, "  v%d -> %s;\n", v.id, termNode(t, true))
-		}
-	}
-	_, err := fmt.Fprintln(w, "}")
-	return err
-}
+// WriteDOT renders the current constraint graph in Graphviz DOT format;
+// see graph.Store.WriteDOT. The first write error encountered is returned.
+func (s *System) WriteDOT(w io.Writer) error { return s.store.WriteDOT(w) }
 
 // GraphStats summarises the current graph's size and density — the
 // quantities the analytical model of Section 5 is parameterised by.

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// errWriter forwards writes to an underlying writer and latches the first
+// error it sees; subsequent writes are suppressed. It lets WriteDOT stream
+// dozens of Fprint calls and still report the first failure instead of
+// silently discarding mid-stream errors.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	if err != nil {
+		ew.err = err
+	}
+	return n, err
+}
+
+// WriteDOT renders the current constraint graph in Graphviz DOT format:
+// canonical variables as ellipses, sources and sinks as boxes, successor
+// edges solid and predecessor edges dashed (the paper's dotted arrows).
+// Intended for debugging and for visualising small systems; the output is
+// deterministic. The first write error encountered is returned.
+func (st *Store) WriteDOT(w io.Writer) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintln(ew, "digraph constraints {")
+	fmt.Fprintln(ew, "  rankdir=LR;")
+	fmt.Fprintln(ew, "  node [fontsize=10];")
+
+	vars := st.CanonicalVars()
+	sort.Slice(vars, func(i, j int) bool { return vars[i].id < vars[j].id })
+
+	termID := map[*Term]string{}
+	nextTerm := 0
+	termNode := func(t *Term, sink bool) string {
+		if id, ok := termID[t]; ok {
+			return id
+		}
+		id := fmt.Sprintf("t%d", nextTerm)
+		nextTerm++
+		termID[t] = id
+		shape := "box"
+		if sink {
+			shape = "box, style=dashed"
+		}
+		fmt.Fprintf(ew, "  %s [label=%q, shape=%s];\n", id, t.String(), shape)
+		return id
+	}
+
+	for _, v := range vars {
+		fmt.Fprintf(ew, "  v%d [label=%q];\n", v.id, v.name)
+	}
+	for _, v := range vars {
+		st.Clean(v)
+		for _, t := range v.PredS.List() {
+			fmt.Fprintf(ew, "  %s -> v%d [style=dashed];\n", termNode(t, false), v.id)
+		}
+		for _, p := range v.PredV.List() {
+			fmt.Fprintf(ew, "  v%d -> v%d [style=dashed];\n", Find(p).id, v.id)
+		}
+		for _, y := range v.SuccV.List() {
+			fmt.Fprintf(ew, "  v%d -> v%d;\n", v.id, Find(y).id)
+		}
+		for _, t := range v.SuccK.List() {
+			fmt.Fprintf(ew, "  v%d -> %s;\n", v.id, termNode(t, true))
+		}
+	}
+	fmt.Fprintln(ew, "}")
+	return ew.err
+}

@@ -1,27 +1,4 @@
-// Package core implements the inclusion (set) constraint solver of
-// Fähndrich, Foster, Su and Aiken, "Partial Online Cycle Elimination in
-// Inclusion Constraint Graphs" (PLDI 1998).
-//
-// The constraint language is
-//
-//	L, R ::= X | c(se1, ..., sen) | 0 | 1
-//
-// where X ranges over set variables and each constructor c carries a
-// signature giving the variance (covariant or contravariant) of each
-// argument. Constraints L ⊆ R are resolved online to atomic form — the
-// three shapes X ⊆ Y, c(...) ⊆ X and X ⊆ c(...) — and the atomic
-// constraints are kept closed under the transitive closure rule as edges of
-// a constraint graph.
-//
-// Two graph representations are provided: standard form (SF), in which
-// every variable-variable edge is a successor edge, and inductive form
-// (IF), in which a variable-variable edge is stored on the endpoint with
-// the larger index in a fixed random total order o(·). On top of either
-// representation the solver can run the paper's partial online cycle
-// elimination: at each variable-variable edge insertion a bounded search
-// along order-decreasing chains looks for a closing path, and any cycle
-// found is collapsed onto a witness variable.
-package core
+package graph
 
 import (
 	"strings"
@@ -81,41 +58,6 @@ type Expr interface {
 	isExpr()
 }
 
-// Var is a set variable. Variables are created with System.Fresh and belong
-// to the system that created them; they must not be shared across systems.
-type Var struct {
-	name  string
-	id    int    // creation index within the owning system
-	order uint64 // position in the random total order o(·)
-
-	parent *Var // union-find forwarding pointer; nil when representative
-
-	predV varSet  // variable predecessors (inductive form only)
-	predS termSet // source predecessors c(...) ⊆ X
-	succV varSet  // variable successors
-	succK termSet // sink successors X ⊆ c(...)
-
-	visited      uint64 // epoch mark used by the online cycle search
-	visitedClean uint64 // last merge epoch at which adjacency was compacted
-
-	lsNode    *lsNode // interned least solution (inductive form; nil = never computed)
-	lsPending bool    // queued in System.lsPending for the next pass's dirty cone
-	lsIdx     int32   // position in the current pass's ascending sweep
-}
-
-// Name returns the name the variable was created with.
-func (v *Var) Name() string { return v.name }
-
-// ID returns the variable's creation index in its owning system. Creation
-// indices are dense and deterministic for a deterministic client, which is
-// what allows the oracle to align two runs.
-func (v *Var) ID() int { return v.id }
-
-// String returns the variable's name.
-func (v *Var) String() string { return v.name }
-
-func (v *Var) isExpr() {}
-
 // Term is a constructed set expression c(se1, ..., sen). Terms are compared
 // by identity: reusing one *Term for repeated occurrences of the same
 // abstract object (as the points-to analysis does for each location's ref
@@ -136,10 +78,10 @@ func NewTerm(c *Constructor, args ...Expr) *Term {
 	return &Term{con: c, args: args, seq: termSeq.Add(1)}
 }
 
-// termSeq numbers terms at creation. The sequence exists so the
+// termSeq numbers terms at creation. The sequence exists so a
 // least-solution engine can content-hash term lists without touching
 // pointer values; it is atomic because clients may build terms from
-// multiple goroutines even though each System is single-threaded.
+// multiple goroutines even though each solver is single-threaded.
 var termSeq atomic.Uint32
 
 // Con returns the term's constructor.
@@ -147,6 +89,10 @@ func (t *Term) Con() *Constructor { return t.con }
 
 // Arg returns the i-th argument expression.
 func (t *Term) Arg(i int) Expr { return t.args[i] }
+
+// Seq returns the term's global creation sequence number, a stable
+// content-hashing key for engines that index term lists.
+func (t *Term) Seq() uint32 { return t.seq }
 
 // String renders the term as c(arg1,...,argn).
 func (t *Term) String() string {
@@ -171,7 +117,7 @@ func (t *Term) isExpr() {}
 // Union is a set union usable on the left-hand side of a constraint:
 // (L₁ ∪ L₂) ⊆ R decomposes into L₁ ⊆ R and L₂ ⊆ R. (On a right-hand side
 // a union would require disjunctive reasoning, which inclusion constraint
-// resolution does not support; the solver rejects it.)
+// resolution does not support; the resolution engine rejects it.)
 type Union struct {
 	exprs []Expr
 }
@@ -190,7 +136,7 @@ func (u *Union) isExpr() {}
 // Intersection is a set intersection usable on the right-hand side of a
 // constraint: L ⊆ (R₁ ∩ R₂) decomposes into L ⊆ R₁ and L ⊆ R₂. (On a
 // left-hand side an intersection is not expressible in this fragment; the
-// solver rejects it.)
+// resolution engine rejects it.)
 type Intersection struct {
 	exprs []Expr
 }
@@ -233,8 +179,8 @@ var (
 	One Expr = NewTerm(oneCon)
 )
 
-// isZero reports whether e is the Zero singleton.
-func isZero(e Expr) bool { return e == Zero }
+// IsZero reports whether e is the Zero singleton.
+func IsZero(e Expr) bool { return e == Zero }
 
-// isOne reports whether e is the One singleton.
-func isOne(e Expr) bool { return e == One }
+// IsOne reports whether e is the One singleton.
+func IsOne(e Expr) bool { return e == One }

@@ -1,26 +1,26 @@
-package core
+package graph
 
-// smallSetThreshold is the size at which a hybrid adjacency set promotes
-// from a plain linear-scanned slice to slice + membership map. Most
-// variables in real constraint graphs have only a handful of edges (the
-// closed graphs sit near density k ≈ 2, see Section 5), so staying below
-// the threshold avoids a map allocation per adjacency set — up to four
-// per variable.
+// Threshold is the size at which a hybrid adjacency set promotes from a
+// plain linear-scanned slice to slice + membership map. Most variables in
+// real constraint graphs have only a handful of edges (the closed graphs
+// sit near density k ≈ 2, see the paper's Section 5), so staying below the
+// threshold avoids a map allocation per adjacency set — up to four per
+// variable.
 const smallSetThreshold = 8
 
-// smallSet is an insertion-ordered hybrid set. The slice preserves
+// SmallSet is an insertion-ordered hybrid set. The slice preserves
 // insertion order so that graph closure — and therefore cycle detection,
 // which is sensitive to the order in which edges appear — is deterministic
 // for a deterministic client. Membership is answered by scanning the slice
-// while the set is small; once it outgrows smallSetThreshold a map is
-// built and kept in sync.
-type smallSet[T comparable] struct {
+// while the set is small; once it outgrows the threshold a map is built
+// and kept in sync.
+type SmallSet[T comparable] struct {
 	list []T
 	set  map[T]struct{} // nil while len(list) <= smallSetThreshold
 }
 
-// add inserts v and reports whether it was new.
-func (s *smallSet[T]) add(v T) bool {
+// Add inserts v and reports whether it was new.
+func (s *SmallSet[T]) Add(v T) bool {
 	if s.set != nil {
 		if _, ok := s.set[v]; ok {
 			return false
@@ -42,7 +42,7 @@ func (s *smallSet[T]) add(v T) bool {
 }
 
 // promote builds the membership map from the current slice.
-func (s *smallSet[T]) promote() {
+func (s *SmallSet[T]) promote() {
 	m := make(map[T]struct{}, 2*len(s.list))
 	for _, w := range s.list {
 		m[w] = struct{}{}
@@ -50,9 +50,9 @@ func (s *smallSet[T]) promote() {
 	s.set = m
 }
 
-// has reports whether v is present (under the exact value; callers
+// Has reports whether v is present (under the exact value; callers
 // canonicalise variables first).
-func (s *smallSet[T]) has(v T) bool {
+func (s *SmallSet[T]) Has(v T) bool {
 	if s.set != nil {
 		_, ok := s.set[v]
 		return ok
@@ -65,34 +65,39 @@ func (s *smallSet[T]) has(v T) bool {
 	return false
 }
 
-// size returns the number of stored entries, including stale aliases.
-func (s *smallSet[T]) size() int { return len(s.list) }
+// Size returns the number of stored entries, including stale aliases.
+func (s *SmallSet[T]) Size() int { return len(s.list) }
 
-// take removes and returns all entries, leaving the set empty. Used when a
+// List returns the stored entries in insertion order. The slice aliases
+// the set's own storage: callers must not mutate it, and must not hold it
+// across an Add or Compact.
+func (s *SmallSet[T]) List() []T { return s.list }
+
+// Take removes and returns all entries, leaving the set empty. Used when a
 // collapsed variable's edges are re-inserted onto the witness.
-func (s *smallSet[T]) take() []T {
+func (s *SmallSet[T]) Take() []T {
 	l := s.list
 	s.list = nil
 	s.set = nil
 	return l
 }
 
-// varSet is the variable adjacency set. After cycles are collapsed,
+// VarSet is the variable adjacency set. After cycles are collapsed,
 // entries may become stale (their variable forwarded to a witness); stale
-// entries are canonicalised lazily by compact.
-type varSet struct {
-	smallSet[*Var]
+// entries are canonicalised lazily by Compact.
+type VarSet struct {
+	SmallSet[*Var]
 }
 
-// compact canonicalises every entry under find, dropping duplicates and
+// Compact canonicalises every entry under Find, dropping duplicates and
 // any entry equal to self. It returns the canonical slice, which aliases
 // the set's own storage. A set that shrinks back under the threshold
 // demotes to the plain-slice representation.
-func (s *varSet) compact(self *Var) []*Var {
+func (s *VarSet) Compact(self *Var) []*Var {
 	out := s.list[:0]
 	if s.set == nil {
 		for _, v := range s.list {
-			v = find(v)
+			v = Find(v)
 			if v == self || sliceHas(out, v) {
 				continue
 			}
@@ -104,7 +109,7 @@ func (s *varSet) compact(self *Var) []*Var {
 	seen := s.set
 	clear(seen)
 	for _, v := range s.list {
-		v = find(v)
+		v = Find(v)
 		if v == self {
 			continue
 		}
@@ -130,24 +135,6 @@ func sliceHas(xs []*Var, v *Var) bool {
 	return false
 }
 
-// termSet is the source/sink adjacency set. Terms never become stale, so
+// TermSet is the source/sink adjacency set. Terms never become stale, so
 // no compaction is needed.
-type termSet = smallSet[*Term]
-
-// find follows forwarding pointers to v's representative, compressing the
-// path as it goes.
-func find(v *Var) *Var {
-	if v.parent == nil {
-		return v
-	}
-	root := v
-	for root.parent != nil {
-		root = root.parent
-	}
-	for v.parent != nil {
-		next := v.parent
-		v.parent = root
-		v = next
-	}
-	return root
-}
+type TermSet = SmallSet[*Term]

@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refVarSet is the pre-hybrid, always-map-backed reference implementation
+// of the adjacency set: an insertion-ordered slice plus a membership map,
+// as core used before the hybrid small-set representation. The hybrid set
+// must be observationally identical to it.
+type refVarSet struct {
+	list []*Var
+	set  map[*Var]struct{}
+}
+
+func (s *refVarSet) add(v *Var) bool {
+	if _, ok := s.set[v]; ok {
+		return false
+	}
+	if s.set == nil {
+		s.set = make(map[*Var]struct{})
+	}
+	s.set[v] = struct{}{}
+	s.list = append(s.list, v)
+	return true
+}
+
+func (s *refVarSet) has(v *Var) bool {
+	_, ok := s.set[v]
+	return ok
+}
+
+func (s *refVarSet) compact(self *Var) []*Var {
+	out := s.list[:0]
+	seen := make(map[*Var]struct{})
+	s.set = seen
+	for _, v := range s.list {
+		v = Find(v)
+		if v == self {
+			continue
+		}
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	s.list = out
+	return out
+}
+
+// TestHybridSetMatchesMapReference drives random operation streams —
+// inserts, membership probes, collapse-style forwarding and compaction —
+// through the hybrid small-set and the map-backed reference in lockstep,
+// crossing the promotion threshold in both directions, and demands
+// identical membership answers and identical insertion order throughout.
+func TestHybridSetMatchesMapReference(t *testing.T) {
+	property := func(seed16 uint16) bool {
+		rng := rand.New(rand.NewSource(int64(seed16)))
+		pool := make([]*Var, 3*smallSetThreshold)
+		for i := range pool {
+			pool[i] = NewVar(fmt.Sprintf("p%d", i), i, uint64(i))
+		}
+		var hy VarSet
+		var ref refVarSet
+		self := pool[0]
+		for op := 0; op < 400; op++ {
+			v := pool[rng.Intn(len(pool))]
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4: // insert
+				if hy.Add(v) != ref.add(v) {
+					t.Logf("seed %d op %d: add(%s) disagrees", seed16, op, v)
+					return false
+				}
+			case 5, 6, 7: // membership probe
+				if hy.Has(v) != ref.has(v) {
+					t.Logf("seed %d op %d: has(%s) disagrees", seed16, op, v)
+					return false
+				}
+			case 8: // collapse: forward a pool variable to a lower one
+				if v != self && v.parent == nil && rng.Intn(2) == 0 {
+					v.parent = pool[rng.Intn(v.id+1)]
+					if v.parent == v {
+						v.parent = nil
+					}
+				}
+			default: // canonicalise both sets
+				h := hy.Compact(self)
+				r := ref.compact(self)
+				if len(h) != len(r) {
+					t.Logf("seed %d op %d: compact length %d != %d", seed16, op, len(h), len(r))
+					return false
+				}
+				for i := range h {
+					if h[i] != r[i] {
+						t.Logf("seed %d op %d: compact order differs at %d", seed16, op, i)
+						return false
+					}
+				}
+			}
+			// Insertion order must agree at every step.
+			if len(hy.list) != len(ref.list) {
+				t.Logf("seed %d op %d: list length %d != %d", seed16, op, len(hy.list), len(ref.list))
+				return false
+			}
+			for i := range hy.list {
+				if hy.list[i] != ref.list[i] {
+					t.Logf("seed %d op %d: insertion order differs at %d", seed16, op, i)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHybridSetPromotionBoundary pins the promotion behaviour: a set stays
+// map-free up to the threshold, promotes beyond it, and keeps answering
+// identically around the boundary.
+func TestHybridSetPromotionBoundary(t *testing.T) {
+	vars := make([]*Var, 2*smallSetThreshold)
+	for i := range vars {
+		vars[i] = NewVar(fmt.Sprintf("b%d", i), i, uint64(i))
+	}
+	var s VarSet
+	for i, v := range vars {
+		if !s.Add(v) {
+			t.Fatalf("add(%d) not new", i)
+		}
+		if s.Add(v) {
+			t.Fatalf("re-add(%d) reported new", i)
+		}
+		wantMap := len(s.list) > smallSetThreshold
+		if (s.set != nil) != wantMap {
+			t.Fatalf("after %d inserts: map present = %v, want %v", i+1, s.set != nil, wantMap)
+		}
+		for j := 0; j <= i; j++ {
+			if !s.Has(vars[j]) {
+				t.Fatalf("after %d inserts: has(%d) = false", i+1, j)
+			}
+		}
+		if s.Has(vars[len(vars)-1]) && i < len(vars)-1 {
+			t.Fatalf("after %d inserts: phantom membership", i+1)
+		}
+		if s.Size() != i+1 {
+			t.Fatalf("size = %d, want %d", s.Size(), i+1)
+		}
+	}
+	for i, v := range s.list {
+		if v != vars[i] {
+			t.Fatalf("insertion order broken at %d", i)
+		}
+	}
+}
+
+// TestTakeEmptiesSet pins Take's contract: it hands back the stored list
+// and leaves the set empty and reusable in slice mode.
+func TestTakeEmptiesSet(t *testing.T) {
+	var s VarSet
+	vars := make([]*Var, smallSetThreshold+4)
+	for i := range vars {
+		vars[i] = NewVar(fmt.Sprintf("t%d", i), i, uint64(i))
+		s.Add(vars[i])
+	}
+	got := s.Take()
+	if len(got) != len(vars) {
+		t.Fatalf("Take returned %d entries, want %d", len(got), len(vars))
+	}
+	if s.Size() != 0 || s.set != nil {
+		t.Fatalf("set not emptied by Take")
+	}
+	if !s.Add(vars[0]) {
+		t.Fatalf("re-add after Take not new")
+	}
+}

@@ -1,0 +1,145 @@
+// Package graph is the storage layer of the inclusion-constraint solver:
+// the variable store, the union-find forwarding structure, the hybrid
+// small-set adjacency representation, and the source/sink/variable edge
+// sets. It makes no policy decisions — which endpoint stores an edge,
+// when cycles are searched for or collapsed, and how least solutions are
+// computed all live in the resolution/strategy layer (internal/core) and
+// the public façade (internal/solver) built on top of it.
+package graph
+
+// Store owns the variables of one constraint system: the live list walked
+// by whole-graph operations, the creation-index space shared with the
+// oracle, and the merge epoch that drives lazy adjacency canonicalisation
+// after collapses.
+//
+// A Store is not safe for concurrent use; the solver façade serialises
+// access.
+type Store struct {
+	vars    []*Var // live variables in creation order, lazily compacted
+	dead    int    // eliminated variables still present in vars
+	created []*Var // creation-index → variable handed out (aliases included)
+
+	mergeEpoch uint64 // bumped on every collapse; drives lazy compaction
+}
+
+// Fresh allocates a variable with the next creation index and the given
+// total-order position, and registers it as live.
+func (st *Store) Fresh(name string, order uint64) *Var {
+	v := NewVar(name, len(st.created), order)
+	st.created = append(st.created, v)
+	st.vars = append(st.vars, v)
+	return v
+}
+
+// AddAlias records an existing variable as the one handed out for the next
+// creation index without allocating. The oracle policy uses this to
+// pre-merge a fresh variable into its predicted cycle witness.
+func (st *Store) AddAlias(v *Var) {
+	st.created = append(st.created, v)
+}
+
+// NumCreated returns the number of creation indices handed out (the
+// creation-index space, shared across oracle-aligned runs).
+func (st *Store) NumCreated() int { return len(st.created) }
+
+// CreatedVar returns the variable handed out for creation index i.
+func (st *Store) CreatedVar(i int) *Var { return st.created[i] }
+
+// Forward merges a into w: a forwards to w under Find and is counted dead
+// for lazy live-list compaction. The caller re-inserts a's edges onto w
+// through the resolution engine (they carry closure obligations the store
+// cannot discharge).
+func (st *Store) Forward(a, w *Var) {
+	a.parent = w
+	st.dead++
+}
+
+// BumpMergeEpoch starts a new merge epoch. Clean canonicalises each
+// variable's adjacency at most once per epoch, so the engine bumps it
+// once per collapse.
+func (st *Store) BumpMergeEpoch() { st.mergeEpoch++ }
+
+// Clean lazily canonicalises v's variable adjacency after collapses.
+func (st *Store) Clean(v *Var) {
+	if v.cleanEpoch == st.mergeEpoch {
+		return
+	}
+	v.cleanEpoch = st.mergeEpoch
+	v.PredV.Compact(v)
+	v.SuccV.Compact(v)
+}
+
+// compactLive drops eliminated variables from st.vars once a quarter of
+// the list is dead, so whole-graph walks cost O(live), not O(ever
+// created). Compaction preserves creation order and is amortised O(1) per
+// elimination. Callers must not be mid-iteration over st.vars.
+func (st *Store) compactLive() {
+	if st.dead == 0 || st.dead < len(st.vars)/4 {
+		return
+	}
+	out := st.vars[:0]
+	for _, v := range st.vars {
+		if v.parent == nil {
+			out = append(out, v)
+		}
+	}
+	st.vars = out
+	st.dead = 0
+}
+
+// CanonicalVars returns the canonical (non-eliminated) variables in
+// creation order.
+func (st *Store) CanonicalVars() []*Var {
+	st.compactLive()
+	out := make([]*Var, 0, len(st.vars)-st.dead)
+	for _, v := range st.vars {
+		if v.parent == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// EdgeCounts tallies the distinct edges in the current graph: variable →
+// variable edges (counted once regardless of orientation), source edges
+// c(...) ⊆ X and sink edges X ⊆ c(...). Stale aliases left by collapses
+// are canonicalised before counting.
+func (st *Store) EdgeCounts() (varVar, source, sink int) {
+	st.compactLive()
+	for _, v := range st.vars {
+		if v.parent != nil {
+			continue
+		}
+		st.Clean(v)
+		varVar += v.PredV.Size() + v.SuccV.Size()
+		source += v.PredS.Size()
+		sink += v.SuccK.Size()
+	}
+	return varVar, source, sink
+}
+
+// VarAdjacency builds, over the canonical variables vars, the directed
+// inclusion adjacency: an edge u → w meaning u ⊆ w, combining successor
+// edges (stored at u) and predecessor edges (stored at w). The returned
+// index maps each canonical variable to its position in vars.
+func (st *Store) VarAdjacency(vars []*Var) (adj [][]int, index map[*Var]int) {
+	index = make(map[*Var]int, len(vars))
+	for i, v := range vars {
+		index[v] = i
+	}
+	adj = make([][]int, len(vars))
+	for i, v := range vars {
+		st.Clean(v)
+		for _, w := range v.SuccV.List() {
+			if j, ok := index[Find(w)]; ok {
+				adj[i] = append(adj[i], j)
+			}
+		}
+		for _, p := range v.PredV.List() {
+			if j, ok := index[Find(p)]; ok {
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	return adj, index
+}

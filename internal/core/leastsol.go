@@ -48,13 +48,14 @@ func (s *System) ComputeLeastSolutions() {
 func (s *System) LeastSolution(v *Var) []*Term {
 	v = find(v)
 	if s.opt.Form == SF {
-		return v.predS.list
+		return v.PredS.List()
 	}
 	s.ComputeLeastSolutions()
-	if v.lsNode == nil {
+	n := lsNodeOf(v)
+	if n == nil {
 		return nil
 	}
-	return v.lsNode.terms
+	return n.terms
 }
 
 // leastSolutionsReference is the naive least-solution computation the
@@ -67,7 +68,7 @@ func (s *System) leastSolutionsReference() map[*Var][]*Term {
 	if s.opt.Form == SF {
 		out := make(map[*Var][]*Term)
 		for _, v := range s.CanonicalVars() {
-			out[v] = v.predS.list
+			out[v] = v.PredS.List()
 		}
 		return out
 	}
@@ -75,16 +76,16 @@ func (s *System) leastSolutionsReference() map[*Var][]*Term {
 	sort.Slice(vars, func(i, j int) bool { return before(vars[i], vars[j]) })
 	ls := make(map[*Var][]*Term, len(vars))
 	for _, y := range vars {
-		s.clean(y)
-		set := make(map[*Term]struct{}, y.predS.size())
-		list := make([]*Term, 0, y.predS.size())
-		for _, t := range y.predS.list {
+		s.store.Clean(y)
+		set := make(map[*Term]struct{}, y.PredS.Size())
+		list := make([]*Term, 0, y.PredS.Size())
+		for _, t := range y.PredS.List() {
 			if _, ok := set[t]; !ok {
 				set[t] = struct{}{}
 				list = append(list, t)
 			}
 		}
-		for _, x := range y.predV.list {
+		for _, x := range y.PredV.List() {
 			for _, t := range ls[find(x)] {
 				if _, ok := set[t]; !ok {
 					set[t] = struct{}{}

@@ -119,7 +119,7 @@ func hashTerms(ts []*Term) uint64 {
 	)
 	h := uint64(offset64)
 	for _, t := range ts {
-		x := t.seq
+		x := t.Seq()
 		for i := 0; i < 4; i++ {
 			h ^= uint64(x & 0xff)
 			h *= prime64
@@ -213,13 +213,20 @@ func (e *lsEngine) union(a, b *lsNode) *lsNode {
 	return r
 }
 
+// lsNodeOf reads the engine node parked in v's storage-layer Sol slot
+// (nil when no pass has evaluated v yet).
+func lsNodeOf(v *Var) *lsNode {
+	n, _ := v.Sol.Node.(*lsNode)
+	return n
+}
+
 // evalVar computes y's least-solution node from its (already cleaned,
 // hence canonical) adjacency. Every variable predecessor sits on a lower
 // level, so its node was published before this level's barrier opened.
 func (e *lsEngine) evalVar(y *Var) *lsNode {
-	n := e.leaf(y.predS.list)
-	for _, x := range y.predV.list {
-		n = e.union(n, x.lsNode)
+	n := e.leaf(y.PredS.List())
+	for _, x := range y.PredV.List() {
+		n = e.union(n, lsNodeOf(x))
 	}
 	return n
 }
@@ -252,20 +259,20 @@ func (s *System) runLeastSolutionPass() {
 	// the cone when it has no node yet, was marked by a mutation, or has a
 	// predecessor in the cone; predecessors strictly precede in o(·), so
 	// one pass settles both level and cone membership. Sweep positions
-	// live in Var.lsIdx so pred lookups cost an indexed load, not a map
+	// live in Var.Sol.Idx so pred lookups cost an indexed load, not a map
 	// probe.
 	for i, v := range vars {
-		v.lsIdx = int32(i)
+		v.Sol.Idx = int32(i)
 	}
 	level := make([]int, len(vars))
 	inCone := make([]bool, len(vars))
 	maxLevel, cone := 0, 0
 	for i, y := range vars {
-		s.clean(y)
+		s.store.Clean(y)
 		lv := 0
-		rec := full || y.lsNode == nil || y.lsPending
-		for _, x := range y.predV.list {
-			j := x.lsIdx
+		rec := full || y.Sol.Node == nil || y.Sol.Pending
+		for _, x := range y.PredV.List() {
+			j := x.Sol.Idx
 			if level[j] >= lv {
 				lv = level[j] + 1
 			}
@@ -297,7 +304,7 @@ func (s *System) runLeastSolutionPass() {
 		}
 		if workers <= 1 || len(b) < lsParallelThreshold {
 			for _, i := range b {
-				vars[i].lsNode = e.evalVar(vars[i])
+				vars[i].Sol.Node = e.evalVar(vars[i])
 			}
 			continue
 		}
@@ -319,7 +326,7 @@ func (s *System) runLeastSolutionPass() {
 			go func(part []int) {
 				defer wg.Done()
 				for _, i := range part {
-					vars[i].lsNode = e.evalVar(vars[i])
+					vars[i].Sol.Node = e.evalVar(vars[i])
 				}
 			}(b[lo:hi])
 		}
@@ -327,7 +334,7 @@ func (s *System) runLeastSolutionPass() {
 	}
 
 	for _, v := range s.lsPending {
-		v.lsPending = false
+		v.Sol.Pending = false
 	}
 	s.lsPending = s.lsPending[:0]
 	s.lsVersion = s.graphVersion
@@ -358,8 +365,8 @@ func (s *System) runLeastSolutionPass() {
 // never reach this, which is what keeps the cache hot under re-adds.
 func (s *System) markLS(y *Var) {
 	s.graphVersion++
-	if !y.lsPending {
-		y.lsPending = true
+	if !y.Sol.Pending {
+		y.Sol.Pending = true
 		s.lsPending = append(s.lsPending, y)
 	}
 }

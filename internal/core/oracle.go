@@ -47,10 +47,10 @@ func sccStrong(s *System, vars []*Var) (comp []int, count int, index map[*Var]in
 func BuildOracle(s *System) *Oracle {
 	vars := s.CanonicalVars()
 	comp, _, index := sccStrong(s, vars)
-	witness := make([]int, len(s.created))
+	witness := make([]int, s.NumCreated())
 	classWitness := make(map[int]int)
-	for i, v := range s.created {
-		c := comp[index[find(v)]]
+	for i := range witness {
+		c := comp[index[find(s.CreatedVar(i))]]
 		w, ok := classWitness[c]
 		if !ok {
 			w = i
@@ -70,8 +70,8 @@ func (s *System) CycleClassStats() (inCycles, maxClass int) {
 	vars := s.CanonicalVars()
 	comp, count, index := sccStrong(s, vars)
 	classSize := make([]int, count)
-	for _, v := range s.created {
-		classSize[comp[index[find(v)]]]++
+	for i := 0; i < s.NumCreated(); i++ {
+		classSize[comp[index[find(s.CreatedVar(i))]]]++
 	}
 	for _, sz := range classSize {
 		if sz >= 2 {

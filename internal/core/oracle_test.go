@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// partitionSig canonically labels the fully-collapsed equivalence classes
+// of creation indices: sig[i] is the smallest creation index sharing i's
+// class after every remaining strongly connected component has been
+// collapsed. Two systems over the same script are solution-equivalent
+// partitions exactly when their signatures are equal element-wise.
+func partitionSig(s *System) []int {
+	s.CollapseCycles()
+	sig := make([]int, s.NumCreated())
+	first := map[*Var]int{}
+	for i := 0; i < s.NumCreated(); i++ {
+		r := find(s.CreatedVar(i))
+		w, ok := first[r]
+		if !ok {
+			w = i
+			first[r] = i
+		}
+		sig[i] = w
+	}
+	return sig
+}
+
+// TestOraclePartitionMatchesOnline is the differential oracle test: across
+// random graphs (seeds × order strategies), pre-merging at Fresh time under
+// the oracle must land in exactly the canonical-variable partition that
+// online elimination (completed offline) reaches, with the same least
+// solutions — perfect elimination changes when classes merge, never what
+// the classes are.
+func TestOraclePartitionMatchesOnline(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		for _, order := range []OrderStrategy{OrderRandom, OrderCreation, OrderReverseCreation} {
+			ops := genScript(seed, 60, 220)
+			opt := Options{Form: IF, Cycles: CycleOnline, Seed: seed, Order: order}
+			online, onlineVars := runScript(opt, ops)
+			oracle := BuildOracle(online)
+
+			opt.Cycles = CycleOracle
+			opt.Oracle = oracle
+			guided, guidedVars := runScript(opt, ops)
+
+			for i := range onlineVars {
+				want := lsAtoms(online, onlineVars[i])
+				got := lsAtoms(guided, guidedVars[i])
+				if fmt.Sprint(want) != fmt.Sprint(got) {
+					t.Fatalf("seed %d order %v: LS(v%d) mismatch\n got %v\nwant %v",
+						seed, order, i, got, want)
+				}
+			}
+
+			wantSig := partitionSig(online)
+			gotSig := partitionSig(guided)
+			for i := range wantSig {
+				if wantSig[i] != gotSig[i] {
+					t.Fatalf("seed %d order %v: partition differs at index %d: witness %d vs %d",
+						seed, order, i, gotSig[i], wantSig[i])
+				}
+			}
+		}
+	}
+}
+
+// TestOracleSourcePolicyIrrelevant: the oracle derived from any solved run
+// of the same script — whatever representation or policy produced it —
+// encodes the same witness map, because the classes are a property of the
+// constraint system.
+func TestOracleSourcePolicyIrrelevant(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		ops := genScript(seed, 50, 180)
+		ref, _ := runScript(Options{Form: IF, Cycles: CycleOnline, Seed: seed}, ops)
+		want := BuildOracle(ref)
+		for _, opt := range []Options{
+			{Form: SF, Cycles: CycleOnline, Seed: seed},
+			{Form: IF, Cycles: CycleNone, Seed: seed},
+			{Form: IF, Cycles: CyclePeriodic, Seed: seed, PeriodicInterval: 40},
+		} {
+			s, _ := runScript(opt, ops)
+			got := BuildOracle(s)
+			if got.Len() != want.Len() {
+				t.Fatalf("seed %d %v/%v: oracle len %d, want %d", seed, opt.Form, opt.Cycles, got.Len(), want.Len())
+			}
+			for i := 0; i < want.Len(); i++ {
+				if got.witnessOf(i) != want.witnessOf(i) {
+					t.Fatalf("seed %d %v/%v: witnessOf(%d) = %d, want %d",
+						seed, opt.Form, opt.Cycles, i, got.witnessOf(i), want.witnessOf(i))
+				}
+			}
+		}
+	}
+}
+
+// TestOracleWitnessContract pins witnessOf's invariants directly: every
+// witness is the smallest index of its class (so witnesses are fixpoints
+// and never exceed their index), and indices beyond the recorded run
+// report -1.
+func TestOracleWitnessContract(t *testing.T) {
+	s, _ := runScript(Options{Form: IF, Cycles: CycleOnline, Seed: 13}, genScript(13, 60, 220))
+	o := BuildOracle(s)
+	if o.Len() != s.NumCreated() {
+		t.Fatalf("Len = %d, want %d", o.Len(), s.NumCreated())
+	}
+	for i := 0; i < o.Len(); i++ {
+		w := o.witnessOf(i)
+		if w < 0 || w > i {
+			t.Fatalf("witnessOf(%d) = %d out of range", i, w)
+		}
+		if o.witnessOf(w) != w {
+			t.Fatalf("witness %d of %d is not a fixpoint: witnessOf(%d) = %d", w, i, w, o.witnessOf(w))
+		}
+	}
+	for _, i := range []int{o.Len(), o.Len() + 7} {
+		if got := o.witnessOf(i); got != -1 {
+			t.Fatalf("witnessOf(%d) = %d beyond coverage, want -1", i, got)
+		}
+	}
+}
+
+// TestOracleBeyondCoverage: a guided run may create more variables than
+// the oracle recorded; the uncovered tail must allocate normally and solve
+// correctly.
+func TestOracleBeyondCoverage(t *testing.T) {
+	short := NewSystem(Options{Form: IF, Cycles: CycleOnline, Seed: 2})
+	a := atoms(1)
+	x := short.Fresh("X")
+	y := short.Fresh("Y")
+	short.AddConstraint(x, y)
+	short.AddConstraint(y, x)
+	short.AddConstraint(a[0], x)
+	oracle := BuildOracle(short)
+
+	s := NewSystem(Options{Form: IF, Cycles: CycleOracle, Seed: 2, Oracle: oracle})
+	gx := s.Fresh("X")
+	gy := s.Fresh("Y")
+	if gx != gy {
+		t.Fatal("covered cyclic pair not pre-merged")
+	}
+	gz := s.Fresh("Z") // beyond the oracle's coverage
+	if gz == gx {
+		t.Fatal("uncovered variable aliased")
+	}
+	s.AddConstraint(a[0], gx)
+	s.AddConstraint(gx, gz)
+	if got := lsNames(s, gz); len(got) != 1 || got[0] != "a0" {
+		t.Fatalf("LS(Z) = %v, want [a0]", got)
+	}
+	if st := s.Stats(); st.VarsCreated != 2 || st.VarsEliminated != 1 {
+		t.Fatalf("stats = %+v, want 2 created / 1 eliminated", st)
+	}
+}

@@ -57,8 +57,12 @@ func TestPeriodicIntervalControlsSweepCount(t *testing.T) {
 
 func TestPeriodicDefaultInterval(t *testing.T) {
 	s := NewSystem(Options{Form: IF, Cycles: CyclePeriodic, Seed: 1})
-	if got := s.periodicInterval(); got != 1000 {
-		t.Errorf("default interval = %d, want 1000", got)
+	p, ok := s.cyc.(*periodicStrategy)
+	if !ok {
+		t.Fatalf("periodic system uses strategy %T", s.cyc)
+	}
+	if p.interval != 1000 {
+		t.Errorf("default interval = %d, want 1000", p.interval)
 	}
 }
 

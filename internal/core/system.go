@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"polce/internal/core/graph"
 )
 
 // worklistSampleInterval is how many worklist steps pass between
@@ -15,20 +17,32 @@ type constraint struct {
 	l, r Expr
 }
 
-// System is an online inclusion-constraint solver. Constraints added with
-// AddConstraint are resolved to atomic form and the constraint graph is
-// kept closed under the transitive closure rule after every update; with an
-// online cycle policy, cyclic constraints are detected and collapsed at
-// every variable-variable edge insertion.
+// System is an online inclusion-constraint solver: the resolution engine of
+// the three-layer stack. It owns the worklist and the resolution rules
+// (step/decompose/drain) and the closure rule; the variables and edges live
+// in a graph.Store, and the representation choice and cycle policy are
+// delegated to a Representation and a CycleStrategy (see strategy.go).
+// Constraints added with AddConstraint are resolved to atomic form and the
+// constraint graph is kept closed under the transitive closure rule after
+// every update; with an online cycle policy, cyclic constraints are
+// detected and collapsed at every variable-variable edge insertion.
 //
-// A System is not safe for concurrent use.
+// A System is not safe for concurrent use; internal/solver adds locking.
 type System struct {
 	opt Options
 	rng *rand.Rand
 
-	vars     []*Var // live variables in creation order, lazily compacted
-	deadVars int    // eliminated variables still present in vars
-	created  []*Var // creation-index → variable handed out (oracle aliases included)
+	store graph.Store
+
+	rep Representation
+	cyc CycleStrategy
+
+	// Capability flags cached off the concrete strategy so the engine's
+	// hot paths keep one plain branch per site — exactly what the
+	// pre-strategy code paid — instead of an interface call per step.
+	cycDetect bool // strategy intercepts pending var-var edges (online)
+	cycSweep  bool // strategy runs between worklist steps (periodic)
+	cycReuse  bool // strategy can pre-merge at Fresh time (oracle)
 
 	work  []constraint // LIFO worklist of pending constraints
 	stats Stats
@@ -36,13 +50,7 @@ type System struct {
 	errs     []error
 	errCount int
 
-	searchEpoch uint64       // current cycle-search mark
-	mergeEpoch  uint64       // bumped on every collapse; drives lazy compaction
-	path        []*Var       // scratch: nodes on the chain found by the last search
-	frames      []chainFrame // scratch: explicit stack for chainSearch
-
 	skipClosure bool   // build the initial graph only (no closure, no cycles)
-	lastSweep   int64  // Work count at the last periodic sweep
 	drainSteps  uint64 // worklist steps processed; drives worklist sampling
 
 	// Least-solution engine state (inductive form; see lsengine.go).
@@ -68,11 +76,34 @@ func NewSystem(opt Options) *System {
 	if maxErr == 0 {
 		maxErr = 16
 	}
-	return &System{
+	s := &System{
 		opt:    opt,
 		rng:    rand.New(rand.NewSource(opt.Seed)),
 		maxErr: maxErr,
 	}
+	if opt.Form == SF {
+		s.rep = standardForm{}
+	} else {
+		s.rep = inductiveForm{}
+	}
+	switch opt.Cycles {
+	case CycleOnline, CycleOnlineIncreasing:
+		s.cyc = &onlineStrategy{sys: s, increasing: opt.Cycles == CycleOnlineIncreasing}
+		s.cycDetect = true
+	case CyclePeriodic:
+		interval := opt.PeriodicInterval
+		if interval <= 0 {
+			interval = 1000
+		}
+		s.cyc = &periodicStrategy{sys: s, interval: int64(interval)}
+		s.cycSweep = true
+	case CycleOracle:
+		s.cyc = &oracleStrategy{sys: s, oracle: opt.Oracle}
+		s.cycReuse = true
+	default:
+		s.cyc = noneStrategy{}
+	}
+	return s
 }
 
 // NewInitialGraph creates a system that resolves constraints to atomic
@@ -86,21 +117,20 @@ func NewInitialGraph(opt Options) *System {
 }
 
 // Form returns the graph representation in use.
-func (s *System) Form() Form { return s.opt.Form }
+func (s *System) Form() Form { return s.rep.Form() }
 
 // Policy returns the cycle-elimination policy in use.
-func (s *System) Policy() CyclePolicy { return s.opt.Cycles }
+func (s *System) Policy() CyclePolicy { return s.cyc.Policy() }
 
 // Fresh creates a new set variable. Under the oracle policy, a fresh
 // variable whose creation index the oracle maps into an earlier strongly
 // connected component is not allocated at all: the component's witness is
 // returned instead, so cycles never materialise.
 func (s *System) Fresh(name string) *Var {
-	idx := len(s.created)
-	if s.opt.Cycles == CycleOracle {
-		if w := s.opt.Oracle.witnessOf(idx); w >= 0 && w < idx {
-			v := find(s.created[w])
-			s.created = append(s.created, v)
+	idx := s.store.NumCreated()
+	if s.cycReuse {
+		if v := s.cyc.ReuseVar(idx); v != nil {
+			s.store.AddAlias(v)
 			s.stats.VarsEliminated++
 			return v
 		}
@@ -114,21 +144,9 @@ func (s *System) Fresh(name string) *Var {
 	default:
 		order = s.rng.Uint64()
 	}
-	v := &Var{name: name, id: idx, order: order}
-	s.created = append(s.created, v)
-	s.vars = append(s.vars, v)
+	v := s.store.Fresh(name, order)
 	s.stats.VarsCreated++
 	return v
-}
-
-// before reports whether a precedes b in the total order o(·). Random
-// 64-bit orders collide with negligible probability, but creation index
-// breaks ties so the order is always total.
-func before(a, b *Var) bool {
-	if a.order != b.order {
-		return a.order < b.order
-	}
-	return a.id < b.id
 }
 
 // AddConstraint adds l ⊆ r and immediately restores closure (this is the
@@ -156,9 +174,8 @@ func (s *System) drain(topLevel bool) {
 		t0 = time.Now()
 	}
 	for len(s.work) > 0 {
-		if s.opt.Cycles == CyclePeriodic && s.stats.Work-s.lastSweep >= int64(s.periodicInterval()) {
-			s.lastSweep = s.stats.Work
-			s.periodicSweep()
+		if s.cycSweep {
+			s.cyc.BeforeStep()
 		}
 		if s.opt.Metrics != nil {
 			s.drainSteps++
@@ -175,46 +192,6 @@ func (s *System) drain(topLevel bool) {
 	}
 }
 
-// periodicInterval returns the configured sweep interval (default 1000).
-func (s *System) periodicInterval() int {
-	if s.opt.PeriodicInterval > 0 {
-		return s.opt.PeriodicInterval
-	}
-	return 1000
-}
-
-// collapseSCCGroups runs Tarjan over the current variable-variable graph
-// and collapses every non-trivial strongly connected component onto its
-// witness. It is the shared group-and-collapse core of periodicSweep and
-// CollapseCycles, so their accounting cannot drift. It returns the number
-// of variables examined and the number merged away.
-func (s *System) collapseSCCGroups() (visited, collapsed int) {
-	vars := s.CanonicalVars()
-	comp, count, _ := sccStrong(s, vars)
-	groups := make(map[int][]*Var)
-	for i, c := range comp {
-		groups[c] = append(groups[c], vars[i])
-	}
-	for c := 0; c < count; c++ {
-		if g := groups[c]; len(g) >= 2 {
-			s.collapse(g)
-			collapsed += len(g) - 1
-		}
-	}
-	return len(vars), collapsed
-}
-
-// periodicSweep runs one offline elimination pass (the prior-work
-// strategy): Tarjan over the current variable-variable graph, collapsing
-// every non-trivial component. Runs between worklist steps so no adjacency
-// iteration is in flight.
-func (s *System) periodicSweep() {
-	visited, collapsed := s.collapseSCCGroups()
-	s.stats.PeriodicSweeps++
-	s.stats.SweepVisits += int64(visited)
-	s.emit(Event{Kind: EventSweep, Collapsed: collapsed})
-}
-
 // step resolves one constraint to atomic form, applying the resolution
 // rules R of Figure 1 plus the set-operation rules of the full language:
 // unions decompose on the left, intersections on the right.
@@ -223,13 +200,13 @@ func (s *System) step(l, r Expr) {
 		return // 0 ⊆ R and L ⊆ 1 always hold
 	}
 	if u, ok := l.(*Union); ok {
-		for _, e := range u.exprs {
+		for _, e := range u.Exprs() {
 			s.push(e, r)
 		}
 		return
 	}
 	if i, ok := r.(*Intersection); ok {
-		for _, e := range i.exprs {
+		for _, e := range i.Exprs() {
 			s.push(l, e)
 		}
 		return
@@ -271,15 +248,16 @@ func (s *System) step(l, r Expr) {
 // ai ⊆ bi at covariant positions and bi ⊆ ai at contravariant ones.
 // Distinct constructors are inconsistent.
 func (s *System) decompose(l, r *Term) {
-	if l.con != r.con {
+	c := l.Con()
+	if c != r.Con() {
 		s.fail(l, r)
 		return
 	}
-	for i, a := range l.args {
-		if l.con.sig[i] == Covariant {
-			s.push(a, r.args[i])
+	for i := 0; i < c.Arity(); i++ {
+		if c.Variance(i) == Covariant {
+			s.push(l.Arg(i), r.Arg(i))
 		} else {
-			s.push(r.args[i], a)
+			s.push(r.Arg(i), l.Arg(i))
 		}
 	}
 }
@@ -308,16 +286,6 @@ func (s *System) Errors() []error { return s.errs }
 // dropped ones.
 func (s *System) ErrorCount() int { return s.errCount }
 
-// clean lazily canonicalises x's variable adjacency after collapses.
-func (s *System) clean(x *Var) {
-	if x.visitedClean == s.mergeEpoch {
-		return
-	}
-	x.visitedClean = s.mergeEpoch
-	x.predV.compact(x)
-	x.succV.compact(x)
-}
-
 // metricEdge reports one attempted edge addition to the metrics sink.
 func (s *System) metricEdge(redundant bool) {
 	if s.opt.Metrics != nil {
@@ -328,7 +296,7 @@ func (s *System) metricEdge(redundant bool) {
 // addSource inserts the source edge t ⊆ x and pairs t with x's successors.
 func (s *System) addSource(t *Term, x *Var) {
 	s.stats.Work++
-	if !x.predS.add(t) {
+	if !x.PredS.Add(t) {
 		s.stats.Redundant++
 		s.metricEdge(true)
 		return
@@ -341,11 +309,11 @@ func (s *System) addSource(t *Term, x *Var) {
 	if s.skipClosure {
 		return
 	}
-	s.clean(x)
-	for _, y := range x.succV.list {
+	s.store.Clean(x)
+	for _, y := range x.SuccV.List() {
 		s.push(t, find(y))
 	}
-	for _, k := range x.succK.list {
+	for _, k := range x.SuccK.List() {
 		s.push(t, k)
 	}
 }
@@ -353,7 +321,7 @@ func (s *System) addSource(t *Term, x *Var) {
 // addSink inserts the sink edge x ⊆ t and pairs x's predecessors with t.
 func (s *System) addSink(x *Var, t *Term) {
 	s.stats.Work++
-	if !x.succK.add(t) {
+	if !x.SuccK.Add(t) {
 		s.stats.Redundant++
 		s.metricEdge(true)
 		return
@@ -365,37 +333,37 @@ func (s *System) addSink(x *Var, t *Term) {
 	if s.skipClosure {
 		return
 	}
-	s.clean(x)
-	for _, src := range x.predS.list {
+	s.store.Clean(x)
+	for _, src := range x.PredS.List() {
 		s.push(src, t)
 	}
-	for _, v := range x.predV.list {
+	for _, v := range x.PredV.List() {
 		s.push(find(v), t)
 	}
 }
 
 // addVarEdge inserts the variable-variable constraint x ⊆ y. The edge is
-// oriented by the representation: standard form always stores it as a
+// oriented by the Representation: standard form always stores it as a
 // successor edge of x; inductive form stores it on the higher-ordered
-// endpoint. With an online policy the closing-chain search runs first and,
-// if a cycle is found, the whole chain is collapsed instead of inserting
-// the edge.
+// endpoint. With an online policy the strategy's closing-chain search runs
+// first and, if a cycle is found, the whole chain is collapsed instead of
+// inserting the edge.
 func (s *System) addVarEdge(x, y *Var) {
 	if x == y {
 		return // self-inclusion is trivial
 	}
-	s.clean(x)
-	s.clean(y)
-	asSucc := s.opt.Form == SF || before(y, x)
+	s.store.Clean(x)
+	s.store.Clean(y)
+	asSucc := s.rep.StoreAsSucc(x, y)
 	s.stats.Work++
-	if asSucc && x.succV.has(y) || !asSucc && y.predV.has(x) {
+	if asSucc && x.SuccV.Has(y) || !asSucc && y.PredV.Has(x) {
 		s.stats.Redundant++
 		s.metricEdge(true)
 		return
 	}
 	s.metricEdge(false)
-	if !s.skipClosure && (s.opt.Cycles == CycleOnline || s.opt.Cycles == CycleOnlineIncreasing) {
-		if s.detectAndCollapse(x, y, asSucc) {
+	if !s.skipClosure && s.cycDetect {
+		if s.cyc.PendingEdge(x, y, asSucc) {
 			return
 		}
 	}
@@ -403,26 +371,26 @@ func (s *System) addVarEdge(x, y *Var) {
 		s.emit(Event{Kind: EventVarEdge, From: x, To: y})
 	}
 	if asSucc {
-		x.succV.add(y)
+		x.SuccV.Add(y)
 		if s.skipClosure {
 			return
 		}
-		for _, src := range x.predS.list {
+		for _, src := range x.PredS.List() {
 			s.push(src, y)
 		}
-		for _, v := range x.predV.list {
+		for _, v := range x.PredV.List() {
 			s.push(find(v), y)
 		}
 	} else {
-		y.predV.add(x)
+		y.PredV.Add(x)
 		s.markLS(y)
 		if s.skipClosure {
 			return
 		}
-		for _, w := range y.succV.list {
+		for _, w := range y.SuccV.List() {
 			s.push(x, find(w))
 		}
-		for _, k := range y.succK.list {
+		for _, k := range y.SuccK.List() {
 			s.push(x, k)
 		}
 	}
@@ -434,64 +402,32 @@ func (s *System) Stats() Stats {
 	return st
 }
 
+// Version returns the least-solution epoch of the graph: it advances
+// exactly when a mutation that can change some least solution is applied
+// (a new source edge, a new predecessor edge, a collapse), and holds still
+// across redundant re-additions. Snapshot layers key their caches on it.
+func (s *System) Version() uint64 { return s.graphVersion }
+
 // NumCreated returns the number of Fresh calls so far (the creation-index
 // space, shared across oracle-aligned runs).
-func (s *System) NumCreated() int { return len(s.created) }
+func (s *System) NumCreated() int { return s.store.NumCreated() }
 
 // CreatedVar returns the variable handed out for creation index i.
-func (s *System) CreatedVar(i int) *Var { return s.created[i] }
+func (s *System) CreatedVar(i int) *Var { return s.store.CreatedVar(i) }
 
 // Find returns the canonical representative of v (its cycle witness once v
 // has been eliminated).
 func (s *System) Find(v *Var) *Var { return find(v) }
 
-// compactLive drops eliminated variables from s.vars once a quarter of the
-// list is dead, so whole-graph walks cost O(live), not O(ever created).
-// Compaction preserves creation order and is amortised O(1) per
-// elimination. Callers must not be mid-iteration over s.vars.
-func (s *System) compactLive() {
-	if s.deadVars == 0 || s.deadVars < len(s.vars)/4 {
-		return
-	}
-	out := s.vars[:0]
-	for _, v := range s.vars {
-		if v.parent == nil {
-			out = append(out, v)
-		}
-	}
-	s.vars = out
-	s.deadVars = 0
-}
-
 // CanonicalVars returns the canonical (non-eliminated) variables in
 // creation order.
-func (s *System) CanonicalVars() []*Var {
-	s.compactLive()
-	out := make([]*Var, 0, len(s.vars)-s.deadVars)
-	for _, v := range s.vars {
-		if v.parent == nil {
-			out = append(out, v)
-		}
-	}
-	return out
-}
+func (s *System) CanonicalVars() []*Var { return s.store.CanonicalVars() }
 
 // EdgeCounts tallies the distinct edges in the current graph: variable →
 // variable edges (counted once regardless of orientation), source edges
-// c(...) ⊆ X and sink edges X ⊆ c(...). Stale aliases left by collapses are
-// canonicalised before counting.
+// c(...) ⊆ X and sink edges X ⊆ c(...).
 func (s *System) EdgeCounts() (varVar, source, sink int) {
-	s.compactLive()
-	for _, v := range s.vars {
-		if v.parent != nil {
-			continue
-		}
-		s.clean(v)
-		varVar += v.predV.size() + v.succV.size()
-		source += v.predS.size()
-		sink += v.succK.size()
-	}
-	return varVar, source, sink
+	return s.store.EdgeCounts()
 }
 
 // TotalEdges returns the total number of distinct edges in the graph.
@@ -501,27 +437,8 @@ func (s *System) TotalEdges() int {
 }
 
 // VarAdjacency builds, over the canonical variables vars, the directed
-// inclusion adjacency: an edge u → w meaning u ⊆ w, combining successor
-// edges (stored at u) and predecessor edges (stored at w). The returned
-// index maps each canonical variable to its position in vars.
+// inclusion adjacency: an edge u → w meaning u ⊆ w. The returned index
+// maps each canonical variable to its position in vars.
 func (s *System) VarAdjacency(vars []*Var) (adj [][]int, index map[*Var]int) {
-	index = make(map[*Var]int, len(vars))
-	for i, v := range vars {
-		index[v] = i
-	}
-	adj = make([][]int, len(vars))
-	for i, v := range vars {
-		s.clean(v)
-		for _, w := range v.succV.list {
-			if j, ok := index[find(w)]; ok {
-				adj[i] = append(adj[i], j)
-			}
-		}
-		for _, p := range v.predV.list {
-			if j, ok := index[find(p)]; ok {
-				adj[j] = append(adj[j], i)
-			}
-		}
-	}
-	return adj, index
+	return s.store.VarAdjacency(vars)
 }

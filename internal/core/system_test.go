@@ -288,14 +288,14 @@ func TestInductiveInvariant(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		s := randomSystem(t, IF, CycleOnline, seed, 200, 600)
 		for _, y := range s.CanonicalVars() {
-			s.clean(y)
-			for _, p := range y.predV.list {
+			s.store.Clean(y)
+			for _, p := range y.PredV.List() {
 				p = find(p)
 				if !before(p, y) {
 					t.Fatalf("seed %d: pred edge violates order: o(%s) !< o(%s)", seed, p, y)
 				}
 			}
-			for _, w := range y.succV.list {
+			for _, w := range y.SuccV.List() {
 				w = find(w)
 				if !before(w, y) {
 					t.Fatalf("seed %d: succ edge violates order: o(%s) !< o(%s)", seed, w, y)
@@ -312,7 +312,7 @@ func TestSFNoVarPreds(t *testing.T) {
 		for _, pol := range []CyclePolicy{CycleNone, CycleOnline} {
 			s := randomSystem(t, SF, pol, seed, 200, 600)
 			for _, v := range s.CanonicalVars() {
-				if v.predV.size() != 0 {
+				if v.PredV.Size() != 0 {
 					t.Fatalf("seed %d: SF variable %s has variable predecessors", seed, v)
 				}
 			}
@@ -615,7 +615,7 @@ func TestFreshDeterminism(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		a := s1.Fresh("x")
 		b := s2.Fresh("x")
-		if a.order != b.order || a.id != b.id {
+		if a.Order() != b.Order() || a.ID() != b.ID() {
 			t.Fatalf("variable order not reproducible at index %d", i)
 		}
 	}

@@ -29,7 +29,7 @@ import (
 	"sort"
 	"strings"
 
-	"polce/internal/core"
+	"polce/internal/solver"
 )
 
 // Constraint is one inclusion of the source file.
@@ -40,7 +40,7 @@ type Constraint struct {
 
 // File is a parsed constraint program.
 type File struct {
-	Cons        map[string]*core.Constructor
+	Cons        map[string]*solver.Constructor
 	Constraints []Constraint
 	Queries     []string // variable names, in order
 	varNames    []string // first-use order
@@ -82,7 +82,7 @@ func (f *File) VarNames() []string { return f.varNames }
 
 // Parse reads a constraint program.
 func Parse(src string) (*File, error) {
-	f := &File{Cons: map[string]*core.Constructor{}, varSet: map[string]bool{}}
+	f := &File{Cons: map[string]*solver.Constructor{}, varSet: map[string]bool{}}
 	lines := strings.Split(src, "\n")
 	for ln, raw := range lines {
 		if i := strings.IndexByte(raw, '#'); i >= 0 {
@@ -141,7 +141,7 @@ func (f *File) parseStmt(stmt string, line int) error {
 
 func (f *File) parseCons(decl string, line int) error {
 	name := decl
-	var sig []core.Variance
+	var sig []solver.Variance
 	if i := strings.IndexByte(decl, '('); i >= 0 {
 		if !strings.HasSuffix(decl, ")") {
 			return fmt.Errorf("scl:%d: malformed constructor declaration %q", line, decl)
@@ -152,9 +152,9 @@ func (f *File) parseCons(decl string, line int) error {
 			for _, v := range strings.Split(inner, ",") {
 				switch strings.TrimSpace(v) {
 				case "+":
-					sig = append(sig, core.Covariant)
+					sig = append(sig, solver.Covariant)
 				case "-":
-					sig = append(sig, core.Contravariant)
+					sig = append(sig, solver.Contravariant)
 				default:
 					return fmt.Errorf("scl:%d: variance must be + or -, got %q", line, v)
 				}
@@ -167,7 +167,7 @@ func (f *File) parseCons(decl string, line int) error {
 	if _, dup := f.Cons[name]; dup {
 		return fmt.Errorf("scl:%d: constructor %s redeclared", line, name)
 	}
-	f.Cons[name] = core.NewConstructor(name, sig...)
+	f.Cons[name] = solver.NewConstructor(name, sig...)
 	return nil
 }
 
@@ -316,35 +316,35 @@ func isIdentByte(c byte, notFirst bool) bool {
 
 // Solved is a constraint program loaded into a live solver.
 type Solved struct {
-	Sys  *core.System
-	Vars map[string]*core.Var
+	Sys  *solver.Solver
+	Vars map[string]*solver.Var
 	file *File
 }
 
-// Solve builds a core.System from the file under the given options and
+// Solve builds a solver.Solver from the file under the given options and
 // adds every constraint.
-func (f *File) Solve(opt core.Options) *Solved {
-	s := &Solved{Sys: core.NewSystem(opt), Vars: map[string]*core.Var{}, file: f}
+func (f *File) Solve(opt solver.Options) *Solved {
+	s := &Solved{Sys: solver.New(opt), Vars: map[string]*solver.Var{}, file: f}
 	for _, name := range f.varNames {
 		s.Vars[name] = s.Sys.Fresh(name)
 	}
 	// Terms are interned structurally: every occurrence of the same
 	// written term (same constructor, same sub-expressions) denotes the
-	// same set, so it must be the same *core.Term. Since variables are
+	// same set, so it must be the same *solver.Term. Since variables are
 	// interned by name and sub-terms recursively, identity of the built
 	// argument expressions is a sound structural key.
-	terms := map[string]*core.Term{}
-	var build func(e Expr) core.Expr
-	build = func(e Expr) core.Expr {
+	terms := map[string]*solver.Term{}
+	var build func(e Expr) solver.Expr
+	build = func(e Expr) solver.Expr {
 		switch x := e.(type) {
 		case *VarExpr:
 			return s.Vars[x.Name]
 		case *ZeroExpr:
-			return core.Zero
+			return solver.Zero
 		case *OneExpr:
-			return core.One
+			return solver.One
 		case *TermExpr:
-			args := make([]core.Expr, len(x.Args))
+			args := make([]solver.Expr, len(x.Args))
 			key := x.Con
 			for i, a := range x.Args {
 				args[i] = build(a)
@@ -353,14 +353,14 @@ func (f *File) Solve(opt core.Options) *Solved {
 			if t, ok := terms[key]; ok {
 				return t
 			}
-			t := core.NewTerm(f.Cons[x.Con], args...)
+			t := solver.NewTerm(f.Cons[x.Con], args...)
 			terms[key] = t
 			return t
 		case *OpExpr:
 			if x.Op == '|' {
-				return core.NewUnion(build(x.L), build(x.R))
+				return solver.NewUnion(build(x.L), build(x.R))
 			}
-			return core.NewIntersection(build(x.L), build(x.R))
+			return solver.NewIntersection(build(x.L), build(x.R))
 		}
 		panic(fmt.Sprintf("scl: unknown expression %T", e))
 	}

@@ -1,0 +1,76 @@
+package solver
+
+// A Snapshot is an immutable view of the least solutions at one graph
+// version. Taking a snapshot locks the solver once; reading from it never
+// locks, so any number of goroutines can query a snapshot while another
+// keeps ingesting constraints into the live solver.
+//
+// Isolation is copy-on-write at the granularity the representation allows:
+// under inductive form the least-solution slices are interned and never
+// mutated after construction, so the snapshot shares them; under standard
+// form the least solution aliases the live source-predecessor storage, so
+// the snapshot copies each slice. Either way, nothing reachable from a
+// Snapshot is written again, and the epoch guard means repeated Snapshot
+// calls on an unchanged graph return the same object without rebuilding.
+type Snapshot struct {
+	version uint64
+	form    Form
+	stats   Stats
+	ls      map[*Var][]*Term
+}
+
+// Snapshot captures the current least solutions. While the graph version
+// is unchanged since the last capture, the previous snapshot is returned
+// as-is; otherwise the solver computes least solutions (reusing the
+// incremental engine's dirty-cone pass) and records one entry per created
+// variable, resolved through union-find at capture time so snapshot reads
+// never touch the live forwarding pointers.
+func (s *Solver) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snap != nil && s.snap.version == s.sys.Version() {
+		return s.snap
+	}
+	s.sys.ComputeLeastSolutions()
+	copySlices := s.sys.Form() == SF
+	n := s.sys.NumCreated()
+	ls := make(map[*Var][]*Term, n)
+	for i := 0; i < n; i++ {
+		v := s.sys.CreatedVar(i)
+		if _, ok := ls[v]; ok {
+			continue // oracle-aliased index: handle already captured
+		}
+		terms := s.sys.LeastSolution(v)
+		if copySlices && len(terms) > 0 {
+			terms = append([]*Term(nil), terms...)
+		}
+		ls[v] = terms
+	}
+	s.snap = &Snapshot{
+		version: s.sys.Version(),
+		form:    s.sys.Form(),
+		stats:   s.sys.Stats(),
+		ls:      ls,
+	}
+	return s.snap
+}
+
+// LeastSolution returns the least solution of v as of the snapshot. It is
+// safe to call from any goroutine without locking. The returned slice must
+// not be modified. Variables created after the snapshot was taken report a
+// nil solution.
+func (sn *Snapshot) LeastSolution(v *Var) []*Term {
+	return sn.ls[v]
+}
+
+// Version returns the graph version the snapshot was taken at.
+func (sn *Snapshot) Version() uint64 { return sn.version }
+
+// Form returns the representation of the solver the snapshot came from.
+func (sn *Snapshot) Form() Form { return sn.form }
+
+// Stats returns the solver counters as of the snapshot.
+func (sn *Snapshot) Stats() Stats { return sn.stats }
+
+// NumVars returns the number of variables captured in the snapshot.
+func (sn *Snapshot) NumVars() int { return len(sn.ls) }

@@ -1,0 +1,181 @@
+package solver_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"polce/internal/solver"
+)
+
+// TestSnapshotCaching pins the epoch guard: snapshots of an unchanged
+// graph are the same object, and any least-solution-changing mutation
+// produces a fresh one.
+func TestSnapshotCaching(t *testing.T) {
+	for _, form := range []solver.Form{solver.SF, solver.IF} {
+		s := solver.New(solver.Options{Form: form, Cycles: solver.CycleOnline, Seed: 9})
+		a := atoms(2)
+		x := s.Fresh("X")
+		y := s.Fresh("Y")
+		s.AddConstraint(a[0], x)
+		s.AddConstraint(x, y)
+
+		s1 := s.Snapshot()
+		if s2 := s.Snapshot(); s2 != s1 {
+			t.Fatalf("%v: unchanged graph rebuilt the snapshot", form)
+		}
+		// A redundant re-add leaves the version, and hence the snapshot,
+		// untouched.
+		s.AddConstraint(a[0], x)
+		if s2 := s.Snapshot(); s2 != s1 {
+			t.Fatalf("%v: redundant re-add invalidated the snapshot", form)
+		}
+		s.AddConstraint(a[1], y)
+		s3 := s.Snapshot()
+		if s3 == s1 || s3.Version() <= s1.Version() {
+			t.Fatalf("%v: mutation did not advance the snapshot", form)
+		}
+		if got := lsNames(s1.LeastSolution(y)); len(got) != 1 {
+			t.Fatalf("%v: old snapshot LS(Y) = %v, want 1 atom", form, got)
+		}
+		if got := lsNames(s3.LeastSolution(y)); len(got) != 2 {
+			t.Fatalf("%v: new snapshot LS(Y) = %v, want 2 atoms", form, got)
+		}
+		if s3.Form() != form || s3.NumVars() != 2 {
+			t.Fatalf("%v: snapshot meta form=%v vars=%d", form, s3.Form(), s3.NumVars())
+		}
+	}
+}
+
+// TestSnapshotIsolation checks that a captured snapshot is frozen: later
+// ingestion, collapses included, must not change what an old snapshot
+// reports.
+func TestSnapshotIsolation(t *testing.T) {
+	for _, form := range []solver.Form{solver.SF, solver.IF} {
+		s := solver.New(solver.Options{Form: form, Cycles: solver.CycleOnline, Seed: 11})
+		a := atoms(8)
+		vars := make([]*solver.Var, 40)
+		for i := range vars {
+			vars[i] = s.Fresh(fmt.Sprintf("v%d", i))
+		}
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 80; i++ {
+			s.AddConstraint(a[rng.Intn(len(a))], vars[rng.Intn(len(vars))])
+			s.AddConstraint(vars[rng.Intn(len(vars))], vars[rng.Intn(len(vars))])
+		}
+		snap := s.Snapshot()
+		frozen := make([][]string, len(vars))
+		for i, v := range vars {
+			frozen[i] = lsNames(snap.LeastSolution(v))
+		}
+		// Keep ingesting, forcing plenty of new sources and collapses.
+		for i := 0; i < 200; i++ {
+			s.AddConstraint(a[rng.Intn(len(a))], vars[rng.Intn(len(vars))])
+			s.AddConstraint(vars[rng.Intn(len(vars))], vars[rng.Intn(len(vars))])
+		}
+		s.ComputeLeastSolutions()
+		for i, v := range vars {
+			if got := lsNames(snap.LeastSolution(v)); fmt.Sprint(got) != fmt.Sprint(frozen[i]) {
+				t.Fatalf("%v: snapshot LS(v%d) drifted:\nbefore %v\nafter  %v", form, i, frozen[i], got)
+			}
+		}
+	}
+}
+
+// TestSnapshotConcurrentQueries is the headline concurrency test: one
+// goroutine ingests constraint batches while five reader goroutines race
+// it, each taking snapshots and checking two invariants — snapshot
+// versions never go backwards, and least solutions only grow (the system
+// is monotone). Run under -race this also proves the capture/read paths
+// are race-clean.
+func TestSnapshotConcurrentQueries(t *testing.T) {
+	for _, form := range []solver.Form{solver.SF, solver.IF} {
+		t.Run(form.String(), func(t *testing.T) {
+			s := solver.New(solver.Options{Form: form, Cycles: solver.CycleOnline, Seed: 17})
+			const nVars = 120
+			vars := make([]*solver.Var, nVars)
+			for i := range vars {
+				vars[i] = s.Fresh(fmt.Sprintf("v%d", i))
+			}
+			a := atoms(16)
+
+			done := make(chan struct{})
+			errc := make(chan error, 8)
+			var wg sync.WaitGroup
+
+			wg.Add(1)
+			go func() { // ingestion
+				defer wg.Done()
+				defer close(done)
+				rng := rand.New(rand.NewSource(23))
+				for i := 0; i < 300; i++ {
+					batch := make([]solver.Constraint, 0, 8)
+					for j := 0; j < 8; j++ {
+						if rng.Intn(3) == 0 {
+							batch = append(batch, solver.Constraint{
+								L: a[rng.Intn(len(a))], R: vars[rng.Intn(nVars)]})
+						} else {
+							batch = append(batch, solver.Constraint{
+								L: vars[rng.Intn(nVars)], R: vars[rng.Intn(nVars)]})
+						}
+					}
+					s.AddBatch(batch)
+				}
+			}()
+
+			const readers = 5
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					var lastVersion uint64
+					sizes := make([]int, nVars)
+					snaps := 0
+					for alive := true; alive; {
+						select {
+						case <-done:
+							alive = false // one final snapshot after ingestion
+						default:
+						}
+						snap := s.Snapshot()
+						if snap.Version() < lastVersion {
+							errc <- fmt.Errorf("reader %d: version went backwards: %d -> %d",
+								r, lastVersion, snap.Version())
+							return
+						}
+						lastVersion = snap.Version()
+						for i, v := range vars {
+							n := len(snap.LeastSolution(v))
+							if n < sizes[i] {
+								errc <- fmt.Errorf("reader %d: LS(v%d) shrank %d -> %d",
+									r, i, sizes[i], n)
+								return
+							}
+							sizes[i] = n
+						}
+						snaps++
+					}
+					if snaps == 0 {
+						errc <- fmt.Errorf("reader %d took no snapshots", r)
+					}
+				}(r)
+			}
+
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Error(err)
+			}
+
+			// All readers' final snapshots and the live solver agree.
+			final := s.Snapshot()
+			for _, v := range vars {
+				want := fmt.Sprint(lsNames(s.LeastSolution(v)))
+				if got := fmt.Sprint(lsNames(final.LeastSolution(v))); got != want {
+					t.Fatalf("final snapshot diverges from live LS: %s vs %s", got, want)
+				}
+			}
+		})
+	}
+}
