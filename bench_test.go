@@ -1,4 +1,4 @@
-package polce
+package polce_test
 
 // One testing.B benchmark per table and figure of the paper's evaluation,
 // plus the two theorems of the analytical model. Each benchmark runs the
@@ -11,6 +11,7 @@ package polce
 import (
 	"testing"
 
+	"polce"
 	"polce/internal/andersen"
 	"polce/internal/bench"
 	"polce/internal/cfa"
@@ -19,7 +20,6 @@ import (
 	"polce/internal/model"
 	"polce/internal/progen"
 	"polce/internal/randgraph"
-	"polce/internal/solver"
 )
 
 // benchFile caches one generated program per size across benchmarks.
@@ -41,18 +41,18 @@ func loadBenchFile(b *testing.B, ast int) *cgen.File {
 
 // solve runs one configuration, including the least-solution pass for IF
 // (the paper's timing convention).
-func solve(f *cgen.File, form solver.Form, pol solver.CyclePolicy, oracle *solver.Oracle) *andersen.Result {
+func solve(f *cgen.File, form polce.Form, pol polce.CyclePolicy, oracle *polce.Oracle) *andersen.Result {
 	r := andersen.Analyze(f, andersen.Options{Form: form, Cycles: pol, Seed: 1, Oracle: oracle})
-	if form == solver.IF {
+	if form == polce.IF {
 		r.Sys.ComputeLeastSolutions()
 	}
 	return r
 }
 
-func buildOracle(b *testing.B, f *cgen.File) *solver.Oracle {
+func buildOracle(b *testing.B, f *cgen.File) *polce.Oracle {
 	b.Helper()
-	ref := andersen.Analyze(f, andersen.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 1})
-	return solver.BuildOracle(ref.Sys)
+	ref := andersen.Analyze(f, andersen.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 1})
+	return polce.BuildOracle(ref.Sys)
 }
 
 const midAST = 4000 // representative medium benchmark (≈ the paper's "ratfor")
@@ -63,7 +63,7 @@ func BenchmarkTable1_InitialGraph(b *testing.B) {
 	f := loadBenchFile(b, midAST)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		init := andersen.AnalyzeInitial(f, andersen.Options{Form: solver.SF, Seed: 1})
+		init := andersen.AnalyzeInitial(f, andersen.Options{Form: polce.SF, Seed: 1})
 		inSCC, _ := init.Sys.CycleClassStats()
 		if inSCC < 0 {
 			b.Fatal("impossible")
@@ -78,7 +78,7 @@ func BenchmarkTable2_SFPlain(b *testing.B) {
 	var work int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		work = solve(f, solver.SF, solver.CycleNone, nil).Sys.Stats().Work
+		work = solve(f, polce.SF, polce.CycleNone, nil).Sys.Stats().Work
 	}
 	b.ReportMetric(float64(work), "edge-adds")
 }
@@ -88,7 +88,7 @@ func BenchmarkTable2_IFPlain(b *testing.B) {
 	var work int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		work = solve(f, solver.IF, solver.CycleNone, nil).Sys.Stats().Work
+		work = solve(f, polce.IF, polce.CycleNone, nil).Sys.Stats().Work
 	}
 	b.ReportMetric(float64(work), "edge-adds")
 }
@@ -99,7 +99,7 @@ func BenchmarkTable2_SFOracle(b *testing.B) {
 	var work int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		work = solve(f, solver.SF, solver.CycleOracle, oracle).Sys.Stats().Work
+		work = solve(f, polce.SF, polce.CycleOracle, oracle).Sys.Stats().Work
 	}
 	b.ReportMetric(float64(work), "edge-adds")
 }
@@ -110,7 +110,7 @@ func BenchmarkTable2_IFOracle(b *testing.B) {
 	var work int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		work = solve(f, solver.IF, solver.CycleOracle, oracle).Sys.Stats().Work
+		work = solve(f, polce.IF, polce.CycleOracle, oracle).Sys.Stats().Work
 	}
 	b.ReportMetric(float64(work), "edge-adds")
 }
@@ -119,10 +119,10 @@ func BenchmarkTable2_IFOracle(b *testing.B) {
 
 func BenchmarkTable3_SFOnline(b *testing.B) {
 	f := loadBenchFile(b, midAST)
-	var st solver.Stats
+	var st polce.Stats
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		st = solve(f, solver.SF, solver.CycleOnline, nil).Sys.Stats()
+		st = solve(f, polce.SF, polce.CycleOnline, nil).Sys.Stats()
 	}
 	b.ReportMetric(float64(st.Work), "edge-adds")
 	b.ReportMetric(float64(st.VarsEliminated), "eliminated")
@@ -130,10 +130,10 @@ func BenchmarkTable3_SFOnline(b *testing.B) {
 
 func BenchmarkTable3_IFOnline(b *testing.B) {
 	f := loadBenchFile(b, midAST)
-	var st solver.Stats
+	var st polce.Stats
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		st = solve(f, solver.IF, solver.CycleOnline, nil).Sys.Stats()
+		st = solve(f, polce.IF, polce.CycleOnline, nil).Sys.Stats()
 	}
 	b.ReportMetric(float64(st.Work), "edge-adds")
 	b.ReportMetric(float64(st.VarsEliminated), "eliminated")
@@ -145,8 +145,8 @@ func BenchmarkFigure7_PlainScaling(b *testing.B) {
 	f := loadBenchFile(b, midAST)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = solve(f, solver.SF, solver.CycleNone, nil)
-		_ = solve(f, solver.IF, solver.CycleNone, nil)
+		_ = solve(f, polce.SF, polce.CycleNone, nil)
+		_ = solve(f, polce.IF, polce.CycleNone, nil)
 	}
 }
 
@@ -157,10 +157,10 @@ func BenchmarkFigure8_EliminationConfigs(b *testing.B) {
 	oracle := buildOracle(b, f)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = solve(f, solver.SF, solver.CycleOracle, oracle)
-		_ = solve(f, solver.IF, solver.CycleOracle, oracle)
-		_ = solve(f, solver.SF, solver.CycleOnline, nil)
-		_ = solve(f, solver.IF, solver.CycleOnline, nil)
+		_ = solve(f, polce.SF, polce.CycleOracle, oracle)
+		_ = solve(f, polce.IF, polce.CycleOracle, oracle)
+		_ = solve(f, polce.SF, polce.CycleOnline, nil)
+		_ = solve(f, polce.IF, polce.CycleOnline, nil)
 	}
 }
 
@@ -171,8 +171,8 @@ func BenchmarkFigure9_Speedup(b *testing.B) {
 	var ratio float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		plain := solve(f, solver.SF, solver.CycleNone, nil).Sys.Stats().Work
-		online := solve(f, solver.IF, solver.CycleOnline, nil).Sys.Stats().Work
+		plain := solve(f, polce.SF, polce.CycleNone, nil).Sys.Stats().Work
+		online := solve(f, polce.IF, polce.CycleOnline, nil).Sys.Stats().Work
 		ratio = float64(plain) / float64(online)
 	}
 	b.ReportMetric(ratio, "work-ratio")
@@ -184,8 +184,8 @@ func BenchmarkFigure10_SFvsIFOnline(b *testing.B) {
 	var ratio float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sf := solve(f, solver.SF, solver.CycleOnline, nil).Sys.Stats().Work
-		inf := solve(f, solver.IF, solver.CycleOnline, nil).Sys.Stats().Work
+		sf := solve(f, polce.SF, polce.CycleOnline, nil).Sys.Stats().Work
+		inf := solve(f, polce.IF, polce.CycleOnline, nil).Sys.Stats().Work
 		ratio = float64(sf) / float64(inf)
 	}
 	b.ReportMetric(ratio, "work-ratio")
@@ -198,8 +198,8 @@ func BenchmarkFigure11_DetectionRate(b *testing.B) {
 	var rateIF, rateSF float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ifr := solve(f, solver.IF, solver.CycleOnline, nil)
-		sfr := solve(f, solver.SF, solver.CycleOnline, nil)
+		ifr := solve(f, polce.IF, polce.CycleOnline, nil)
+		sfr := solve(f, polce.SF, polce.CycleOnline, nil)
 		cyc, _ := ifr.Sys.CycleClassStats()
 		if cyc > 0 {
 			rateIF = 100 * float64(ifr.Sys.Stats().VarsEliminated) / float64(cyc)
@@ -252,8 +252,8 @@ func BenchmarkFutureWork_ClosureAnalysis(b *testing.B) {
 	var ratio float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		plain := cfa.Analyze(prog, cfa.Options{Form: solver.IF, Cycles: solver.CycleNone, Seed: 1})
-		online := cfa.Analyze(prog, cfa.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 1})
+		plain := cfa.Analyze(prog, cfa.Options{Form: polce.IF, Cycles: polce.CycleNone, Seed: 1})
+		online := cfa.Analyze(prog, cfa.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 1})
 		ratio = float64(plain.Sys.Stats().Work) / float64(online.Sys.Stats().Work)
 	}
 	b.ReportMetric(ratio, "work-ratio")

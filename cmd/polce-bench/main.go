@@ -11,6 +11,8 @@
 //	polce-bench -bench li           # a single benchmark
 //	polce-bench -ablation -figure 11  # include the SF increasing-chain ablation
 //	polce-bench -metrics -bench li    # phase timings + search-depth p50/p90/max
+//	polce-bench -serve-load           # load-test the HTTP service (self-hosted)
+//	polce-bench -serve-load -serve-addr localhost:8080  # against a live polce-serve
 //
 // The benchmark programs are synthetic stand-ins generated at the paper's
 // Table 1 scales; see DESIGN.md for the substitution argument.
@@ -23,10 +25,10 @@ import (
 	"runtime"
 	"time"
 
+	"polce"
 	"polce/internal/bench"
 	"polce/internal/model"
 	"polce/internal/randgraph"
-	"polce/internal/solver"
 )
 
 func main() {
@@ -53,8 +55,31 @@ func main() {
 		baseOut   = flag.String("baseline-out", "", "write the -parallel grid measurements as a JSON baseline to this file")
 		lsWorkers = flag.Int("ls-workers", 0, "least-solution pass worker count (0 = GOMAXPROCS, 1 = sequential)")
 		lsVerify  = flag.Bool("ls-verify", false, "verify the parallel least-solution pass is bit-identical to the sequential one on every benchmark")
+
+		serveLoad     = flag.Bool("serve-load", false, "load-test the HTTP service: N readers race an ingestion writer, report p50/p99 latency and QPS")
+		serveAddr     = flag.String("serve-addr", "", "target an already-running polce-serve (host:port); empty self-hosts one in-process")
+		serveReaders  = flag.Int("serve-readers", 8, "concurrent query goroutines for -serve-load")
+		serveDuration = flag.Duration("serve-duration", 3*time.Second, "read-phase duration for -serve-load")
+		serveBatch    = flag.Int("serve-batch", 32, "constraints per ingestion POST for -serve-load")
+		serveMinQ     = flag.Int("serve-min-queries", 10000, "keep querying past -serve-duration until this many queries completed (negative disables)")
 	)
 	flag.Parse()
+
+	if *serveLoad {
+		err := bench.RunServeLoad(os.Stdout, bench.ServeLoadOptions{
+			Addr:       *serveAddr,
+			Readers:    *serveReaders,
+			Duration:   *serveDuration,
+			Batch:      *serveBatch,
+			MinQueries: *serveMinQ,
+			Seed:       *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *lsVerify {
 		limit := *maxAST
@@ -301,7 +326,7 @@ func runParallelGrid(suite []bench.Benchmark, expNames []string, seed int64, wor
 			exps = append(exps, e)
 		}
 	}
-	cells := bench.Grid(suite, exps, []solver.OrderStrategy{solver.OrderRandom}, []int64{seed})
+	cells := bench.Grid(suite, exps, []polce.OrderStrategy{polce.OrderRandom}, []int64{seed})
 	for i := range cells {
 		cells[i].Seed = bench.CellSeed(seed, cells[i])
 	}

@@ -1,0 +1,140 @@
+// Command polce-serve runs the inclusion-constraint solver as an
+// always-on HTTP service: constraints stream in as SCL batches, queries
+// are answered from lock-free snapshots, and the whole process drains
+// gracefully on SIGTERM.
+//
+// Usage:
+//
+//	polce-serve -addr :8080
+//	polce-serve -addr :8080 -form sf -cycles online -queue 256
+//
+// The API v1 (see internal/serve):
+//
+//	curl -X POST localhost:8080/v1/constraints -d 'cons a; a <= X; X <= Y'
+//	curl localhost:8080/v1/least-solution/Y
+//	curl localhost:8080/v1/points-to/Y
+//	curl localhost:8080/v1/snapshot
+//	curl localhost:8080/v1/healthz
+//
+// Telemetry is always on: /metrics (Prometheus text), /metrics.json,
+// /debug/vars and /debug/pprof are served on the same address, with
+// per-route latency histograms and status counters alongside the solver's
+// own counters.
+//
+// On SIGTERM or SIGINT the server stops accepting connections, lets
+// in-flight requests finish, applies every queued constraint batch, closes
+// the solver and exits 0; -drain-timeout bounds the wait.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"polce"
+	"polce/internal/serve"
+	"polce/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		form      = flag.String("form", "if", "graph representation: sf or if")
+		cycles    = flag.String("cycles", "online", "cycle policy: none, online, online-incr, periodic")
+		seed      = flag.Int64("seed", 1, "variable-order seed")
+		lsWorkers = flag.Int("ls-workers", 0, "least-solution pass worker count (0 = GOMAXPROCS)")
+
+		queueDepth   = flag.Int("queue", 64, "ingestion queue depth (batches)")
+		reqTimeout   = flag.Duration("request-timeout", 10*time.Second, "per-request deadline")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 503 responses")
+		maxBody      = flag.Int64("max-body", 1<<20, "maximum POST body size in bytes")
+		snapStale    = flag.Duration("snapshot-stale", 0, "serve reads from a snapshot up to this stale under write churn (0 = always current)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	opt := polce.Options{Seed: *seed, LSWorkers: *lsWorkers}
+	switch strings.ToLower(*form) {
+	case "sf":
+		opt.Form = polce.SF
+	case "if":
+		opt.Form = polce.IF
+	default:
+		fatal("unknown form %q", *form)
+	}
+	switch strings.ToLower(*cycles) {
+	case "none", "plain":
+		opt.Cycles = polce.CycleNone
+	case "online":
+		opt.Cycles = polce.CycleOnline
+	case "online-incr", "incr":
+		opt.Cycles = polce.CycleOnlineIncreasing
+	case "periodic":
+		opt.Cycles = polce.CyclePeriodic
+	default:
+		fatal("unknown cycle policy %q", *cycles)
+	}
+
+	reg := telemetry.NewRegistry()
+	sm := telemetry.NewSolverMetrics(reg)
+	opt.Metrics = sm
+	telemetry.PublishExpvar("polce-serve", reg)
+
+	srv := serve.New(serve.Config{
+		Solver:           polce.New(opt),
+		Registry:         reg,
+		QueueDepth:       *queueDepth,
+		RequestTimeout:   *reqTimeout,
+		RetryAfter:       *retryAfter,
+		MaxBodyBytes:     *maxBody,
+		SnapshotMaxStale: *snapStale,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "polce-serve: %s/%s solver serving API v1 and /metrics on %s (queue %d)\n",
+		opt.Form, opt.Cycles, ln.Addr(), *queueDepth)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatal("%v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Fprintf(os.Stderr, "polce-serve: draining (in-flight requests, %d queued batch(es))\n", srv.QueueLen())
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting and finish in-flight requests first, then flush the
+	// ingestion queue and close the solver.
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fatal("http drain: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fatal("queue drain: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "polce-serve: drained; %d constraint(s) ingested total\n", srv.Ingested())
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "polce-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -28,8 +28,8 @@ import (
 	"strings"
 	"syscall"
 
+	"polce"
 	"polce/internal/scl"
-	"polce/internal/solver"
 	"polce/internal/telemetry"
 )
 
@@ -98,7 +98,7 @@ func main() {
 		fatal("%v", err)
 	}
 
-	opt := solver.Options{Seed: *seed, PeriodicInterval: *interval, LSWorkers: *lsWorkers}
+	opt := polce.Options{Seed: *seed, PeriodicInterval: *interval, LSWorkers: *lsWorkers}
 	if sm != nil {
 		opt.Metrics = sm
 	}
@@ -107,21 +107,21 @@ func main() {
 	}
 	switch strings.ToLower(*form) {
 	case "sf":
-		opt.Form = solver.SF
+		opt.Form = polce.SF
 	case "if":
-		opt.Form = solver.IF
+		opt.Form = polce.IF
 	default:
 		fatal("unknown form %q", *form)
 	}
 	switch strings.ToLower(*cycles) {
 	case "none", "plain":
-		opt.Cycles = solver.CycleNone
+		opt.Cycles = polce.CycleNone
 	case "online":
-		opt.Cycles = solver.CycleOnline
+		opt.Cycles = polce.CycleOnline
 	case "online-incr", "incr":
-		opt.Cycles = solver.CycleOnlineIncreasing
+		opt.Cycles = polce.CycleOnlineIncreasing
 	case "periodic":
-		opt.Cycles = solver.CyclePeriodic
+		opt.Cycles = polce.CyclePeriodic
 	default:
 		fatal("unknown cycle policy %q", *cycles)
 	}

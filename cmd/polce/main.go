@@ -37,10 +37,10 @@ import (
 	"syscall"
 	"time"
 
+	"polce"
 	"polce/internal/andersen"
 	"polce/internal/cgen"
 	"polce/internal/progen"
-	"polce/internal/solver"
 	"polce/internal/steens"
 	"polce/internal/telemetry"
 )
@@ -135,14 +135,14 @@ func main() {
 	if sm != nil {
 		opts.Metrics = sm
 	}
-	var observers []func(solver.Event)
+	var observers []func(polce.Event)
 	if *trace {
-		observers = append(observers, func(ev solver.Event) {
+		observers = append(observers, func(ev polce.Event) {
 			switch ev.Kind {
-			case solver.EventCycle:
+			case polce.EventCycle:
 				fmt.Fprintf(os.Stderr, "cycle: %d variable(s) collapsed into %s at work=%d\n",
 					len(ev.Vars), ev.Witness.Name(), ev.Work)
-			case solver.EventSweep:
+			case polce.EventSweep:
 				fmt.Fprintf(os.Stderr, "sweep: %d variable(s) collapsed at work=%d\n",
 					ev.Collapsed, ev.Work)
 			}
@@ -156,7 +156,7 @@ func main() {
 	case 1:
 		opts.Observer = observers[0]
 	default:
-		opts.Observer = func(ev solver.Event) {
+		opts.Observer = func(ev polce.Event) {
 			for _, o := range observers {
 				o(ev)
 			}
@@ -164,21 +164,21 @@ func main() {
 	}
 	switch strings.ToLower(*form) {
 	case "sf":
-		opts.Form = solver.SF
+		opts.Form = polce.SF
 	case "if":
-		opts.Form = solver.IF
+		opts.Form = polce.IF
 	default:
 		fatal("unknown form %q (sf, if)", *form)
 	}
 	switch strings.ToLower(*cycles) {
 	case "none", "plain":
-		opts.Cycles = solver.CycleNone
+		opts.Cycles = polce.CycleNone
 	case "online":
-		opts.Cycles = solver.CycleOnline
+		opts.Cycles = polce.CycleOnline
 	case "online-incr", "incr":
-		opts.Cycles = solver.CycleOnlineIncreasing
+		opts.Cycles = polce.CycleOnlineIncreasing
 	case "periodic":
-		opts.Cycles = solver.CyclePeriodic
+		opts.Cycles = polce.CyclePeriodic
 	default:
 		fatal("unknown cycle policy %q (none, online, online-incr, periodic)", *cycles)
 	}

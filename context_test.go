@@ -1,0 +1,190 @@
+package polce_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"polce"
+)
+
+// countingCtx reports cancellation after a fixed number of Err calls, so a
+// test can abort an ingestion at an exact constraint boundary.
+type countingCtx struct {
+	context.Context
+	calls, limit int
+}
+
+func (c *countingCtx) Err() error {
+	c.calls++
+	if c.calls > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// chainScript returns a deterministic ingestion script: a long var chain
+// seeded with atoms, with enough back edges to exercise collapses.
+func chainScript(s *polce.Solver, nVars int) ([]*polce.Var, []polce.Constraint) {
+	vars := make([]*polce.Var, nVars)
+	for i := range vars {
+		vars[i] = s.Fresh(fmt.Sprintf("v%d", i))
+	}
+	a := atoms(4)
+	var cs []polce.Constraint
+	for i := 0; i < nVars-1; i++ {
+		if i%7 == 0 {
+			cs = append(cs, polce.Constraint{L: a[i%len(a)], R: vars[i]})
+		}
+		cs = append(cs, polce.Constraint{L: vars[i], R: vars[i+1]})
+		if i%13 == 12 {
+			cs = append(cs, polce.Constraint{L: vars[i+1], R: vars[i-5]}) // back edge: a cycle
+		}
+	}
+	return vars, cs
+}
+
+// TestAddBatchContextCancelKeepsStateConsistent is the satellite's
+// regression test: a cancelled context aborts a large ingestion at a
+// constraint boundary, and finishing the remainder later yields exactly
+// the state of an uninterrupted run — no corruption, no lost or duplicated
+// work.
+func TestAddBatchContextCancelKeepsStateConsistent(t *testing.T) {
+	for _, form := range []polce.Form{polce.SF, polce.IF} {
+		opt := polce.Options{Form: form, Cycles: polce.CycleOnline, Seed: 41}
+
+		interrupted := polce.New(opt)
+		iVars, iCS := chainScript(interrupted, 400)
+		const stopAfter = 97
+		ctx := &countingCtx{Context: context.Background(), limit: stopAfter}
+		applied, err := interrupted.AddBatchContext(ctx, iCS)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled", form, err)
+		}
+		if applied != stopAfter {
+			t.Fatalf("%v: applied %d constraints, want %d", form, applied, stopAfter)
+		}
+		// The abort point is a consistent solver: finish the rest.
+		if n, err := interrupted.AddBatchContext(context.Background(), iCS[applied:]); err != nil || n != len(iCS)-applied {
+			t.Fatalf("%v: resume applied %d, err %v", form, n, err)
+		}
+
+		straight := polce.New(opt)
+		sVars, sCS := chainScript(straight, 400)
+		straight.AddBatch(sCS)
+
+		if interrupted.Stats() != straight.Stats() {
+			t.Fatalf("%v: stats diverge after resume:\n%+v\n%+v", form, interrupted.Stats(), straight.Stats())
+		}
+		for i := range iVars {
+			a := fmt.Sprint(lsNames(interrupted.LeastSolution(iVars[i])))
+			b := fmt.Sprint(lsNames(straight.LeastSolution(sVars[i])))
+			if a != b {
+				t.Fatalf("%v: LS(v%d) diverges after resume: %s vs %s", form, i, a, b)
+			}
+		}
+	}
+}
+
+// TestAddBatchContextPromptAbort checks that a concurrent cancel stops a
+// large batch long before it would finish on its own.
+func TestAddBatchContextPromptAbort(t *testing.T) {
+	s := polce.New(polce.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 7})
+	_, cs := chainScript(s, 20000)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	applied, err := s.AddBatchContext(ctx, cs)
+	if err == nil {
+		t.Skip("batch completed before the cancel landed; nothing to assert")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if applied >= len(cs) {
+		t.Fatalf("applied the whole batch (%d) despite cancellation", applied)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("abort took %v, not prompt", elapsed)
+	}
+	// The partially ingested system still answers queries.
+	s.ComputeLeastSolutions()
+}
+
+// TestAddConstraintContext covers the single-constraint variant: a done
+// context refuses before mutating, a live one applies.
+func TestAddConstraintContext(t *testing.T) {
+	s := polce.New(polce.Options{Form: polce.IF, Seed: 1})
+	a := atoms(1)
+	x := s.Fresh("X")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.AddConstraintContext(ctx, a[0], x); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled AddConstraintContext err = %v", err)
+	}
+	if s.TotalEdges() != 0 {
+		t.Fatal("cancelled AddConstraintContext mutated the graph")
+	}
+	if err := s.AddConstraintContext(context.Background(), a[0], x); err != nil {
+		t.Fatalf("live AddConstraintContext err = %v", err)
+	}
+	if got := s.LeastSolution(x); len(got) != 1 {
+		t.Fatalf("LS(X) = %v", got)
+	}
+}
+
+// TestSnapshotContext covers the capture-side context variant.
+func TestSnapshotContext(t *testing.T) {
+	s := polce.New(polce.Options{Form: polce.IF, Seed: 1})
+	a := atoms(1)
+	x := s.Fresh("X")
+	s.AddConstraint(a[0], x)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SnapshotContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled SnapshotContext err = %v", err)
+	}
+	snap, err := s.SnapshotContext(context.Background())
+	if err != nil {
+		t.Fatalf("SnapshotContext err = %v", err)
+	}
+	if got, err := snap.LeastSolutionContext(context.Background(), x); err != nil || len(got) != 1 {
+		t.Fatalf("LeastSolutionContext = %v, %v", got, err)
+	}
+	if _, err := snap.LeastSolutionContext(ctx, x); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled LeastSolutionContext err = %v", err)
+	}
+}
+
+// TestSolverClose pins the closed-solver contract: context-aware ingestion
+// fails with ErrSolverClosed, reads keep working.
+func TestSolverClose(t *testing.T) {
+	s := polce.New(polce.Options{Form: polce.IF, Seed: 1})
+	a := atoms(1)
+	x := s.Fresh("X")
+	s.AddConstraint(a[0], x)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close err = %v", err)
+	}
+	if !s.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close err = %v", err)
+	}
+	if err := s.AddConstraintContext(context.Background(), a[0], x); !errors.Is(err, polce.ErrSolverClosed) {
+		t.Fatalf("AddConstraintContext after Close err = %v", err)
+	}
+	if n, err := s.AddBatchContext(context.Background(), []polce.Constraint{{L: a[0], R: x}}); n != 0 || !errors.Is(err, polce.ErrSolverClosed) {
+		t.Fatalf("AddBatchContext after Close = %d, %v", n, err)
+	}
+	if got := s.Snapshot().LeastSolution(x); len(got) != 1 {
+		t.Fatalf("snapshot after Close LS = %v", got)
+	}
+}

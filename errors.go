@@ -1,0 +1,33 @@
+package polce
+
+import (
+	"errors"
+
+	"polce/internal/core"
+)
+
+// The package's error vocabulary is three sentinels plus one detail type,
+// all matching through errors.Is / errors.As so callers — the HTTP layer
+// in internal/serve foremost — can branch on kind without parsing
+// messages.
+
+var (
+	// ErrInconsistent is matched (via errors.Is) by every inconsistency
+	// the solver records: a constraint between distinct constructors, or a
+	// set operation in an inexpressible position. The concrete errors are
+	// *InconsistentError values carrying the offending constraint.
+	ErrInconsistent = core.ErrInconsistent
+
+	// ErrQueueFull reports that a bounded ingestion queue rejected a
+	// batch; the caller should retry after backing off.
+	ErrQueueFull = errors.New("polce: ingestion queue full")
+
+	// ErrSolverClosed reports that the solver has been closed and accepts
+	// no further constraints; queries against existing snapshots keep
+	// working.
+	ErrSolverClosed = errors.New("polce: solver closed")
+)
+
+// InconsistentError records one inconsistent constraint; see
+// core.InconsistentError. It satisfies errors.Is(err, ErrInconsistent).
+type InconsistentError = core.InconsistentError

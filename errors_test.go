@@ -1,0 +1,50 @@
+package polce_test
+
+import (
+	"errors"
+	"testing"
+
+	"polce"
+)
+
+// TestInconsistentErrorsAreTyped checks the typed-error contract: every
+// recorded inconsistency matches ErrInconsistent via errors.Is and unwraps
+// to *InconsistentError via errors.As, with the offending constraint
+// attached.
+func TestInconsistentErrorsAreTyped(t *testing.T) {
+	s := polce.New(polce.Options{Form: polce.IF, Seed: 1})
+	a := polce.NewTerm(polce.NewConstructor("a"))
+	b := polce.NewTerm(polce.NewConstructor("b"))
+	x := s.Fresh("X")
+	s.AddConstraint(a, x) // fine
+	s.AddConstraint(a, b) // distinct constructors: inconsistent
+	u := polce.NewUnion(a, b)
+	s.AddConstraint(x, u) // union on the right: inexpressible
+
+	if s.ErrorCount() != 2 {
+		t.Fatalf("ErrorCount = %d, want 2", s.ErrorCount())
+	}
+	errs := s.Errors()
+	if len(errs) != 2 {
+		t.Fatalf("Errors() = %v", errs)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, polce.ErrInconsistent) {
+			t.Errorf("error %d (%v) does not match ErrInconsistent", i, err)
+		}
+		var ie *polce.InconsistentError
+		if !errors.As(err, &ie) {
+			t.Errorf("error %d (%v) is not an *InconsistentError", i, err)
+		}
+	}
+	var ie *polce.InconsistentError
+	if errors.As(errs[0], &ie); ie.L != a || ie.R != b {
+		t.Errorf("structural mismatch endpoints = %v ⊆ %v, want a ⊆ b", ie.L, ie.R)
+	}
+
+	// The sentinels are distinct kinds.
+	if errors.Is(polce.ErrQueueFull, polce.ErrInconsistent) ||
+		errors.Is(polce.ErrSolverClosed, polce.ErrQueueFull) {
+		t.Fatal("sentinel errors are not distinct")
+	}
+}

@@ -12,9 +12,9 @@ import (
 	"sort"
 	"strings"
 
+	"polce"
 	"polce/internal/andersen"
 	"polce/internal/cgen"
-	"polce/internal/solver"
 )
 
 const src = `
@@ -48,7 +48,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	res := andersen.Analyze(file, andersen.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 3})
+	res := andersen.Analyze(file, andersen.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 3})
 
 	loc := func(name string) *andersen.Location {
 		l := res.LocationByName(name)

@@ -14,9 +14,9 @@ import (
 	"sort"
 	"time"
 
+	"polce"
 	"polce/internal/cfa"
 	"polce/internal/mlang"
-	"polce/internal/solver"
 )
 
 const src = `
@@ -31,7 +31,7 @@ func main() {
 	fmt.Println("program:")
 	fmt.Println(" ", prog)
 
-	r := cfa.Analyze(prog, cfa.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 1})
+	r := cfa.Analyze(prog, cfa.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 1})
 
 	fmt.Println("\nresolved call graph (application site → lambdas that may be applied):")
 	var labels []int
@@ -64,13 +64,13 @@ func main() {
 	big := mlang.MustParse(cfa.GenProgram(42, 8000))
 	for _, cfg := range []struct {
 		name string
-		pol  solver.CyclePolicy
+		pol  polce.CyclePolicy
 	}{
-		{"IF-Plain ", solver.CycleNone},
-		{"IF-Online", solver.CycleOnline},
+		{"IF-Plain ", polce.CycleNone},
+		{"IF-Online", polce.CycleOnline},
 	} {
 		start := time.Now()
-		res := cfa.Analyze(big, cfa.Options{Form: solver.IF, Cycles: cfg.pol, Seed: 1})
+		res := cfa.Analyze(big, cfa.Options{Form: polce.IF, Cycles: cfg.pol, Seed: 1})
 		res.Sys.ComputeLeastSolutions()
 		s := res.Sys.Stats()
 		fmt.Printf("  %s  work=%-10d eliminated=%-5d time=%v\n",

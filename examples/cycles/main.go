@@ -12,10 +12,10 @@ import (
 	"fmt"
 	"time"
 
+	"polce"
 	"polce/internal/andersen"
 	"polce/internal/cgen"
 	"polce/internal/progen"
-	"polce/internal/solver"
 )
 
 func main() {
@@ -29,22 +29,22 @@ func main() {
 
 	type cfg struct {
 		name   string
-		form   solver.Form
-		cycles solver.CyclePolicy
+		form   polce.Form
+		cycles polce.CyclePolicy
 	}
 	configs := []cfg{
-		{"SF-Plain", solver.SF, solver.CycleNone},
-		{"IF-Plain", solver.IF, solver.CycleNone},
-		{"SF-Online", solver.SF, solver.CycleOnline},
-		{"IF-Online", solver.IF, solver.CycleOnline},
-		{"SF-Oracle", solver.SF, solver.CycleOracle},
-		{"IF-Oracle", solver.IF, solver.CycleOracle},
+		{"SF-Plain", polce.SF, polce.CycleNone},
+		{"IF-Plain", polce.IF, polce.CycleNone},
+		{"SF-Online", polce.SF, polce.CycleOnline},
+		{"IF-Online", polce.IF, polce.CycleOnline},
+		{"SF-Oracle", polce.SF, polce.CycleOracle},
+		{"IF-Oracle", polce.IF, polce.CycleOracle},
 	}
 
 	// The oracle needs a completed run to predict eventual cycle
 	// membership; the paper builds it the same way.
-	ref := andersen.Analyze(file, andersen.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 1})
-	oracle := solver.BuildOracle(ref.Sys)
+	ref := andersen.Analyze(file, andersen.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 1})
+	oracle := polce.BuildOracle(ref.Sys)
 	cycVars, maxSCC := ref.Sys.CycleClassStats()
 	fmt.Printf("cyclic variables in the closed graph: %d (largest class %d)\n\n", cycVars, maxSCC)
 
@@ -54,7 +54,7 @@ func main() {
 		r := andersen.Analyze(file, andersen.Options{
 			Form: c.form, Cycles: c.cycles, Seed: 1, Oracle: oracle,
 		})
-		if c.form == solver.IF {
+		if c.form == polce.IF {
 			r.Sys.ComputeLeastSolutions() // included in IF timings, as in the paper
 		}
 		elapsed := time.Since(start)

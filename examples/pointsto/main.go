@@ -15,9 +15,9 @@ import (
 	"sort"
 	"strings"
 
+	"polce"
 	"polce/internal/andersen"
 	"polce/internal/cgen"
-	"polce/internal/solver"
 	"polce/internal/steens"
 )
 
@@ -57,7 +57,7 @@ func main() {
 
 	fmt.Println("=== Andersen (inclusion constraints, IF + online cycle elimination) ===")
 	res := andersen.Analyze(file, andersen.Options{
-		Form: solver.IF, Cycles: solver.CycleOnline, Seed: 7,
+		Form: polce.IF, Cycles: polce.CycleOnline, Seed: 7,
 	})
 	var names []string
 	rows := map[string][]string{}

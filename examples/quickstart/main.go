@@ -11,18 +11,18 @@ package main
 import (
 	"fmt"
 
-	"polce/internal/solver"
+	"polce"
 )
 
 func main() {
 	// A system in inductive form with online cycle elimination — the
 	// paper's recommended configuration.
-	sys := solver.New(solver.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 42})
+	sys := polce.New(polce.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 42})
 
 	// Nullary constructors act as atoms; the least solution of a variable
 	// is the set of constructed terms that reach it.
-	apple := solver.NewTerm(solver.NewConstructor("apple"))
-	pear := solver.NewTerm(solver.NewConstructor("pear"))
+	apple := polce.NewTerm(polce.NewConstructor("apple"))
+	pear := polce.NewTerm(polce.NewConstructor("pear"))
 
 	x := sys.Fresh("X")
 	y := sys.Fresh("Y")
@@ -34,7 +34,7 @@ func main() {
 	sys.AddConstraint(y, z)
 	sys.AddConstraint(pear, y)
 
-	show := func(name string, v *solver.Var) {
+	show := func(name string, v *polce.Var) {
 		fmt.Printf("  LS(%s) = %v\n", name, sys.LeastSolution(v))
 	}
 	fmt.Println("after apple ⊆ X ⊆ Y ⊆ Z and pear ⊆ Y:")
@@ -54,11 +54,11 @@ func main() {
 	// Constructed terms decompose by variance: box is covariant, sink is
 	// contravariant, so box(A) ⊆ box(B) yields A ⊆ B while
 	// sink(A̅) ⊆ sink(B̅) yields B ⊆ A.
-	box := solver.NewConstructor("box", solver.Covariant)
+	box := polce.NewConstructor("box", polce.Covariant)
 	a := sys.Fresh("A")
 	b := sys.Fresh("B")
 	sys.AddConstraint(apple, a)
-	sys.AddConstraint(solver.NewTerm(box, a), solver.NewTerm(box, b))
+	sys.AddConstraint(polce.NewTerm(box, a), polce.NewTerm(box, b))
 	fmt.Println("\nafter box(A) ⊆ box(B) with apple ⊆ A:")
 	show("B", b)
 

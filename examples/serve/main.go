@@ -1,0 +1,104 @@
+// Serve: talking to the constraint query service over HTTP.
+//
+// Starts a polce-serve instance in-process (so the example is
+// self-contained — against a deployed service, replace the base URL),
+// streams two SCL constraint batches into it, and queries least solutions
+// and points-to sets back out while ingestion stays live. This is API v1
+// exactly as curl sees it; see the README's Serving section.
+//
+// Run with: go run ./examples/serve
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"polce"
+	"polce/internal/serve"
+)
+
+func main() {
+	// An in-process service: one online-IF solver behind the HTTP API.
+	srv := serve.New(serve.Config{
+		Solver: polce.New(polce.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 42}),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n\n", base)
+
+	// Batch one: atoms flowing through a variable chain. ?wait=1 blocks
+	// until the batch is applied and reports the graph version.
+	post(base, `
+		cons apple; cons pear
+		apple <= X; pear <= X
+		X <= Y; Y <= Z
+	`)
+	get(base, "/v1/least-solution/Z")
+
+	// Batch two grows the same constraint program: a ref-term makes P a
+	// pointer to X, and a cycle Y <= X that online elimination collapses.
+	post(base, `
+		cons ref(+)
+		ref(X) <= P
+		Y <= X
+	`)
+	get(base, "/v1/points-to/P")
+	get(base, "/v1/snapshot")
+
+	// Drain exactly like polce-serve does on SIGTERM: finish in-flight
+	// requests, flush the ingestion queue, close the solver.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fail(err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\ndrained after %d constraints\n", srv.Ingested())
+}
+
+// post sends one SCL batch and prints the service's reply.
+func post(base, program string) {
+	resp, err := http.Post(base+"/v1/constraints?wait=1", "text/plain", strings.NewReader(program))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("POST /v1/constraints  -> %s %s", resp.Status, body(resp))
+}
+
+// get queries one read endpoint and prints the JSON.
+func get(base, path string) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("GET  %-20s -> %s %s", path, resp.Status, body(resp))
+}
+
+// body re-indents a JSON response for display.
+func body(resp *http.Response) string {
+	defer resp.Body.Close()
+	var v any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		fail(err)
+	}
+	out, _ := json.Marshal(v)
+	return string(out) + "\n"
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "serve example:", err)
+	os.Exit(1)
+}

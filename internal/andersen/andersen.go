@@ -24,67 +24,67 @@ package andersen
 import (
 	"fmt"
 
+	"polce"
 	"polce/internal/cgen"
-	"polce/internal/solver"
 )
 
 // refCon is the shared 3-ary location constructor: name (covariant),
 // get (covariant), set (contravariant).
-var refCon = solver.NewConstructor("ref", solver.Covariant, solver.Covariant, solver.Contravariant)
+var refCon = polce.NewConstructor("ref", polce.Covariant, polce.Covariant, polce.Contravariant)
 
 // nameCon builds nullary location-name terms, one per location.
-var nameCon = solver.NewConstructor("name")
+var nameCon = polce.NewConstructor("name")
 
 // Location is one abstract memory location.
 type Location struct {
 	Name string // qualified name: "x", "f::local", "heap@3:7", "str@9:2"
 	// Content is the location's points-to set variable X_l.
-	Content *solver.Var
+	Content *polce.Var
 	// Ref is the location's ref(name_l, X_l, X̄_l) term; its identity is
 	// what appears in other locations' least solutions.
-	Ref *solver.Term
+	Ref *polce.Term
 	// Func is non-nil for function locations.
 	Func *FuncInfo
 }
 
 // FuncInfo carries the calling interface of a function location.
 type FuncInfo struct {
-	Params   []*Location  // parameter locations, in order
-	Ret      *solver.Var  // return-value set
-	Lam      *solver.Term // lam_n(Ret, X̄_p1 ... X̄_pn)
+	Params   []*Location // parameter locations, in order
+	Ret      *polce.Var  // return-value set
+	Lam      *polce.Term // lam_n(Ret, X̄_p1 ... X̄_pn)
 	Variadic bool
 	Defined  bool // a body has been analysed (not just a prototype)
 }
 
 // Options configures an analysis run; it mirrors the solver options.
 type Options struct {
-	Form   solver.Form
-	Cycles solver.CyclePolicy
+	Form   polce.Form
+	Cycles polce.CyclePolicy
 	Seed   int64
-	Oracle *solver.Oracle
+	Oracle *polce.Oracle
 	// Order selects the variable-order strategy (default random, as in
 	// the paper).
-	Order solver.OrderStrategy
-	// PeriodicInterval configures solver.CyclePeriodic (0 = solver
+	Order polce.OrderStrategy
+	// PeriodicInterval configures polce.CyclePeriodic (0 = solver
 	// default).
 	PeriodicInterval int
-	// Observer receives solver events; see solver.Options.Observer.
-	Observer func(solver.Event)
+	// Observer receives solver events; see polce.Options.Observer.
+	Observer func(polce.Event)
 	// Metrics receives per-operation solver measurements; see
-	// solver.Options.Metrics.
-	Metrics solver.MetricsSink
+	// polce.Options.Metrics.
+	Metrics polce.MetricsSink
 	// LSWorkers is the least-solution pass worker count; see
-	// solver.Options.LSWorkers.
+	// polce.Options.LSWorkers.
 	LSWorkers int
 }
 
 // Result is the outcome of an analysis: the solved constraint system plus
 // the location table for extracting the points-to graph.
 type Result struct {
-	Sys       *solver.Solver
+	Sys       *polce.Solver
 	Locations []*Location
 
-	locOf map[*solver.Term]*Location
+	locOf map[*polce.Term]*Location
 	facts map[*FuncInfo]*funcFacts
 }
 
@@ -92,9 +92,9 @@ type Result struct {
 // interprocedural MOD analysis: the target set of every store, and the
 // callee sets of every call site.
 type funcFacts struct {
-	writes   []solver.Expr // location-set expressions written through
-	direct   []*FuncInfo   // statically known callees
-	indirect []solver.Expr // function-location sets of indirect call sites
+	writes   []polce.Expr // location-set expressions written through
+	direct   []*FuncInfo  // statically known callees
+	indirect []polce.Expr // function-location sets of indirect call sites
 }
 
 // LocationByName finds a location by its qualified name, or nil.
@@ -142,11 +142,11 @@ func (r *Result) PointsToEdges() int {
 
 // gen is the constraint generator state.
 type gen struct {
-	sys  *solver.Solver
+	sys  *polce.Solver
 	res  *Result
 	opts Options
 
-	lamCons map[int]*solver.Constructor
+	lamCons map[int]*polce.Constructor
 	tenv    *cgen.TypeEnv
 
 	// scopes is a stack of name→location tables; scopes[0] is the file
@@ -161,7 +161,7 @@ type gen struct {
 
 // Analyze runs Andersen's analysis over a parsed file.
 func Analyze(file *cgen.File, opts Options) *Result {
-	sys := solver.New(solver.Options{
+	sys := polce.New(polce.Options{
 		Form:             opts.Form,
 		Order:            opts.Order,
 		Cycles:           opts.Cycles,
@@ -178,26 +178,26 @@ func Analyze(file *cgen.File, opts Options) *Result {
 // AnalyzeInitial builds only the initial (unclosed) constraint graph for
 // Table 1's initial statistics.
 func AnalyzeInitial(file *cgen.File, opts Options) *Result {
-	sys := solver.NewInitialGraph(solver.Options{
+	sys := polce.NewInitialGraph(polce.Options{
 		Form:   opts.Form,
-		Cycles: solver.CycleNone,
+		Cycles: polce.CycleNone,
 		Seed:   opts.Seed,
 	})
 	return analyzeInto(file, sys, opts)
 }
 
-func analyzeInto(file *cgen.File, sys *solver.Solver, opts Options) *Result {
+func analyzeInto(file *cgen.File, sys *polce.Solver, opts Options) *Result {
 	g := &gen{
 		sys:       sys,
 		opts:      opts,
-		lamCons:   map[int]*solver.Constructor{},
+		lamCons:   map[int]*polce.Constructor{},
 		tenv:      cgen.NewTypeEnv(),
 		scopes:    []map[string]*Location{{}},
 		nameCount: map[string]int{},
 	}
 	g.res = &Result{
 		Sys:   sys,
-		locOf: map[*solver.Term]*Location{},
+		locOf: map[*polce.Term]*Location{},
 		facts: map[*FuncInfo]*funcFacts{},
 	}
 
@@ -234,16 +234,16 @@ func analyzeInto(file *cgen.File, sys *solver.Solver, opts Options) *Result {
 }
 
 // lam returns the lam constructor for arity n.
-func (g *gen) lam(n int) *solver.Constructor {
+func (g *gen) lam(n int) *polce.Constructor {
 	if c, ok := g.lamCons[n]; ok {
 		return c
 	}
-	sig := make([]solver.Variance, n+1)
-	sig[0] = solver.Covariant
+	sig := make([]polce.Variance, n+1)
+	sig[0] = polce.Covariant
 	for i := 1; i <= n; i++ {
-		sig[i] = solver.Contravariant
+		sig[i] = polce.Contravariant
 	}
-	c := solver.NewConstructor(fmt.Sprintf("lam%d", n), sig...)
+	c := polce.NewConstructor(fmt.Sprintf("lam%d", n), sig...)
 	g.lamCons[n] = c
 	return c
 }
@@ -262,7 +262,7 @@ func (g *gen) newLocation(name string) *Location {
 	l := &Location{
 		Name:    name,
 		Content: content,
-		Ref:     solver.NewTerm(refCon, solver.NewTerm(nameCon), content, content),
+		Ref:     polce.NewTerm(refCon, polce.NewTerm(nameCon), content, content),
 	}
 	g.res.Locations = append(g.res.Locations, l)
 	g.res.locOf[l.Ref] = l
@@ -334,7 +334,7 @@ func (g *gen) declareFunc(d *cgen.FuncDecl) *Location {
 		Variadic: d.Type.Variadic,
 		Defined:  d.Body != nil,
 	}
-	args := []solver.Expr{fi.Ret}
+	args := []polce.Expr{fi.Ret}
 	for i, p := range d.Params {
 		pname := p.Name
 		if pname == "" {
@@ -344,7 +344,7 @@ func (g *gen) declareFunc(d *cgen.FuncDecl) *Location {
 		fi.Params = append(fi.Params, pl)
 		args = append(args, pl.Content)
 	}
-	fi.Lam = solver.NewTerm(g.lam(len(d.Params)), args...)
+	fi.Lam = polce.NewTerm(g.lam(len(d.Params)), args...)
 	l.Func = fi
 	// The function location's content holds the function value.
 	g.sys.AddConstraint(fi.Lam, l.Content)

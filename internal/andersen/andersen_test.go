@@ -6,8 +6,8 @@ import (
 	"sort"
 	"testing"
 
+	"polce"
 	"polce/internal/cgen"
-	"polce/internal/solver"
 )
 
 // analyze parses and analyses src under the given configuration.
@@ -56,8 +56,8 @@ func wantPts(t *testing.T, r *Result, name string, want ...string) {
 // ablation.
 func allConfigs() []Options {
 	var out []Options
-	for _, form := range []solver.Form{solver.SF, solver.IF} {
-		for _, pol := range []solver.CyclePolicy{solver.CycleNone, solver.CycleOnline, solver.CycleOnlineIncreasing} {
+	for _, form := range []polce.Form{polce.SF, polce.IF} {
+		for _, pol := range []polce.CyclePolicy{polce.CycleNone, polce.CycleOnline, polce.CycleOnlineIncreasing} {
 			out = append(out, Options{Form: form, Cycles: pol, Seed: 17})
 		}
 	}
@@ -133,7 +133,7 @@ void f(void) {
 	c = b;
 }
 `
-	r := analyze(t, src, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 1})
+	r := analyze(t, src, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 1})
 	wantPts(t, r, "a", "b", "c")
 	wantPts(t, r, "b", "d")
 	wantPts(t, r, "c", "d")
@@ -173,7 +173,7 @@ void f(void) {
 	q = realloc(p, 16);
 }
 `
-	r := analyze(t, src, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 3})
+	r := analyze(t, src, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 3})
 	qq := pts(t, r, "q")
 	if len(qq) != 2 {
 		t.Errorf("pts(q) = %v, want the old and the new heap cell", qq)
@@ -237,7 +237,7 @@ void f(void) {
 	p = o.get(&x);
 }
 `
-	r := analyze(t, src, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 4})
+	r := analyze(t, src, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 4})
 	wantPts(t, r, "f::p", "x")
 }
 
@@ -273,7 +273,7 @@ void f(void) {
 	q = s1.g;
 }
 `
-	r := analyze(t, src, Options{Form: solver.SF, Cycles: solver.CycleOnline, Seed: 2})
+	r := analyze(t, src, Options{Form: polce.SF, Cycles: polce.CycleOnline, Seed: 2})
 	wantPts(t, r, "q", "x") // fields collapse onto the struct
 }
 
@@ -303,7 +303,7 @@ void f(void) {
 	u = s;
 }
 `
-	r := analyze(t, src, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 5})
+	r := analyze(t, src, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 5})
 	ss := pts(t, r, "s")
 	if len(ss) != 1 {
 		t.Fatalf("pts(s) = %v", ss)
@@ -325,7 +325,7 @@ void f(void) {
 	q = b[0];
 }
 `
-	r := analyze(t, src, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 6})
+	r := analyze(t, src, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 6})
 	wantPts(t, r, "q", "x")
 }
 
@@ -338,7 +338,7 @@ void f(void) {
 	p = (c, &x);
 }
 `
-	r := analyze(t, src, Options{Form: solver.SF, Cycles: solver.CycleOnline, Seed: 7})
+	r := analyze(t, src, Options{Form: polce.SF, Cycles: polce.CycleOnline, Seed: 7})
 	wantPts(t, r, "p", "x", "y")
 }
 
@@ -353,7 +353,7 @@ void f(void) {
 	p += 3;
 }
 `
-	r := analyze(t, src, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 8})
+	r := analyze(t, src, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 8})
 	wantPts(t, r, "p", "a")
 	wantPts(t, r, "q", "a")
 }
@@ -389,7 +389,7 @@ void f(void) {
 	p = r;
 }
 `
-	r := analyze(t, src, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 9})
+	r := analyze(t, src, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 9})
 	if r.Sys.Stats().VarsEliminated == 0 {
 		t.Errorf("copy cycle produced no eliminations")
 	}
@@ -445,19 +445,19 @@ int main(void) {
 		return m
 	}
 
-	ref := Analyze(f, Options{Form: solver.SF, Cycles: solver.CycleNone, Seed: 0})
+	ref := Analyze(f, Options{Form: polce.SF, Cycles: polce.CycleNone, Seed: 0})
 	refSnap := snapshot(ref)
-	oracle := solver.BuildOracle(ref.Sys)
+	oracle := polce.BuildOracle(ref.Sys)
 
 	configs := []Options{
-		{Form: solver.IF, Cycles: solver.CycleNone, Seed: 0},
-		{Form: solver.SF, Cycles: solver.CycleOnline, Seed: 0},
-		{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 0},
-		{Form: solver.SF, Cycles: solver.CycleOnline, Seed: 99},
-		{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 99},
-		{Form: solver.SF, Cycles: solver.CycleOnlineIncreasing, Seed: 0},
-		{Form: solver.SF, Cycles: solver.CycleOracle, Seed: 0, Oracle: oracle},
-		{Form: solver.IF, Cycles: solver.CycleOracle, Seed: 0, Oracle: oracle},
+		{Form: polce.IF, Cycles: polce.CycleNone, Seed: 0},
+		{Form: polce.SF, Cycles: polce.CycleOnline, Seed: 0},
+		{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 0},
+		{Form: polce.SF, Cycles: polce.CycleOnline, Seed: 99},
+		{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 99},
+		{Form: polce.SF, Cycles: polce.CycleOnlineIncreasing, Seed: 0},
+		{Form: polce.SF, Cycles: polce.CycleOracle, Seed: 0, Oracle: oracle},
+		{Form: polce.IF, Cycles: polce.CycleOracle, Seed: 0, Oracle: oracle},
 	}
 	for _, cfg := range configs {
 		r := Analyze(f, cfg)
@@ -482,7 +482,7 @@ int *p = &x;
 int *q;
 void f(void) { q = tab[0]; }
 `
-	r := analyze(t, src, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 10})
+	r := analyze(t, src, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 10})
 	wantPts(t, r, "p", "x")
 	wantPts(t, r, "tab", "x", "y")
 	wantPts(t, r, "pr", "x", "y")
@@ -502,7 +502,7 @@ void f(void) {
 	}
 }
 `
-	r := analyze(t, src, Options{Form: solver.SF, Cycles: solver.CycleOnline, Seed: 11})
+	r := analyze(t, src, Options{Form: polce.SF, Cycles: polce.CycleOnline, Seed: 11})
 	got := pts(t, r, "p")
 	if len(got) != 2 {
 		t.Errorf("pts(p) = %v, want the two local x's", got)
@@ -523,8 +523,8 @@ void f(void) { p = &x; q = p; r = q; }
 	if err != nil {
 		t.Fatal(err)
 	}
-	init := AnalyzeInitial(f, Options{Form: solver.SF, Seed: 1})
-	full := Analyze(f, Options{Form: solver.SF, Seed: 1})
+	init := AnalyzeInitial(f, Options{Form: polce.SF, Seed: 1})
+	full := Analyze(f, Options{Form: polce.SF, Seed: 1})
 	if init.Sys.TotalEdges() >= full.Sys.TotalEdges() {
 		t.Errorf("initial edges %d not smaller than closed edges %d",
 			init.Sys.TotalEdges(), full.Sys.TotalEdges())
@@ -541,7 +541,7 @@ void f(void) {
 	p = &x;
 }
 `
-	r := analyze(t, src, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 12})
+	r := analyze(t, src, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 12})
 	wantPts(t, r, "p", "x")
 	if r.Sys.ErrorCount() != 0 {
 		t.Errorf("variadic call produced errors: %v", r.Sys.Errors())
@@ -557,8 +557,8 @@ void g(void) { p = f(&x); }
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := Analyze(f, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 3})
-	b := Analyze(f, Options{Form: solver.SF, Cycles: solver.CycleNone, Seed: 3})
+	a := Analyze(f, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 3})
+	b := Analyze(f, Options{Form: polce.SF, Cycles: polce.CycleNone, Seed: 3})
 	if a.Sys.NumCreated() != b.Sys.NumCreated() {
 		t.Errorf("variable creation depends on solver config: %d vs %d",
 			a.Sys.NumCreated(), b.Sys.NumCreated())
@@ -567,7 +567,7 @@ void g(void) { p = f(&x); }
 
 func TestPointsToEdges(t *testing.T) {
 	src := `int x; int *p; void f(void) { p = &x; }`
-	r := analyze(t, src, Options{Form: solver.SF, Seed: 1})
+	r := analyze(t, src, Options{Form: polce.SF, Seed: 1})
 	if n := r.PointsToEdges(); n != 1 {
 		t.Errorf("PointsToEdges = %d, want 1", n)
 	}
@@ -587,8 +587,8 @@ void f(struct s *p) {
 void g(void) { f(&x); f(x.n); }
 `
 	for seed := int64(0); seed < 20; seed++ {
-		for _, form := range []solver.Form{solver.SF, solver.IF} {
-			r := analyze(t, src, Options{Form: form, Cycles: solver.CycleOnline, Seed: seed})
+		for _, form := range []polce.Form{polce.SF, polce.IF} {
+			r := analyze(t, src, Options{Form: form, Cycles: polce.CycleOnline, Seed: seed})
 			if r.Sys.ErrorCount() != 0 {
 				t.Fatalf("%v seed %d: %v", form, seed, r.Sys.Errors())
 			}

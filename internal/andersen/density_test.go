@@ -3,9 +3,9 @@ package andersen
 import (
 	"testing"
 
+	"polce"
 	"polce/internal/cgen"
 	"polce/internal/progen"
-	"polce/internal/solver"
 )
 
 // TestDensityPremise verifies the empirical premise of the paper's
@@ -20,13 +20,13 @@ func TestDensityPremise(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	initial := AnalyzeInitial(f, Options{Form: solver.IF, Seed: 1})
+	initial := AnalyzeInitial(f, Options{Form: polce.IF, Seed: 1})
 	ist := initial.Sys.CurrentGraphStats()
 	if ist.Density < 0.5 || ist.Density > 2.5 {
 		t.Errorf("initial density %.2f, want ≈1 edge/var (paper's p ≈ 1/n)", ist.Density)
 	}
 
-	closed := Analyze(f, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 1})
+	closed := Analyze(f, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 1})
 	cst := closed.Sys.CurrentGraphStats()
 	if cst.Density < ist.Density {
 		t.Errorf("closure decreased density: %.2f -> %.2f", ist.Density, cst.Density)

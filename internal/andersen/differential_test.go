@@ -5,9 +5,9 @@ import (
 	"testing"
 	"testing/quick"
 
+	"polce"
 	"polce/internal/cgen"
 	"polce/internal/progen"
-	"polce/internal/solver"
 )
 
 // snapshotPts renders the full points-to graph as name → sorted names.
@@ -52,19 +52,19 @@ func TestDifferentialConfigs(t *testing.T) {
 			t.Logf("seed %d: parse error %v", seed, err)
 			return false
 		}
-		ref := Analyze(f, Options{Form: solver.SF, Cycles: solver.CycleNone, Seed: seed})
+		ref := Analyze(f, Options{Form: polce.SF, Cycles: polce.CycleNone, Seed: seed})
 		want := snapshotPts(ref)
-		oracle := solver.BuildOracle(ref.Sys)
+		oracle := polce.BuildOracle(ref.Sys)
 
 		configs := []Options{
-			{Form: solver.IF, Cycles: solver.CycleNone, Seed: seed},
-			{Form: solver.SF, Cycles: solver.CycleOnline, Seed: seed},
-			{Form: solver.IF, Cycles: solver.CycleOnline, Seed: seed + 7},
-			{Form: solver.SF, Cycles: solver.CycleOnlineIncreasing, Seed: seed},
-			{Form: solver.SF, Cycles: solver.CyclePeriodic, Seed: seed, PeriodicInterval: 64},
-			{Form: solver.IF, Cycles: solver.CyclePeriodic, Seed: seed, PeriodicInterval: 64},
-			{Form: solver.SF, Cycles: solver.CycleOracle, Seed: seed, Oracle: oracle},
-			{Form: solver.IF, Cycles: solver.CycleOracle, Seed: seed, Oracle: oracle},
+			{Form: polce.IF, Cycles: polce.CycleNone, Seed: seed},
+			{Form: polce.SF, Cycles: polce.CycleOnline, Seed: seed},
+			{Form: polce.IF, Cycles: polce.CycleOnline, Seed: seed + 7},
+			{Form: polce.SF, Cycles: polce.CycleOnlineIncreasing, Seed: seed},
+			{Form: polce.SF, Cycles: polce.CyclePeriodic, Seed: seed, PeriodicInterval: 64},
+			{Form: polce.IF, Cycles: polce.CyclePeriodic, Seed: seed, PeriodicInterval: 64},
+			{Form: polce.SF, Cycles: polce.CycleOracle, Seed: seed, Oracle: oracle},
+			{Form: polce.IF, Cycles: polce.CycleOracle, Seed: seed, Oracle: oracle},
 		}
 		for _, cfg := range configs {
 			got := snapshotPts(Analyze(f, cfg))
@@ -99,8 +99,8 @@ func TestDifferentialRoundtrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: printed program does not parse: %v", seed, err)
 		}
-		a := snapshotPts(Analyze(f1, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 1}))
-		b := snapshotPts(Analyze(f2, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 1}))
+		a := snapshotPts(Analyze(f1, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 1}))
+		b := snapshotPts(Analyze(f2, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 1}))
 		// Heap/string locations embed line:col which shifts under
 		// printing, so compare only named variables.
 		for k, va := range a {

@@ -3,7 +3,7 @@ package andersen
 import (
 	"testing"
 
-	"polce/internal/solver"
+	"polce"
 )
 
 func escapeResult(t *testing.T) *Result {
@@ -35,7 +35,7 @@ void contained(void) {
 	lp = &stays;
 	*lp = 1;
 }
-`, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 5})
+`, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 5})
 }
 
 func TestEscapeViaReturn(t *testing.T) {
@@ -117,7 +117,7 @@ func TestHeapEscapesWhenStored(t *testing.T) {
 	r := analyze(t, `
 int *g;
 void f(void) { g = (int *)malloc(4); }
-`, Options{Form: solver.SF, Cycles: solver.CycleOnline, Seed: 1})
+`, Options{Form: polce.SF, Cycles: polce.CycleOnline, Seed: 1})
 	escaped := r.EscapeSet()
 	found := false
 	for l := range escaped {

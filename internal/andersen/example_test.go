@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"sort"
 
+	"polce"
 	"polce/internal/andersen"
 	"polce/internal/cgen"
-	"polce/internal/solver"
 )
 
 // Analyze runs Andersen's points-to analysis over a parsed C file; the
@@ -25,8 +25,8 @@ void f(void) {
 		panic(err)
 	}
 	res := andersen.Analyze(file, andersen.Options{
-		Form:   solver.IF,
-		Cycles: solver.CycleOnline,
+		Form:   polce.IF,
+		Cycles: polce.CycleOnline,
 		Seed:   1,
 	})
 
@@ -58,7 +58,7 @@ void install(int which) {
 	if err != nil {
 		panic(err)
 	}
-	res := andersen.Analyze(file, andersen.Options{Form: solver.SF, Cycles: solver.CycleOnline, Seed: 1})
+	res := andersen.Analyze(file, andersen.Options{Form: polce.SF, Cycles: polce.CycleOnline, Seed: 1})
 	for _, f := range res.CallTargets(res.LocationByName("handler")) {
 		fmt.Println(f.Name)
 	}

@@ -3,8 +3,8 @@ package andersen
 import (
 	"fmt"
 
+	"polce"
 	"polce/internal/cgen"
-	"polce/internal/solver"
 )
 
 // This file generates constraints from statements and expressions. The
@@ -15,23 +15,23 @@ import (
 
 // read projects the contents out of the location set lv: fresh T with
 // lv ⊆ ref(1, T, 0̄).
-func (g *gen) read(lv solver.Expr, hint string) *solver.Var {
+func (g *gen) read(lv polce.Expr, hint string) *polce.Var {
 	t := g.sys.Fresh(hint)
-	g.sys.AddConstraint(lv, solver.NewTerm(refCon, solver.One, t, solver.Zero))
+	g.sys.AddConstraint(lv, polce.NewTerm(refCon, polce.One, t, polce.Zero))
 	return t
 }
 
 // write stores the values val into every location in lv:
 // lv ⊆ ref(1, 1, v̄al), whose contravariant position sends val into each
 // location's content. The write target is recorded for the MOD analysis.
-func (g *gen) write(lv solver.Expr, val solver.Expr) {
+func (g *gen) write(lv polce.Expr, val polce.Expr) {
 	if lv == nil || val == nil {
 		return
 	}
 	if g.curFunc != nil {
 		g.fact().writes = append(g.fact().writes, lv)
 	}
-	g.sys.AddConstraint(lv, solver.NewTerm(refCon, solver.One, solver.One, val))
+	g.sys.AddConstraint(lv, polce.NewTerm(refCon, polce.One, polce.One, val))
 }
 
 // fact returns the current function's MOD-fact record.
@@ -124,7 +124,7 @@ func (g *gen) genStmt(s cgen.Stmt) {
 // one element; structs are field-insensitive). Constant elements carry no
 // pointers and are skipped entirely, so large initialised data tables —
 // the paper's flex outlier — cost the analysis nothing.
-func (g *gen) genInit(lv solver.Expr, init cgen.Expr) {
+func (g *gen) genInit(lv polce.Expr, init cgen.Expr) {
 	if lst, ok := init.(*cgen.InitList); ok {
 		for _, e := range lst.Elems {
 			switch e.(type) {
@@ -140,12 +140,12 @@ func (g *gen) genInit(lv solver.Expr, init cgen.Expr) {
 
 // emptySet returns a fresh variable with no constraints — the value of
 // expressions that cannot carry pointers.
-func (g *gen) emptySet() *solver.Var { return g.sys.Fresh("t") }
+func (g *gen) emptySet() *polce.Var { return g.sys.Fresh("t") }
 
 // lvalue returns the set expression for the locations e designates, or nil
 // when e has no l-value (e.g. arithmetic). Side effects inside e are
 // generated.
-func (g *gen) lvalue(e cgen.Expr) solver.Expr {
+func (g *gen) lvalue(e cgen.Expr) polce.Expr {
 	switch x := e.(type) {
 	case *cgen.IdentExpr:
 		if l := g.lookup(x.Name); l != nil {
@@ -205,7 +205,7 @@ func (g *gen) lvalue(e cgen.Expr) solver.Expr {
 // without regenerating its side effects; used where an expression is both
 // assigned and read (x = y = z). Regenerating constraints would be sound —
 // the system is a set — so this is just an economy.
-func (g *gen) lvalue2(e cgen.Expr) solver.Expr {
+func (g *gen) lvalue2(e cgen.Expr) polce.Expr {
 	switch x := e.(type) {
 	case *cgen.IdentExpr:
 		if l := g.lookup(x.Name); l != nil {
@@ -229,7 +229,7 @@ func decays(t *cgen.Type) bool {
 }
 
 // rvalue returns the value set of e, generating its constraints.
-func (g *gen) rvalue(e cgen.Expr) solver.Expr {
+func (g *gen) rvalue(e cgen.Expr) polce.Expr {
 	switch x := e.(type) {
 	case nil:
 		return g.emptySet()
@@ -353,7 +353,7 @@ var allocators = map[string]bool{
 
 // genCall generates constraints for a call expression and returns its
 // value set.
-func (g *gen) genCall(call *cgen.CallExpr) solver.Expr {
+func (g *gen) genCall(call *cgen.CallExpr) polce.Expr {
 	// Allocation sites and a few well-known library functions are
 	// modelled specially.
 	if id, ok := call.Fun.(*cgen.IdentExpr); ok && g.lookup(id.Name) == nil {
@@ -377,18 +377,18 @@ func (g *gen) genCall(call *cgen.CallExpr) solver.Expr {
 	}
 	fnVals := g.read(fnLocs, "fnval")
 	ret := g.sys.Fresh("call$v")
-	args := []solver.Expr{ret}
+	args := []polce.Expr{ret}
 	for _, a := range call.Args {
 		args = append(args, g.rvalue(a))
 	}
-	g.sys.AddConstraint(fnVals, solver.NewTerm(g.lam(len(call.Args)), args...))
+	g.sys.AddConstraint(fnVals, polce.NewTerm(g.lam(len(call.Args)), args...))
 	return ret
 }
 
 // genDirectCall wires a call to a known function without going through lam
 // decomposition, which both saves work and tolerates arity mismatches
 // (variadics, old-style declarations).
-func (g *gen) genDirectCall(fi *FuncInfo, call *cgen.CallExpr) solver.Expr {
+func (g *gen) genDirectCall(fi *FuncInfo, call *cgen.CallExpr) polce.Expr {
 	for i, a := range call.Args {
 		v := g.rvalue(a)
 		if i < len(fi.Params) {
@@ -401,8 +401,8 @@ func (g *gen) genDirectCall(fi *FuncInfo, call *cgen.CallExpr) solver.Expr {
 // genSpecialCall models calls to undeclared externals: allocators return a
 // fresh heap location per site, the copying functions propagate contents,
 // and everything else only evaluates its arguments.
-func (g *gen) genSpecialCall(name string, call *cgen.CallExpr) solver.Expr {
-	argv := make([]solver.Expr, len(call.Args))
+func (g *gen) genSpecialCall(name string, call *cgen.CallExpr) polce.Expr {
+	argv := make([]polce.Expr, len(call.Args))
 	for i, a := range call.Args {
 		argv[i] = g.rvalue(a)
 	}

@@ -8,8 +8,8 @@ import (
 	"strings"
 	"testing"
 
+	"polce"
 	"polce/internal/cgen"
-	"polce/internal/solver"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden points-to snapshots")
@@ -59,7 +59,7 @@ func TestGoldenCorpus(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := goldenSnapshot(Analyze(f, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 1}))
+			got := goldenSnapshot(Analyze(f, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 1}))
 
 			goldenPath := strings.TrimSuffix(path, ".c") + ".golden"
 			if *updateGolden {
@@ -78,9 +78,9 @@ func TestGoldenCorpus(t *testing.T) {
 
 			// Cross-configuration agreement on the curated input.
 			for _, cfg := range []Options{
-				{Form: solver.SF, Cycles: solver.CycleNone, Seed: 1},
-				{Form: solver.SF, Cycles: solver.CycleOnline, Seed: 9},
-				{Form: solver.IF, Cycles: solver.CyclePeriodic, Seed: 1, PeriodicInterval: 32},
+				{Form: polce.SF, Cycles: polce.CycleNone, Seed: 1},
+				{Form: polce.SF, Cycles: polce.CycleOnline, Seed: 9},
+				{Form: polce.IF, Cycles: polce.CyclePeriodic, Seed: 1, PeriodicInterval: 32},
 			} {
 				if other := goldenSnapshot(Analyze(f, cfg)); other != got {
 					t.Errorf("%v/%v disagrees with golden", cfg.Form, cfg.Cycles)

@@ -1,6 +1,6 @@
 package andersen
 
-import "polce/internal/solver"
+import "polce"
 
 // This file computes interprocedural MOD sets — for every function, the
 // abstract locations it may modify, directly or through any (possibly
@@ -11,14 +11,14 @@ import "polce/internal/solver"
 
 // locsOf resolves a location-set expression (a ref term or a variable
 // holding ref terms) to locations.
-func (r *Result) locsOf(e solver.Expr) []*Location {
+func (r *Result) locsOf(e polce.Expr) []*Location {
 	switch x := e.(type) {
-	case *solver.Term:
+	case *polce.Term:
 		if l, ok := r.locOf[x]; ok {
 			return []*Location{l}
 		}
 		return nil
-	case *solver.Var:
+	case *polce.Var:
 		var out []*Location
 		for _, t := range r.Sys.LeastSolution(x) {
 			if l, ok := r.locOf[t]; ok {

@@ -4,7 +4,7 @@ import (
 	"sort"
 	"testing"
 
-	"polce/internal/solver"
+	"polce"
 )
 
 func modResult(t *testing.T) *Result {
@@ -33,7 +33,7 @@ void recur(int n) {
 	g3 = n;
 	if (n) recur(n - 1);
 }
-`, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 4})
+`, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 4})
 }
 
 func modNames(t *testing.T, r *Result, fn string) []string {
@@ -119,7 +119,7 @@ int a, b;
 void pong(int n);
 void ping(int n) { a = n; if (n) pong(n - 1); }
 void pong(int n) { b = n; if (n) ping(n - 1); }
-`, Options{Form: solver.SF, Cycles: solver.CycleOnline, Seed: 2})
+`, Options{Form: polce.SF, Cycles: polce.CycleOnline, Seed: 2})
 	got := modNames(t, r, "ping")
 	if !has(got, "a") || !has(got, "b") {
 		t.Errorf("MOD(ping) = %v, want a and b", got)

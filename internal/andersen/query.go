@@ -5,7 +5,7 @@ import (
 	"io"
 	"sort"
 
-	"polce/internal/solver"
+	"polce"
 )
 
 // This file is the client-facing query layer over an analysis result: the
@@ -126,6 +126,6 @@ func (r *Result) WriteDOT(w io.Writer) error {
 
 // SolverGraphStats exposes the underlying constraint graph's density, the
 // quantity Section 5's model is parameterised by.
-func (r *Result) SolverGraphStats() solver.GraphStats {
+func (r *Result) SolverGraphStats() polce.GraphStats {
 	return r.Sys.CurrentGraphStats()
 }

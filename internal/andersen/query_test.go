@@ -4,7 +4,7 @@ import (
 	"strings"
 	"testing"
 
-	"polce/internal/solver"
+	"polce"
 )
 
 func queryResult(t *testing.T) *Result {
@@ -22,7 +22,7 @@ void f(void) {
 	r = &z;
 	p = fp(p);
 }
-`, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 3})
+`, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 3})
 }
 
 func TestMayAlias(t *testing.T) {

@@ -5,7 +5,7 @@ import (
 	"strings"
 	"testing"
 
-	"polce/internal/solver"
+	"polce"
 )
 
 func TestBuildReport(t *testing.T) {
@@ -14,7 +14,7 @@ int x;
 int *p;
 int *id(int *a) { return a; }
 void f(void) { p = id(&x); }
-`, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 2})
+`, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 2})
 
 	rep := r.BuildReport(false)
 	if len(rep.Locations) == 0 {
@@ -52,7 +52,7 @@ void f(void) { p = id(&x); }
 
 func TestWriteJSONRoundtrips(t *testing.T) {
 	r := analyze(t, `int x; int *p; void f(void) { p = &x; }`,
-		Options{Form: solver.SF, Cycles: solver.CycleOnline, Seed: 1})
+		Options{Form: polce.SF, Cycles: polce.CycleOnline, Seed: 1})
 	var sb strings.Builder
 	if err := r.WriteJSON(&sb, true); err != nil {
 		t.Fatal(err)

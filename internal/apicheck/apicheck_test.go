@@ -1,0 +1,124 @@
+package apicheck
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite api/polce.api with the current exported surface")
+
+// repoRoot locates the repository from this source file, so the test works
+// from any working directory (go test ./..., CI, IDEs).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate source file")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// TestPublicAPIUnchanged is the compatibility gate: the exported surface of
+// the root polce package must match the checked-in golden api/polce.api.
+// A diff here means the public API changed — if that is intentional,
+// regenerate the golden with `go test ./internal/apicheck -update` and
+// commit it so the change is visible in review.
+func TestPublicAPIUnchanged(t *testing.T) {
+	root := repoRoot(t)
+	got, err := Surface(root)
+	if err != nil {
+		t.Fatalf("rendering API surface: %v", err)
+	}
+	golden := filepath.Join(root, "api", "polce.api")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("public API surface changed:\n%s\nIf intentional, run: go test ./internal/apicheck -update",
+			diff(string(want), got))
+	}
+}
+
+// TestSurfaceIsDeterministic guards the gate itself: two renders must be
+// byte-identical, or CI would flake.
+func TestSurfaceIsDeterministic(t *testing.T) {
+	root := repoRoot(t)
+	a, err := Surface(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Surface(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("two renders of the API surface differ")
+	}
+}
+
+// TestSurfaceMentionsCoreAPI spot-checks that the render sees the
+// load-bearing exported names, so an empty or misrooted render can't pass
+// the gate vacuously.
+func TestSurfaceMentionsCoreAPI(t *testing.T) {
+	got, err := Surface(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"func New(opt Options) *Solver",
+		"func (s *Solver) AddBatchContext(ctx context.Context, batch []Constraint) (applied int, err error)",
+		"func (s *Solver) Snapshot() *Snapshot",
+		"func (sn *Snapshot) LeastSolution(v *Var) []*Term",
+		"var ErrQueueFull",
+		"type Solver struct",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("surface is missing %q", want)
+		}
+	}
+	if strings.Contains(got, "\tmu ") || strings.Contains(got, "snap *") {
+		t.Error("surface leaks unexported struct fields")
+	}
+}
+
+// diff prints a minimal line diff, enough to see what moved in review.
+func diff(want, got string) string {
+	wantLines := strings.Split(want, "\n")
+	gotLines := strings.Split(got, "\n")
+	var b strings.Builder
+	max := len(wantLines)
+	if len(gotLines) > max {
+		max = len(gotLines)
+	}
+	shown := 0
+	for i := 0; i < max && shown < 40; i++ {
+		var w, g string
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if w != g {
+			fmt.Fprintf(&b, "line %d:\n  golden: %s\n  now:    %s\n", i+1, w, g)
+			shown++
+		}
+	}
+	return b.String()
+}

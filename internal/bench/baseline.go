@@ -6,8 +6,8 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"polce"
 	"polce/internal/andersen"
-	"polce/internal/solver"
 	"polce/internal/steens"
 )
 
@@ -39,11 +39,11 @@ func BaselineComparison(w io.Writer, benches []Benchmark, seed int64) error {
 		steensTime := time.Since(start)
 
 		start = time.Now()
-		_ = andersen.Analyze(p.file, andersen.Options{Form: solver.SF, Cycles: solver.CycleNone, Seed: seed})
+		_ = andersen.Analyze(p.file, andersen.Options{Form: polce.SF, Cycles: polce.CycleNone, Seed: seed})
 		plainTime := time.Since(start)
 
 		start = time.Now()
-		online := andersen.Analyze(p.file, andersen.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: seed})
+		online := andersen.Analyze(p.file, andersen.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: seed})
 		online.Sys.ComputeLeastSolutions()
 		onlineTime := time.Since(start)
 

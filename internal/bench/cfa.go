@@ -6,9 +6,9 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"polce"
 	"polce/internal/cfa"
 	"polce/internal/mlang"
-	"polce/internal/solver"
 )
 
 // CFAExperiment runs the paper's stated future-work study: the impact of
@@ -25,14 +25,14 @@ func CFAExperiment(w io.Writer, sizes []int, seed int64) error {
 	fmt.Fprintln(tw, "Nodes\tCycleVars\tSF-Plain Work/Time\tIF-Plain Work/Time\tSF-Online Work/Elim/Time\tIF-Online Work/Elim/Time\t")
 
 	type cfg struct {
-		form solver.Form
-		pol  solver.CyclePolicy
+		form polce.Form
+		pol  polce.CyclePolicy
 	}
 	configs := []cfg{
-		{solver.SF, solver.CycleNone},
-		{solver.IF, solver.CycleNone},
-		{solver.SF, solver.CycleOnline},
-		{solver.IF, solver.CycleOnline},
+		{polce.SF, polce.CycleNone},
+		{polce.IF, polce.CycleNone},
+		{polce.SF, polce.CycleOnline},
+		{polce.IF, polce.CycleOnline},
 	}
 
 	var lastRatio float64
@@ -53,7 +53,7 @@ func CFAExperiment(w io.Writer, sizes []int, seed int64) error {
 		for i, c := range configs {
 			start := time.Now()
 			r := cfa.Analyze(prog, cfa.Options{Form: c.form, Cycles: c.pol, Seed: seed})
-			if c.form == solver.IF {
+			if c.form == polce.IF {
 				r.Sys.ComputeLeastSolutions()
 			}
 			out[i] = meas{

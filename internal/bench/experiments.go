@@ -5,37 +5,37 @@ import (
 	"runtime"
 	"time"
 
+	"polce"
 	"polce/internal/andersen"
-	"polce/internal/solver"
 	"polce/internal/telemetry"
 )
 
 // Experiment is one of the paper's configurations (Table 4).
 type Experiment struct {
 	Name   string
-	Form   solver.Form
-	Cycles solver.CyclePolicy
+	Form   polce.Form
+	Cycles polce.CyclePolicy
 	Desc   string
-	// Interval configures solver.CyclePeriodic (0 = solver default).
+	// Interval configures polce.CyclePeriodic (0 = solver default).
 	Interval int
 }
 
 // Experiments lists the six configurations of Table 4, in the paper's
 // order.
 var Experiments = []Experiment{
-	{Name: "SF-Plain", Form: solver.SF, Cycles: solver.CycleNone, Desc: "Standard form, no cycle elimination"},
-	{Name: "IF-Plain", Form: solver.IF, Cycles: solver.CycleNone, Desc: "Inductive form, no cycle elimination"},
-	{Name: "SF-Oracle", Form: solver.SF, Cycles: solver.CycleOracle, Desc: "Standard form, with full (oracle) cycle elimination"},
-	{Name: "IF-Oracle", Form: solver.IF, Cycles: solver.CycleOracle, Desc: "Inductive form, with full (oracle) cycle elimination"},
-	{Name: "SF-Online", Form: solver.SF, Cycles: solver.CycleOnline, Desc: "Standard form, using online cycle elimination"},
-	{Name: "IF-Online", Form: solver.IF, Cycles: solver.CycleOnline, Desc: "Inductive form, with online cycle elimination"},
+	{Name: "SF-Plain", Form: polce.SF, Cycles: polce.CycleNone, Desc: "Standard form, no cycle elimination"},
+	{Name: "IF-Plain", Form: polce.IF, Cycles: polce.CycleNone, Desc: "Inductive form, no cycle elimination"},
+	{Name: "SF-Oracle", Form: polce.SF, Cycles: polce.CycleOracle, Desc: "Standard form, with full (oracle) cycle elimination"},
+	{Name: "IF-Oracle", Form: polce.IF, Cycles: polce.CycleOracle, Desc: "Inductive form, with full (oracle) cycle elimination"},
+	{Name: "SF-Online", Form: polce.SF, Cycles: polce.CycleOnline, Desc: "Standard form, using online cycle elimination"},
+	{Name: "IF-Online", Form: polce.IF, Cycles: polce.CycleOnline, Desc: "Inductive form, with online cycle elimination"},
 }
 
 // Ablation is the §4 extra experiment: standard form searching
 // increasing successor chains, which the paper reports detecting more
 // cycles than the decreasing search at much higher cost.
 var Ablation = Experiment{
-	Name: "SF-Incr", Form: solver.SF, Cycles: solver.CycleOnlineIncreasing,
+	Name: "SF-Incr", Form: polce.SF, Cycles: polce.CycleOnlineIncreasing,
 	Desc: "Standard form, online elimination via increasing chains (ablation)",
 }
 
@@ -44,9 +44,9 @@ var Ablation = Experiment{
 // ([FA96, FF97, MW97]-style periodic simplification), here every 2000
 // edge additions.
 var PeriodicAblations = []Experiment{
-	{Name: "SF-Periodic", Form: solver.SF, Cycles: solver.CyclePeriodic, Interval: 2000,
+	{Name: "SF-Periodic", Form: polce.SF, Cycles: polce.CyclePeriodic, Interval: 2000,
 		Desc: "Standard form, offline sweep every 2000 edge additions (prior work)"},
-	{Name: "IF-Periodic", Form: solver.IF, Cycles: solver.CyclePeriodic, Interval: 2000,
+	{Name: "IF-Periodic", Form: polce.IF, Cycles: polce.CyclePeriodic, Interval: 2000,
 		Desc: "Inductive form, offline sweep every 2000 edge additions (prior work)"},
 }
 
@@ -145,7 +145,7 @@ type Options struct {
 	Seed int64
 	// Order selects the variable-order strategy (default OrderRandom, as
 	// in the paper's experiments).
-	Order solver.OrderStrategy
+	Order polce.OrderStrategy
 	// Repeat re-runs each timed experiment and keeps the best time (the
 	// paper reports best of three). 0 means 1.
 	Repeat int
@@ -156,7 +156,7 @@ type Options struct {
 	// off when reproducing the paper's timing tables exactly.
 	Phases bool
 	// LSWorkers is the least-solution pass worker count; see
-	// solver.Options.LSWorkers.
+	// polce.Options.LSWorkers.
 	LSWorkers int
 }
 
@@ -181,7 +181,7 @@ func RunBenchmark(b Benchmark, names []string, opt Options) (*Result, error) {
 	res := &Result{Bench: b, ASTNodes: p.nodes, LOC: p.loc, Runs: map[string]Run{}}
 
 	// Table 1 statistics from the initial (unclosed) graph.
-	initial := andersen.AnalyzeInitial(p.file, andersen.Options{Form: solver.SF, Seed: opt.Seed})
+	initial := andersen.AnalyzeInitial(p.file, andersen.Options{Form: polce.SF, Seed: opt.Seed})
 	res.SetVars = initial.Sys.Stats().VarsCreated
 	vv, src, snk := initial.Sys.EdgeCounts()
 	res.InitialEdges = vv + src + snk
@@ -194,20 +194,20 @@ func RunBenchmark(b Benchmark, names []string, opt Options) (*Result, error) {
 	// requested IF-Online run is re-run timed below), but measured so
 	// the oracle experiments can report their pass-1 cost.
 	refStart := time.Now()
-	ref := andersen.Analyze(p.file, andersen.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: opt.Seed, Order: opt.Order})
+	ref := andersen.Analyze(p.file, andersen.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: opt.Seed, Order: opt.Order})
 	refElapsed := time.Since(refStart)
 	res.FinalSCCVars, res.FinalSCCMax = ref.Sys.CycleClassStats()
 	res.FinalDensity = ref.Sys.CurrentGraphStats().Density
-	var oracle *solver.Oracle
+	var oracle *polce.Oracle
 
 	for _, name := range names {
 		exp, ok := ExperimentByName(name)
 		if !ok {
 			return nil, fmt.Errorf("bench: unknown experiment %q", name)
 		}
-		if exp.Cycles == solver.CycleOracle && oracle == nil {
+		if exp.Cycles == polce.CycleOracle && oracle == nil {
 			buildStart := time.Now()
-			oracle = solver.BuildOracle(ref.Sys)
+			oracle = polce.BuildOracle(ref.Sys)
 			res.OraclePass1 = refElapsed + time.Since(buildStart)
 		}
 		res.Runs[name] = runOne(p, exp, oracle, opt, repeat)
@@ -219,7 +219,7 @@ func RunBenchmark(b Benchmark, names []string, opt Options) (*Result, error) {
 // repeat runs (the solver is deterministic, so the counters and
 // distribution summaries are identical across repeats; only the timings
 // and allocation noise vary).
-func runOne(p *program, exp Experiment, oracle *solver.Oracle, opt Options, repeat int) Run {
+func runOne(p *program, exp Experiment, oracle *polce.Oracle, opt Options, repeat int) Run {
 	var best Run
 	for i := 0; i < repeat; i++ {
 		aOpts := andersen.Options{
@@ -242,7 +242,7 @@ func runOne(p *program, exp Experiment, oracle *solver.Oracle, opt Options, repe
 		r := andersen.Analyze(p.file, aOpts)
 		solveElapsed := time.Since(start)
 		var lsElapsed time.Duration
-		if exp.Form == solver.IF {
+		if exp.Form == polce.IF {
 			// The paper always includes the least-solution pass in
 			// inductive-form timings.
 			lsStart := time.Now()
@@ -265,7 +265,7 @@ func runOne(p *program, exp Experiment, oracle *solver.Oracle, opt Options, repe
 			SolveTime:  solveElapsed,
 			LSTime:     lsElapsed,
 		}
-		if exp.Form == solver.IF {
+		if exp.Form == polce.IF {
 			run.LSLevels = st.LSLevels
 			run.LSUnionHitRate = st.LSUnionHitRate()
 		}

@@ -6,8 +6,8 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"polce"
 	"polce/internal/andersen"
-	"polce/internal/solver"
 )
 
 // OrderExperiment reproduces the paper's §2.4 remark that a random total
@@ -15,7 +15,7 @@ import (
 // IF-Online is run with random, creation and reverse-creation orders over
 // the given benchmarks, comparing work, eliminations and time.
 func OrderExperiment(w io.Writer, benches []Benchmark, seed int64) error {
-	strategies := []solver.OrderStrategy{solver.OrderRandom, solver.OrderCreation, solver.OrderReverseCreation}
+	strategies := []polce.OrderStrategy{polce.OrderRandom, polce.OrderCreation, polce.OrderReverseCreation}
 
 	fmt.Fprintln(w, "Order-choice ablation (§2.4): IF-Online under different variable orders")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
@@ -37,7 +37,7 @@ func OrderExperiment(w io.Writer, benches []Benchmark, seed int64) error {
 		for _, strat := range strategies {
 			start := time.Now()
 			r := andersen.Analyze(p.file, andersen.Options{
-				Form: solver.IF, Cycles: solver.CycleOnline, Seed: seed, Order: strat,
+				Form: polce.IF, Cycles: polce.CycleOnline, Seed: seed, Order: strat,
 			})
 			r.Sys.ComputeLeastSolutions()
 			elapsed := time.Since(start)

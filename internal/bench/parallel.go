@@ -9,8 +9,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"polce"
 	"polce/internal/andersen"
-	"polce/internal/solver"
 )
 
 // This file is the parallel experiment runner. The sequential harness
@@ -28,7 +28,7 @@ import (
 type Cell struct {
 	Bench Benchmark
 	Exp   Experiment
-	Order solver.OrderStrategy
+	Order polce.OrderStrategy
 	Seed  int64
 }
 
@@ -36,7 +36,7 @@ type Cell struct {
 // cells, in that nesting order (seed varies fastest). The expansion is
 // deterministic, so two processes given the same inputs enumerate the same
 // cells at the same indices.
-func Grid(benches []Benchmark, exps []Experiment, orders []solver.OrderStrategy, seeds []int64) []Cell {
+func Grid(benches []Benchmark, exps []Experiment, orders []polce.OrderStrategy, seeds []int64) []Cell {
 	cells := make([]Cell, 0, len(benches)*len(exps)*len(orders)*len(seeds))
 	for _, b := range benches {
 		for _, e := range exps {
@@ -95,7 +95,7 @@ type ParallelOptions struct {
 	// and search-depth quantiles (see Options.Phases).
 	Phases bool
 	// LSWorkers is the least-solution pass worker count per cell; see
-	// solver.Options.LSWorkers.
+	// polce.Options.LSWorkers.
 	LSWorkers int
 }
 
@@ -139,12 +139,12 @@ func runCell(c Cell, opt ParallelOptions) CellResult {
 	if err != nil {
 		return CellResult{Cell: c, Err: err}
 	}
-	var oracle *solver.Oracle
-	if c.Exp.Cycles == solver.CycleOracle {
+	var oracle *polce.Oracle
+	if c.Exp.Cycles == polce.CycleOracle {
 		ref := andersen.Analyze(p.file, andersen.Options{
-			Form: solver.IF, Cycles: solver.CycleOnline, Seed: c.Seed, Order: c.Order,
+			Form: polce.IF, Cycles: polce.CycleOnline, Seed: c.Seed, Order: c.Order,
 		})
-		oracle = solver.BuildOracle(ref.Sys)
+		oracle = polce.BuildOracle(ref.Sys)
 	}
 	repeat := opt.Repeat
 	if repeat <= 0 {

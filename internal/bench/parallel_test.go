@@ -6,7 +6,7 @@ import (
 	"testing"
 	"time"
 
-	"polce/internal/solver"
+	"polce"
 )
 
 // smallGrid is a grid small enough for tests but wide enough to exercise
@@ -19,7 +19,7 @@ func smallGrid(t *testing.T) []Cell {
 		Experiments[5], // IF-Online
 		Experiments[3], // IF-Oracle: exercises the cell-local reference pass
 	}
-	orders := []solver.OrderStrategy{solver.OrderRandom, solver.OrderCreation}
+	orders := []polce.OrderStrategy{polce.OrderRandom, polce.OrderCreation}
 	cells := Grid(benches, exps, orders, []int64{1})
 	for i := range cells {
 		cells[i].Seed = CellSeed(1, cells[i])
@@ -82,7 +82,7 @@ func TestRunParallelOrderStableAndDeterministic(t *testing.T) {
 	// cell-local reference pass found the cycles for them).
 	sawOracle := false
 	for i, c := range cells {
-		if c.Exp.Cycles == solver.CycleOracle {
+		if c.Exp.Cycles == polce.CycleOracle {
 			sawOracle = true
 			if par[i].Run.Eliminated == 0 {
 				t.Errorf("oracle cell %d eliminated nothing; per-cell oracle not built?", i)

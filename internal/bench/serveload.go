@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polce"
+	"polce/internal/serve"
+)
+
+// ServeLoadOptions configures the service load generator.
+type ServeLoadOptions struct {
+	// Addr targets an already-running polce-serve instance
+	// ("host:port"). Empty self-hosts an in-process server on a loopback
+	// port, which is the race-detector-friendly default.
+	Addr string
+	// Readers is the number of concurrent query goroutines. Zero means 8.
+	Readers int
+	// Duration is the minimum length of the read phase. Zero means 3s.
+	Duration time.Duration
+	// MinQueries keeps the run going past Duration until this many queries
+	// have completed, so the reported sustained rate is backed by a floor
+	// of actual traffic on slow machines too. Zero means 10000; negative
+	// disables the floor.
+	MinQueries int
+	// Batch is the number of constraints per ingestion POST. Zero means 32.
+	Batch int
+	// Seed is the solver's variable-order seed for the self-hosted server.
+	Seed int64
+}
+
+func (o ServeLoadOptions) withDefaults() ServeLoadOptions {
+	if o.Readers <= 0 {
+		o.Readers = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 3 * time.Second
+	}
+	if o.MinQueries == 0 {
+		o.MinQueries = 10000
+	}
+	if o.Batch <= 0 {
+		o.Batch = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// serveLoadStats aggregates one run: per-query latencies and error counts
+// from the readers, plus the writer's progress.
+type serveLoadStats struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+
+	queries atomic.Int64
+	errors  atomic.Int64
+	batches atomic.Int64
+}
+
+func (st *serveLoadStats) record(d time.Duration) {
+	st.mu.Lock()
+	st.latencies = append(st.latencies, d)
+	st.mu.Unlock()
+}
+
+func (st *serveLoadStats) percentile(p float64) time.Duration {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.latencies) == 0 {
+		return 0
+	}
+	sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+	idx := int(p * float64(len(st.latencies)-1))
+	return st.latencies[idx]
+}
+
+// RunServeLoad races opt.Readers query goroutines against one ingestion
+// writer through real HTTP and reports sustained QPS and the p50/p99 query
+// latency. With no Addr it self-hosts a serve.Server for the run and
+// drains it afterwards, so the whole exercise (including the server) sits
+// under the race detector when the binary is built with -race.
+func RunServeLoad(w io.Writer, opt ServeLoadOptions) error {
+	opt = opt.withDefaults()
+
+	base := "http://" + opt.Addr
+	var shutdown func() error
+	if opt.Addr == "" {
+		// The self-hosted server reads with 2ms bounded staleness: under a
+		// saturating writer every graph-version bump would otherwise force
+		// an O(vars) snapshot capture per read.
+		srv := serve.New(serve.Config{
+			Solver:           polce.New(polce.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: opt.Seed}),
+			QueueDepth:       256,
+			SnapshotMaxStale: 2 * time.Millisecond,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		base = "http://" + ln.Addr().String()
+		shutdown = func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				return err
+			}
+			return srv.Shutdown(ctx)
+		}
+		fmt.Fprintf(w, "serve-load: self-hosted polce-serve on %s\n", ln.Addr())
+	}
+
+	// The default transport keeps only two idle connections per host, which
+	// would make every reader redial constantly; give each goroutine its
+	// own persistent connection instead.
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConns = opt.Readers + 4
+	transport.MaxIdleConnsPerHost = opt.Readers + 4
+	client := &http.Client{Timeout: 10 * time.Second, Transport: transport}
+
+	// Seed the program so every reader has a live variable from the start.
+	if err := postBatch(client, base, "cons a0\na0 <= v0", true); err != nil {
+		if shutdown != nil {
+			_ = shutdown()
+		}
+		return fmt.Errorf("seeding program: %w", err)
+	}
+
+	var (
+		st        serveLoadStats
+		stopWrite = make(chan struct{}) // closed when Duration elapses
+		stop      = make(chan struct{}) // closed once the query floor is met too
+		wg        sync.WaitGroup
+	)
+
+	// The writer streams bounded constraint clusters, opt.Batch constraints
+	// per POST: each batch is a fresh small chain seeded by its own atom and
+	// linked back to the shared v0 atom. Least solutions stay small this
+	// way — one endless chain would make both ingestion and snapshot
+	// capture superlinear, which benchmarks the workload's density, not the
+	// service. Each batch is synchronous so ingestion paces itself and a
+	// full queue shows up as backpressure here rather than dropped work.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; ; k++ {
+			select {
+			case <-stopWrite:
+				return
+			default:
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "cons b%d\nb%d <= w%d_0; a0 <= w%d_0\n", k, k, k, k)
+			for i := 2; i < opt.Batch; i++ {
+				fmt.Fprintf(&b, "w%d_%d <= w%d_%d\n", k, i-2, k, i-1)
+			}
+			if err := postBatch(client, base, b.String(), true); err != nil {
+				st.errors.Add(1)
+				return
+			}
+			st.batches.Add(1)
+		}
+	}()
+
+	paths := []string{"/v1/least-solution/v0", "/v1/points-to/v0", "/v1/snapshot", "/v1/healthz"}
+	for r := 0; r < opt.Readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := r; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				begin := time.Now()
+				resp, err := client.Get(base + paths[i%len(paths)])
+				if err != nil {
+					st.errors.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				st.record(time.Since(begin))
+				st.queries.Add(1)
+				if resp.StatusCode != http.StatusOK {
+					st.errors.Add(1)
+				}
+			}
+		}(r)
+	}
+
+	// Phase one races readers against the writer for Duration; if the
+	// query floor is not yet met (slow machine, race-instrumented build),
+	// the writer stops and readers keep draining queries against the
+	// now-static graph until it is.
+	start := time.Now()
+	time.Sleep(opt.Duration)
+	close(stopWrite)
+	for opt.MinQueries > 0 && st.queries.Load() < int64(opt.MinQueries) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if shutdown != nil {
+		if err := shutdown(); err != nil {
+			return fmt.Errorf("draining self-hosted server: %w", err)
+		}
+	}
+
+	queries := st.queries.Load()
+	qps := float64(queries) / elapsed.Seconds()
+	fmt.Fprintf(w, "serve-load: %d readers vs 1 writer for %s\n", opt.Readers, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "  queries   %10d   (%.0f QPS)\n", queries, qps)
+	fmt.Fprintf(w, "  latency   p50 %8s   p99 %8s\n",
+		st.percentile(0.50).Round(time.Microsecond), st.percentile(0.99).Round(time.Microsecond))
+	fmt.Fprintf(w, "  ingested  %10d batches (%d constraints)\n", st.batches.Load(), st.batches.Load()*int64(opt.Batch))
+	fmt.Fprintf(w, "  errors    %10d\n", st.errors.Load())
+	if st.errors.Load() > 0 {
+		return fmt.Errorf("serve-load: %d request error(s)", st.errors.Load())
+	}
+	return nil
+}
+
+// postBatch POSTs one SCL program and fails on any non-2xx status.
+func postBatch(client *http.Client, base, program string, wait bool) error {
+	url := base + "/v1/constraints"
+	if wait {
+		url += "?wait=1"
+	}
+	resp, err := client.Post(url, "text/plain", strings.NewReader(program))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("POST /v1/constraints: %d: %s", resp.StatusCode, body)
+	}
+	return nil
+}

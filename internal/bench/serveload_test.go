@@ -1,0 +1,29 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunServeLoad smoke-tests the load generator end to end on a short
+// self-hosted run: it must finish without request errors and report its
+// query count and latency percentiles.
+func TestRunServeLoad(t *testing.T) {
+	var out strings.Builder
+	err := RunServeLoad(&out, ServeLoadOptions{
+		Readers:    4,
+		Duration:   150 * time.Millisecond,
+		Batch:      8,
+		MinQueries: -1, // keep the smoke test fast on any machine
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatalf("RunServeLoad: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"self-hosted polce-serve", "QPS", "p50", "p99", "errors"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -7,10 +7,10 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"polce"
 	"polce/internal/andersen"
 	"polce/internal/cgen"
 	"polce/internal/progen"
-	"polce/internal/solver"
 )
 
 // Sweep quantifies the scaling claim behind Figures 7 and 9: one workload
@@ -44,12 +44,12 @@ func Sweep(w io.Writer, sizes []int, seed int64) error {
 		cur := point{nodes: cgen.CountNodes(file)}
 
 		start := time.Now()
-		sf := andersen.Analyze(file, andersen.Options{Form: solver.SF, Cycles: solver.CycleNone, Seed: seed})
+		sf := andersen.Analyze(file, andersen.Options{Form: polce.SF, Cycles: polce.CycleNone, Seed: seed})
 		cur.sfSec = time.Since(start).Seconds()
 		cur.sfWork = sf.Sys.Stats().Work
 
 		start = time.Now()
-		ifr := andersen.Analyze(file, andersen.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: seed})
+		ifr := andersen.Analyze(file, andersen.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: seed})
 		ifr.Sys.ComputeLeastSolutions()
 		cur.ifSec = time.Since(start).Seconds()
 		cur.ifWork = ifr.Sys.Stats().Work

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"io"
 
+	"polce"
 	"polce/internal/andersen"
-	"polce/internal/solver"
 )
 
 // VerifyLeastSolutions checks the least-solution engine's determinism
@@ -46,7 +46,7 @@ func VerifyLeastSolutions(w io.Writer, benches []Benchmark, seed int64, workers 
 // verifyOne compares the sequential and parallel least solutions of one
 // program and returns the number of mismatching locations.
 func verifyOne(p *program, seed int64, workers int) (mismatches, locs int, err error) {
-	opts := andersen.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: seed}
+	opts := andersen.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: seed}
 	opts.LSWorkers = 1
 	seq := andersen.Analyze(p.file, opts)
 	opts.LSWorkers = workers
@@ -70,7 +70,7 @@ func verifyOne(p *program, seed int64, workers int) (mismatches, locs int, err e
 // sameTermStrings compares two term sequences by rendered content, in
 // order. The runs use distinct *Term pointers, so identity comparison is
 // not available across systems.
-func sameTermStrings(a, b []*solver.Term) bool {
+func sameTermStrings(a, b []*polce.Term) bool {
 	if len(a) != len(b) {
 		return false
 	}

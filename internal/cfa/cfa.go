@@ -18,23 +18,23 @@ import (
 	"io"
 	"sort"
 
+	"polce"
 	"polce/internal/mlang"
-	"polce/internal/solver"
 )
 
 // cloCon is the closure constructor: contravariant parameter, covariant
 // body result.
-var cloCon = solver.NewConstructor("clo", solver.Contravariant, solver.Covariant)
+var cloCon = polce.NewConstructor("clo", polce.Contravariant, polce.Covariant)
 
 // numCon is the abstract integer value.
-var numCon = solver.NewConstructor("num")
+var numCon = polce.NewConstructor("num")
 
 // Options configures an analysis run, mirroring the solver options.
 type Options struct {
-	Form             solver.Form
-	Cycles           solver.CyclePolicy
+	Form             polce.Form
+	Cycles           polce.CyclePolicy
 	Seed             int64
-	Oracle           *solver.Oracle
+	Oracle           *polce.Oracle
 	PeriodicInterval int
 }
 
@@ -43,31 +43,31 @@ type Closure struct {
 	// Lam is the abstraction (identified by its Label).
 	Lam *mlang.Lam
 	// Param is the set variable of the parameter's bindings.
-	Param *solver.Var
+	Param *polce.Var
 	// Result is the set variable of the body's value.
-	Result *solver.Var
+	Result *polce.Var
 	// Value is the clo term representing the abstraction.
-	Value *solver.Term
+	Value *polce.Term
 }
 
 // Result is a completed closure analysis.
 type Result struct {
-	Sys *solver.Solver
+	Sys *polce.Solver
 	// Root is the whole program's value set.
-	Root solver.Expr
+	Root polce.Expr
 	// Closures maps lambda labels to their artefacts.
 	Closures map[int]*Closure
 	// AppSites maps application labels to the set variable of the
 	// operator position (whose closure content is the call graph).
-	AppSites map[int]*solver.Var
+	AppSites map[int]*polce.Var
 
-	valOf map[*solver.Term]*Closure
-	num   *solver.Term
+	valOf map[*polce.Term]*Closure
+	num   *polce.Term
 }
 
 // Analyze runs 0-CFA over the program.
 func Analyze(program mlang.Expr, opts Options) *Result {
-	sys := solver.New(solver.Options{
+	sys := polce.New(polce.Options{
 		Form:             opts.Form,
 		Cycles:           opts.Cycles,
 		Seed:             opts.Seed,
@@ -77,11 +77,11 @@ func Analyze(program mlang.Expr, opts Options) *Result {
 	r := &Result{
 		Sys:      sys,
 		Closures: map[int]*Closure{},
-		AppSites: map[int]*solver.Var{},
-		valOf:    map[*solver.Term]*Closure{},
-		num:      solver.NewTerm(numCon),
+		AppSites: map[int]*polce.Var{},
+		valOf:    map[*polce.Term]*Closure{},
+		num:      polce.NewTerm(numCon),
 	}
-	g := &gen{sys: sys, res: r, env: map[string][]*solver.Var{}}
+	g := &gen{sys: sys, res: r, env: map[string][]*polce.Var{}}
 	r.Root = g.gen(program)
 	return r
 }
@@ -104,7 +104,7 @@ func (r *Result) CalledAt(appLabel int) []*Closure {
 
 // ValuesOf filters a least solution into closures (and reports whether an
 // integer may also appear).
-func (r *Result) ValuesOf(v *solver.Var) (clos []*Closure, hasNum bool) {
+func (r *Result) ValuesOf(v *polce.Var) (clos []*Closure, hasNum bool) {
 	for _, t := range r.Sys.LeastSolution(v) {
 		if c, ok := r.valOf[t]; ok {
 			clos = append(clos, c)
@@ -163,12 +163,12 @@ func (r *Result) WriteCallGraphDOT(w io.Writer) error {
 
 // gen is the constraint generator: a standard environment-based walk.
 type gen struct {
-	sys *solver.Solver
+	sys *polce.Solver
 	res *Result
-	env map[string][]*solver.Var // lexical scope stack per name
+	env map[string][]*polce.Var // lexical scope stack per name
 }
 
-func (g *gen) bind(name string, v *solver.Var) {
+func (g *gen) bind(name string, v *polce.Var) {
 	g.env[name] = append(g.env[name], v)
 }
 
@@ -176,7 +176,7 @@ func (g *gen) unbind(name string) {
 	g.env[name] = g.env[name][:len(g.env[name])-1]
 }
 
-func (g *gen) lookup(name string) *solver.Var {
+func (g *gen) lookup(name string) *polce.Var {
 	if vs := g.env[name]; len(vs) > 0 {
 		return vs[len(vs)-1]
 	}
@@ -184,7 +184,7 @@ func (g *gen) lookup(name string) *solver.Var {
 }
 
 // gen returns the set expression for e's value.
-func (g *gen) gen(e mlang.Expr) solver.Expr {
+func (g *gen) gen(e mlang.Expr) polce.Expr {
 	switch x := e.(type) {
 	case *mlang.Var:
 		if v := g.lookup(x.Name); v != nil {
@@ -202,7 +202,7 @@ func (g *gen) gen(e mlang.Expr) solver.Expr {
 		g.unbind(x.Param)
 		g.sys.AddConstraint(body, result)
 		clo := &Closure{Lam: x, Param: param, Result: result,
-			Value: solver.NewTerm(cloCon, param, result)}
+			Value: polce.NewTerm(cloCon, param, result)}
 		g.res.Closures[x.Label()] = clo
 		g.res.valOf[clo.Value] = clo
 		return clo.Value
@@ -214,7 +214,7 @@ func (g *gen) gen(e mlang.Expr) solver.Expr {
 		g.sys.AddConstraint(fn, site)
 		g.res.AppSites[x.Label()] = site
 		res := g.sys.Fresh(fmt.Sprintf("app@%d", x.Label()))
-		g.sys.AddConstraint(site, solver.NewTerm(cloCon, arg, res))
+		g.sys.AddConstraint(site, polce.NewTerm(cloCon, arg, res))
 		return res
 	case *mlang.Let:
 		bound := g.gen(x.Bound)
@@ -238,7 +238,7 @@ func (g *gen) gen(e mlang.Expr) solver.Expr {
 			Lam:    &mlang.Lam{Param: x.Param, Body: x.FnBody},
 			Param:  param,
 			Result: result,
-			Value:  solver.NewTerm(cloCon, param, result),
+			Value:  polce.NewTerm(cloCon, param, result),
 		}
 		g.res.Closures[x.Label()] = clo
 		g.res.valOf[clo.Value] = clo

@@ -6,8 +6,8 @@ import (
 	"strings"
 	"testing"
 
+	"polce"
 	"polce/internal/mlang"
-	"polce/internal/solver"
 )
 
 func run(t *testing.T, src string, opts Options) (*Result, mlang.Expr) {
@@ -32,8 +32,8 @@ func appLabels(prog mlang.Expr) []int {
 }
 
 func TestIdentityApplication(t *testing.T) {
-	for _, form := range []solver.Form{solver.SF, solver.IF} {
-		for _, pol := range []solver.CyclePolicy{solver.CycleNone, solver.CycleOnline} {
+	for _, form := range []polce.Form{polce.SF, polce.IF} {
+		for _, pol := range []polce.CyclePolicy{polce.CycleNone, polce.CycleOnline} {
 			r, prog := run(t, "(fn x => x) 41", Options{Form: form, Cycles: pol, Seed: 1})
 			apps := appLabels(prog)
 			if len(apps) != 1 {
@@ -45,7 +45,7 @@ func TestIdentityApplication(t *testing.T) {
 			}
 			// The program's value: the identity returns its numeric
 			// argument.
-			root, ok := r.Root.(*solver.Var)
+			root, ok := r.Root.(*polce.Var)
 			if !ok {
 				t.Fatalf("root is %T", r.Root)
 			}
@@ -64,7 +64,7 @@ func TestHigherOrderFlow(t *testing.T) {
 let twice = fn f => fn x => f (f x) in
 let inc = fn n => n + 1 in
 twice inc 3`
-	r, prog := run(t, src, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 2})
+	r, prog := run(t, src, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 2})
 	resolved := 0
 	mlang.Walk(prog, func(e mlang.Expr) {
 		if _, ok := e.(*mlang.App); !ok {
@@ -90,8 +90,8 @@ func TestLetrecCreatesCycleAndCollapses(t *testing.T) {
 	src := `
 letrec loop n = if0 n then 0 else loop (n - 1) in
 loop 10`
-	plain, _ := run(t, src, Options{Form: solver.IF, Cycles: solver.CycleNone, Seed: 3})
-	online, _ := run(t, src, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 3})
+	plain, _ := run(t, src, Options{Form: polce.IF, Cycles: polce.CycleNone, Seed: 3})
+	online, _ := run(t, src, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 3})
 	if online.Sys.Stats().Work > plain.Sys.Stats().Work {
 		t.Errorf("online work %d exceeds plain %d", online.Sys.Stats().Work, plain.Sys.Stats().Work)
 	}
@@ -104,7 +104,7 @@ loop 10`
 
 func TestSelfApplication(t *testing.T) {
 	// (fn x => x x) (fn y => y): classic 0-CFA workout.
-	r, prog := run(t, "(fn x => x x) (fn y => y)", Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 4})
+	r, prog := run(t, "(fn x => x x) (fn y => y)", Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 4})
 	apps := appLabels(prog)
 	if len(apps) != 2 {
 		t.Fatalf("apps = %v", apps)
@@ -129,7 +129,7 @@ let f = fn a => a in
 let g = fn b => b in
 let pick = fn c => if0 c then f else g in
 pick 0 7`
-	r, prog := run(t, src, Options{Form: solver.SF, Cycles: solver.CycleOnline, Seed: 5})
+	r, prog := run(t, src, Options{Form: polce.SF, Cycles: polce.CycleOnline, Seed: 5})
 	// The outer application (pick 0) 7 must see both f and g.
 	var outer int
 	mlang.Walk(prog, func(e mlang.Expr) {
@@ -170,19 +170,19 @@ func TestAllConfigsAgree(t *testing.T) {
 		return m
 	}
 
-	ref := Analyze(prog, Options{Form: solver.SF, Cycles: solver.CycleNone, Seed: 0})
+	ref := Analyze(prog, Options{Form: polce.SF, Cycles: polce.CycleNone, Seed: 0})
 	want := snapshot(ref)
-	oracle := solver.BuildOracle(ref.Sys)
+	oracle := polce.BuildOracle(ref.Sys)
 
 	configs := []Options{
-		{Form: solver.IF, Cycles: solver.CycleNone, Seed: 0},
-		{Form: solver.SF, Cycles: solver.CycleOnline, Seed: 0},
-		{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 0},
-		{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 12345},
-		{Form: solver.SF, Cycles: solver.CyclePeriodic, Seed: 0, PeriodicInterval: 100},
-		{Form: solver.IF, Cycles: solver.CyclePeriodic, Seed: 0, PeriodicInterval: 100},
-		{Form: solver.SF, Cycles: solver.CycleOracle, Seed: 0, Oracle: oracle},
-		{Form: solver.IF, Cycles: solver.CycleOracle, Seed: 0, Oracle: oracle},
+		{Form: polce.IF, Cycles: polce.CycleNone, Seed: 0},
+		{Form: polce.SF, Cycles: polce.CycleOnline, Seed: 0},
+		{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 0},
+		{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 12345},
+		{Form: polce.SF, Cycles: polce.CyclePeriodic, Seed: 0, PeriodicInterval: 100},
+		{Form: polce.IF, Cycles: polce.CyclePeriodic, Seed: 0, PeriodicInterval: 100},
+		{Form: polce.SF, Cycles: polce.CycleOracle, Seed: 0, Oracle: oracle},
+		{Form: polce.IF, Cycles: polce.CycleOracle, Seed: 0, Oracle: oracle},
 	}
 	for _, cfg := range configs {
 		got := snapshot(Analyze(prog, cfg))
@@ -198,12 +198,12 @@ func TestAllConfigsAgree(t *testing.T) {
 // as much here.
 func TestClosureWorkloadsAreCyclic(t *testing.T) {
 	prog := mlang.MustParse(GenProgram(7, 2000))
-	plain := Analyze(prog, Options{Form: solver.IF, Cycles: solver.CycleNone, Seed: 1})
+	plain := Analyze(prog, Options{Form: polce.IF, Cycles: polce.CycleNone, Seed: 1})
 	inCycles, _ := plain.Sys.CycleClassStats()
 	if inCycles == 0 {
 		t.Fatal("no cyclic variables in a higher-order workload")
 	}
-	online := Analyze(prog, Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 1})
+	online := Analyze(prog, Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 1})
 	st := online.Sys.Stats()
 	if st.VarsEliminated == 0 {
 		t.Error("online elimination found nothing")
@@ -214,7 +214,7 @@ func TestClosureWorkloadsAreCyclic(t *testing.T) {
 }
 
 func TestCallGraphDOT(t *testing.T) {
-	r, _ := run(t, "let id = fn x => x in id 1", Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 1})
+	r, _ := run(t, "let id = fn x => x in id 1", Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 1})
 	var sb strings.Builder
 	if err := r.WriteCallGraphDOT(&sb); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInconsistent is the sentinel every recorded inconsistency matches via
+// errors.Is. The concrete values are *InconsistentError.
+var ErrInconsistent = errors.New("polce: inconsistent constraint system")
+
+// InconsistentError records one inconsistent constraint L ⊆ R: either a
+// structural mismatch between distinct constructors or a set operation in
+// an inexpressible position (union on the right, intersection on the
+// left). L and R are the endpoints as seen by the resolution step that
+// failed — for structural mismatches both are *Term.
+type InconsistentError struct {
+	L, R Expr
+	msg  string
+}
+
+// Error returns the human-readable description.
+func (e *InconsistentError) Error() string { return e.msg }
+
+// Is matches the ErrInconsistent sentinel.
+func (e *InconsistentError) Is(target error) bool { return target == ErrInconsistent }
+
+// inconsistentf builds an *InconsistentError with a formatted message.
+func inconsistentf(l, r Expr, format string, args ...any) error {
+	return &InconsistentError{L: l, R: r, msg: fmt.Sprintf(format, args...)}
+}

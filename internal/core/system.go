@@ -266,7 +266,7 @@ func (s *System) decompose(l, r *Term) {
 func (s *System) fail(l, r *Term) {
 	s.errCount++
 	if len(s.errs) < s.maxErr {
-		s.errs = append(s.errs, fmt.Errorf("core: inconsistent constraint %s ⊆ %s", l, r))
+		s.errs = append(s.errs, inconsistentf(l, r, "core: inconsistent constraint %s ⊆ %s", l, r))
 	}
 }
 
@@ -274,7 +274,7 @@ func (s *System) fail(l, r *Term) {
 func (s *System) failExpr(what string, l, r Expr) {
 	s.errCount++
 	if len(s.errs) < s.maxErr {
-		s.errs = append(s.errs, fmt.Errorf("core: %s a constraint is not expressible: %s ⊆ %s", what, l, r))
+		s.errs = append(s.errs, inconsistentf(l, r, "core: %s a constraint is not expressible: %s ⊆ %s", what, l, r))
 	}
 }
 

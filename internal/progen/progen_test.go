@@ -3,9 +3,9 @@ package progen
 import (
 	"testing"
 
+	"polce"
 	"polce/internal/andersen"
 	"polce/internal/cgen"
-	"polce/internal/solver"
 )
 
 func TestDeterministic(t *testing.T) {
@@ -36,8 +36,8 @@ func TestGeneratedProgramAnalyses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, form := range []solver.Form{solver.SF, solver.IF} {
-		for _, pol := range []solver.CyclePolicy{solver.CycleNone, solver.CycleOnline} {
+	for _, form := range []polce.Form{polce.SF, polce.IF} {
+		for _, pol := range []polce.CyclePolicy{polce.CycleNone, polce.CycleOnline} {
 			r := andersen.Analyze(f, andersen.Options{Form: form, Cycles: pol, Seed: 3})
 			if n := r.Sys.ErrorCount(); n != 0 {
 				t.Errorf("%v/%v: %d constraint errors, e.g. %v", form, pol, n, r.Sys.Errors()[0])
@@ -57,8 +57,8 @@ func TestCyclesAriseDuringResolution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	initial := andersen.AnalyzeInitial(f, andersen.Options{Form: solver.IF, Seed: 1})
-	closed := andersen.Analyze(f, andersen.Options{Form: solver.IF, Cycles: solver.CycleNone, Seed: 1})
+	initial := andersen.AnalyzeInitial(f, andersen.Options{Form: polce.IF, Seed: 1})
+	closed := andersen.Analyze(f, andersen.Options{Form: polce.IF, Cycles: polce.CycleNone, Seed: 1})
 	initIn, _ := initial.Sys.CycleClassStats()
 	finalIn, _ := closed.Sys.CycleClassStats()
 	if finalIn == 0 {
@@ -85,8 +85,8 @@ func TestDataHeavyOutlier(t *testing.T) {
 	if nh < nn/2 || nh > 2*nn {
 		t.Fatalf("sizes diverge too much: %d vs %d", nn, nh)
 	}
-	vn := andersen.AnalyzeInitial(fn, andersen.Options{Form: solver.SF, Seed: 1}).Sys.Stats().VarsCreated
-	vh := andersen.AnalyzeInitial(fh, andersen.Options{Form: solver.SF, Seed: 1}).Sys.Stats().VarsCreated
+	vn := andersen.AnalyzeInitial(fn, andersen.Options{Form: polce.SF, Seed: 1}).Sys.Stats().VarsCreated
+	vh := andersen.AnalyzeInitial(fh, andersen.Options{Form: polce.SF, Seed: 1}).Sys.Stats().VarsCreated
 	if vh*3 > vn {
 		t.Errorf("data-heavy program has %d vars vs %d — not an outlier", vh, vn)
 	}

@@ -6,7 +6,7 @@ import (
 	"strings"
 	"testing"
 
-	"polce/internal/solver"
+	"polce"
 )
 
 // TestCorpus runs every .scl file under testdata against every solver
@@ -46,10 +46,10 @@ func TestCorpus(t *testing.T) {
 				t.Fatalf("%d queries but %d expectations", len(f.Queries), len(want))
 			}
 
-			for _, form := range []solver.Form{solver.SF, solver.IF} {
-				for _, pol := range []solver.CyclePolicy{solver.CycleNone, solver.CycleOnline, solver.CyclePeriodic} {
+			for _, form := range []polce.Form{polce.SF, polce.IF} {
+				for _, pol := range []polce.CyclePolicy{polce.CycleNone, polce.CycleOnline, polce.CyclePeriodic} {
 					for seed := int64(0); seed < 3; seed++ {
-						s := f.Solve(solver.Options{Form: form, Cycles: pol, Seed: seed, PeriodicInterval: 8})
+						s := f.Solve(polce.Options{Form: form, Cycles: pol, Seed: seed, PeriodicInterval: 8})
 						got := s.QueryResults()
 						for i := range want {
 							if got[i] != want[i] {

@@ -29,7 +29,7 @@ import (
 	"sort"
 	"strings"
 
-	"polce/internal/solver"
+	"polce"
 )
 
 // Constraint is one inclusion of the source file.
@@ -40,11 +40,12 @@ type Constraint struct {
 
 // File is a parsed constraint program.
 type File struct {
-	Cons        map[string]*solver.Constructor
+	Cons        map[string]*polce.Constructor
 	Constraints []Constraint
 	Queries     []string // variable names, in order
 	varNames    []string // first-use order
 	varSet      map[string]bool
+	consNames   []string // declaration order, for ParseAppend rollback
 }
 
 // Expr is the surface syntax tree for a set expression.
@@ -82,7 +83,15 @@ func (f *File) VarNames() []string { return f.varNames }
 
 // Parse reads a constraint program.
 func Parse(src string) (*File, error) {
-	f := &File{Cons: map[string]*solver.Constructor{}, varSet: map[string]bool{}}
+	f := &File{Cons: map[string]*polce.Constructor{}, varSet: map[string]bool{}}
+	if err := f.parseAll(src); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// parseAll feeds every statement of src through parseStmt.
+func (f *File) parseAll(src string) error {
 	lines := strings.Split(src, "\n")
 	for ln, raw := range lines {
 		if i := strings.IndexByte(raw, '#'); i >= 0 {
@@ -94,11 +103,11 @@ func Parse(src string) (*File, error) {
 				continue
 			}
 			if err := f.parseStmt(stmt, ln+1); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // MustParse parses or panics (tests, embedded corpora).
@@ -141,7 +150,7 @@ func (f *File) parseStmt(stmt string, line int) error {
 
 func (f *File) parseCons(decl string, line int) error {
 	name := decl
-	var sig []solver.Variance
+	var sig []polce.Variance
 	if i := strings.IndexByte(decl, '('); i >= 0 {
 		if !strings.HasSuffix(decl, ")") {
 			return fmt.Errorf("scl:%d: malformed constructor declaration %q", line, decl)
@@ -152,9 +161,9 @@ func (f *File) parseCons(decl string, line int) error {
 			for _, v := range strings.Split(inner, ",") {
 				switch strings.TrimSpace(v) {
 				case "+":
-					sig = append(sig, solver.Covariant)
+					sig = append(sig, polce.Covariant)
 				case "-":
-					sig = append(sig, solver.Contravariant)
+					sig = append(sig, polce.Contravariant)
 				default:
 					return fmt.Errorf("scl:%d: variance must be + or -, got %q", line, v)
 				}
@@ -167,7 +176,8 @@ func (f *File) parseCons(decl string, line int) error {
 	if _, dup := f.Cons[name]; dup {
 		return fmt.Errorf("scl:%d: constructor %s redeclared", line, name)
 	}
-	f.Cons[name] = solver.NewConstructor(name, sig...)
+	f.Cons[name] = polce.NewConstructor(name, sig...)
+	f.consNames = append(f.consNames, name)
 	return nil
 }
 
@@ -316,58 +326,21 @@ func isIdentByte(c byte, notFirst bool) bool {
 
 // Solved is a constraint program loaded into a live solver.
 type Solved struct {
-	Sys  *solver.Solver
-	Vars map[string]*solver.Var
+	Sys  *polce.Solver
+	Vars map[string]*polce.Var
 	file *File
 }
 
-// Solve builds a solver.Solver from the file under the given options and
-// adds every constraint.
-func (f *File) Solve(opt solver.Options) *Solved {
-	s := &Solved{Sys: solver.New(opt), Vars: map[string]*solver.Var{}, file: f}
-	for _, name := range f.varNames {
-		s.Vars[name] = s.Sys.Fresh(name)
-	}
-	// Terms are interned structurally: every occurrence of the same
-	// written term (same constructor, same sub-expressions) denotes the
-	// same set, so it must be the same *solver.Term. Since variables are
-	// interned by name and sub-terms recursively, identity of the built
-	// argument expressions is a sound structural key.
-	terms := map[string]*solver.Term{}
-	var build func(e Expr) solver.Expr
-	build = func(e Expr) solver.Expr {
-		switch x := e.(type) {
-		case *VarExpr:
-			return s.Vars[x.Name]
-		case *ZeroExpr:
-			return solver.Zero
-		case *OneExpr:
-			return solver.One
-		case *TermExpr:
-			args := make([]solver.Expr, len(x.Args))
-			key := x.Con
-			for i, a := range x.Args {
-				args[i] = build(a)
-				key += fmt.Sprintf("|%p", args[i])
-			}
-			if t, ok := terms[key]; ok {
-				return t
-			}
-			t := solver.NewTerm(f.Cons[x.Con], args...)
-			terms[key] = t
-			return t
-		case *OpExpr:
-			if x.Op == '|' {
-				return solver.NewUnion(build(x.L), build(x.R))
-			}
-			return solver.NewIntersection(build(x.L), build(x.R))
-		}
-		panic(fmt.Sprintf("scl: unknown expression %T", e))
-	}
+// Solve builds a polce.Solver from the file under the given options and
+// adds every constraint. Variables are created up front in first-use order
+// so seeded variable orders stay deterministic.
+func (f *File) Solve(opt polce.Options) *Solved {
+	b := NewBinder(f, polce.New(opt))
+	b.EnsureVars(f.varNames)
 	for _, c := range f.Constraints {
-		s.Sys.AddConstraint(build(c.L), build(c.R))
+		b.Sys.AddConstraint(b.Bind(c.L), b.Bind(c.R))
 	}
-	return s
+	return &Solved{Sys: b.Sys, Vars: b.Vars, file: f}
 }
 
 // QueryResults renders each `query` line's least solution as

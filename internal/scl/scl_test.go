@@ -5,10 +5,10 @@ import (
 	"strings"
 	"testing"
 
-	"polce/internal/solver"
+	"polce"
 )
 
-func solve(t *testing.T, src string, opt solver.Options) *Solved {
+func solve(t *testing.T, src string, opt polce.Options) *Solved {
 	t.Helper()
 	f, err := Parse(src)
 	if err != nil {
@@ -27,8 +27,8 @@ X <= Y ; pear <= Y
 query X
 query Y
 `
-	for _, form := range []solver.Form{solver.SF, solver.IF} {
-		s := solve(t, src, solver.Options{Form: form, Cycles: solver.CycleOnline, Seed: 1})
+	for _, form := range []polce.Form{polce.SF, polce.IF} {
+		s := solve(t, src, polce.Options{Form: form, Cycles: polce.CycleOnline, Seed: 1})
 		got := s.QueryResults()
 		want := []string{"X = {apple}", "Y = {apple, pear}"}
 		for i := range want {
@@ -50,7 +50,7 @@ sink(Z) <= sink(X)
 query Y
 query Z
 `
-	s := solve(t, src, solver.Options{Form: solver.IF, Seed: 2})
+	s := solve(t, src, polce.Options{Form: polce.IF, Seed: 2})
 	got := s.QueryResults()
 	if got[0] != "Y = {a}" {
 		t.Errorf("covariant flow: %q", got[0])
@@ -69,7 +69,7 @@ Y <= Z
 Z <= X
 query Z
 `
-	s := solve(t, src, solver.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 3})
+	s := solve(t, src, polce.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 3})
 	if s.Sys.Stats().VarsEliminated != 2 {
 		t.Errorf("eliminated = %d, want 2", s.Sys.Stats().VarsEliminated)
 	}
@@ -92,7 +92,7 @@ query Z
 query U
 query V
 `
-	s := solve(t, src, solver.Options{Form: solver.SF, Seed: 4})
+	s := solve(t, src, polce.Options{Form: polce.SF, Seed: 4})
 	got := s.QueryResults()
 	if got[0] != "Z = {a, b}" || got[1] != "U = {a, b}" || got[2] != "V = {a, b}" {
 		t.Errorf("results: %v", got)
@@ -112,7 +112,7 @@ pair(wrap(L), R) <= X
 X <= pair(wrap(M), a | L)
 query M
 `
-	s := solve(t, src, solver.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 5})
+	s := solve(t, src, polce.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 5})
 	if got := s.QueryResults()[0]; got != "M = {a}" {
 		t.Errorf("M = %q", got)
 	}
@@ -154,7 +154,7 @@ cons a
 a <= X
 X <= Y | Z
 `
-	s := solve(t, src, solver.Options{Form: solver.SF, Seed: 6})
+	s := solve(t, src, polce.Options{Form: polce.SF, Seed: 6})
 	if s.Sys.ErrorCount() == 0 {
 		t.Error("union on the right did not produce a solver error")
 	}
@@ -183,12 +183,12 @@ V4 <= V5
 query V0 ; query V3 ; query V5
 `
 	f := MustParse(src)
-	ref := f.Solve(solver.Options{Form: solver.SF, Cycles: solver.CycleNone, Seed: 0})
+	ref := f.Solve(polce.Options{Form: polce.SF, Cycles: polce.CycleNone, Seed: 0})
 	want := fmt.Sprint(ref.QueryResults())
-	for _, form := range []solver.Form{solver.SF, solver.IF} {
-		for _, pol := range []solver.CyclePolicy{solver.CycleNone, solver.CycleOnline, solver.CyclePeriodic} {
+	for _, form := range []polce.Form{polce.SF, polce.IF} {
+		for _, pol := range []polce.CyclePolicy{polce.CycleNone, polce.CycleOnline, polce.CyclePeriodic} {
 			for seed := int64(0); seed < 5; seed++ {
-				s := f.Solve(solver.Options{Form: form, Cycles: pol, Seed: seed, PeriodicInterval: 4})
+				s := f.Solve(polce.Options{Form: form, Cycles: pol, Seed: seed, PeriodicInterval: 4})
 				if got := fmt.Sprint(s.QueryResults()); got != want {
 					t.Fatalf("%v/%v seed %d:\n got %s\nwant %s", form, pol, seed, got, want)
 				}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"polce"
+)
+
+// ErrBadRequest is wrapped around client mistakes the solver never sees:
+// malformed SCL, an unreadable body, an unknown variable name.
+var ErrBadRequest = errors.New("serve: bad request")
+
+// ErrUnknownVar is wrapped around queries for a variable no batch has
+// introduced. It is a kind of bad request with its own status (404), so
+// clients can distinguish "typo in the program" from "not defined yet".
+var ErrUnknownVar = errors.New("serve: unknown variable")
+
+// statusTable is the one place the solver's typed errors meet HTTP. Order
+// matters only for readability; the sentinels are disjoint.
+var statusTable = []struct {
+	sentinel error
+	code     int
+}{
+	{polce.ErrInconsistent, http.StatusConflict},          // 409
+	{polce.ErrQueueFull, http.StatusServiceUnavailable},   // 503 (+ Retry-After)
+	{polce.ErrSolverClosed, http.StatusGone},              // 410
+	{ErrUnknownVar, http.StatusNotFound},                  // 404
+	{ErrBadRequest, http.StatusBadRequest},                // 400
+	{context.DeadlineExceeded, http.StatusGatewayTimeout}, // 504
+	{context.Canceled, http.StatusServiceUnavailable},     // client went away / draining
+}
+
+// StatusOf maps an error to its HTTP status via the table; unrecognised
+// errors are 500s.
+func StatusOf(err error) int {
+	for _, row := range statusTable {
+		if errors.Is(err, row.sentinel) {
+			return row.code
+		}
+	}
+	return http.StatusInternalServerError
+}
+
+// kindOf names the error kind for the JSON body, mirroring the table.
+func kindOf(err error) string {
+	switch {
+	case errors.Is(err, polce.ErrInconsistent):
+		return "inconsistent"
+	case errors.Is(err, polce.ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, polce.ErrSolverClosed):
+		return "closed"
+	case errors.Is(err, ErrUnknownVar):
+		return "unknown_var"
+	case errors.Is(err, ErrBadRequest):
+		return "bad_request"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	return "internal"
+}

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"time"
+
+	"polce"
+	"polce/internal/telemetry"
+)
+
+// routes wires the v1 API onto the server's mux, each handler wrapped with
+// the per-request deadline and the per-route instrumentation. With a
+// registry configured the telemetry surface is mounted alongside, so one
+// listener serves both the API and /metrics.
+func (s *Server) routes() {
+	s.handle("constraints", "POST /v1/constraints", s.handleConstraints)
+	s.handle("points_to", "GET /v1/points-to/{var}", s.handlePointsTo)
+	s.handle("least_solution", "GET /v1/least-solution/{var}", s.handleLeastSolution)
+	s.handle("snapshot", "GET /v1/snapshot", s.handleSnapshot)
+	s.handle("healthz", "GET /v1/healthz", s.handleHealthz)
+	if s.cfg.Registry != nil {
+		tm := telemetry.NewMux(s.cfg.Registry)
+		s.mux.Handle("/metrics", tm)
+		s.mux.Handle("/metrics.json", tm)
+		s.mux.Handle("/debug/", tm)
+	}
+}
+
+// handle wraps one route: a deadline on the request context, a status
+// recorder for the metrics, and centralised error rendering.
+func (s *Server) handle(route, pattern string, h func(http.ResponseWriter, *http.Request) error) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		if err := h(rec, r.WithContext(ctx)); err != nil {
+			s.writeError(rec, err)
+		}
+		s.metrics.observe(route, rec.status, time.Since(start))
+	})
+}
+
+// writeError renders err through the status table, attaching the backoff
+// hint to 503s.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := StatusOf(err)
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	}
+	writeJSON(w, code, map[string]any{"error": err.Error(), "kind": kindOf(err)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// constraintsRequest is the POST /v1/constraints body: a fragment of SCL —
+// constructor declarations and inclusion constraints — appended to the
+// session's constraint program.
+type constraintsRequest struct {
+	Program string `json:"program"`
+}
+
+// handleConstraints ingests one batch. The parse is synchronous (400 on
+// malformed SCL, atomically rolled back), the solve is queued: by default
+// the response is a 202 once the batch is accepted by the bounded queue,
+// and ?wait=1 blocks until the batch has been applied, reporting the graph
+// version it produced (or a 409 if it made the system inconsistent).
+func (s *Server) handleConstraints(w http.ResponseWriter, r *http.Request) error {
+	src, err := readProgram(r, s.cfg.MaxBodyBytes)
+	if err != nil {
+		return err
+	}
+	batch, err := s.session.parse(src)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if len(batch) == 0 { // declarations/queries only: nothing to queue
+		writeJSON(w, http.StatusAccepted, map[string]any{"accepted": 0, "queue_len": s.QueueLen()})
+		return nil
+	}
+	job, err := s.enqueue(batch)
+	if err != nil {
+		return err
+	}
+	if r.URL.Query().Get("wait") == "" {
+		writeJSON(w, http.StatusAccepted, map[string]any{"accepted": len(batch), "queue_len": s.QueueLen()})
+		return nil
+	}
+	select {
+	case res := <-job.done:
+		if res.err != nil {
+			return res.err
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"applied": res.applied, "version": res.version})
+		return nil
+	case <-r.Context().Done():
+		// The batch stays queued and will still be applied; the client just
+		// stopped waiting for it.
+		return r.Context().Err()
+	}
+}
+
+// readProgram accepts either a JSON {"program": "..."} body or raw SCL
+// text (text/plain or no content type).
+func readProgram(r *http.Request, maxBytes int64) (string, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBytes+1))
+	if err != nil {
+		return "", fmt.Errorf("%w: reading body: %v", ErrBadRequest, err)
+	}
+	if int64(len(body)) > maxBytes {
+		return "", fmt.Errorf("%w: body exceeds %d bytes", ErrBadRequest, maxBytes)
+	}
+	ct := r.Header.Get("Content-Type")
+	if ct != "" {
+		if mt, _, err := mime.ParseMediaType(ct); err == nil {
+			ct = mt
+		}
+	}
+	if ct == "application/json" {
+		var req constraintsRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return "", fmt.Errorf("%w: decoding JSON body: %v", ErrBadRequest, err)
+		}
+		return req.Program, nil
+	}
+	return string(body), nil
+}
+
+// query resolves the {var} path element against a fresh snapshot. Reads
+// never touch the live graph: the snapshot is captured once per graph
+// version and shared by every concurrent query.
+func (s *Server) query(r *http.Request) (*polce.Snapshot, *polce.Var, error) {
+	name := r.PathValue("var")
+	snap, err := s.snapshot(r.Context())
+	if err != nil {
+		return nil, nil, err
+	}
+	if v, ok := s.session.lookup(name); ok {
+		return snap, v, nil
+	}
+	if v := snap.VarByName(name); v != nil {
+		return snap, v, nil
+	}
+	return nil, nil, fmt.Errorf("%w: %q", ErrUnknownVar, name)
+}
+
+// handleLeastSolution reports the full least solution of one variable as
+// rendered terms, stamped with the snapshot version that produced it.
+func (s *Server) handleLeastSolution(w http.ResponseWriter, r *http.Request) error {
+	snap, v, err := s.query(r)
+	if err != nil {
+		return err
+	}
+	terms, err := snap.LeastSolutionContext(r.Context(), v)
+	if err != nil {
+		return err
+	}
+	rendered := make([]string, len(terms))
+	for i, t := range terms {
+		rendered[i] = t.String()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"var": v.Name(), "version": snap.Version(), "terms": rendered,
+	})
+	return nil
+}
+
+// handlePointsTo reports the abstract-location view of a least solution:
+// nullary constructors name themselves, and for constructed terms the
+// first argument names the location when it is a variable (the ref-term
+// convention of Andersen-style analyses); anything else falls back to the
+// rendered term.
+func (s *Server) handlePointsTo(w http.ResponseWriter, r *http.Request) error {
+	snap, v, err := s.query(r)
+	if err != nil {
+		return err
+	}
+	terms, err := snap.LeastSolutionContext(r.Context(), v)
+	if err != nil {
+		return err
+	}
+	locs := make([]string, 0, len(terms))
+	for _, t := range terms {
+		switch {
+		case t.Con().Arity() == 0:
+			locs = append(locs, t.Con().Name())
+		default:
+			if av, ok := t.Arg(0).(*polce.Var); ok {
+				locs = append(locs, av.Name())
+			} else {
+				locs = append(locs, t.String())
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"var": v.Name(), "version": snap.Version(), "points_to": locs,
+	})
+	return nil
+}
+
+// handleSnapshot reports the graph version, solver counters and queue
+// state — the service's dashboard endpoint.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) error {
+	snap, err := s.snapshot(r.Context())
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version":      snap.Version(),
+		"form":         snap.Form().String(),
+		"vars":         snap.NumVars(),
+		"session_vars": s.session.vars(),
+		"errors":       snap.ErrorCount(),
+		"stats":        snap.Stats(),
+		"queue_len":    s.QueueLen(),
+		"queue_cap":    s.QueueCap(),
+		"ingested":     s.Ingested(),
+	})
+	return nil
+}
+
+// handleHealthz is the liveness probe: cheap and lock-free — no snapshot
+// capture, no solver lock (the version is the ingester's last applied one,
+// tracked atomically) — and honest about draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         status,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"queue_len":      s.QueueLen(),
+		"queue_cap":      s.QueueCap(),
+		"version":        s.lastVersion.Load(),
+		"ingested":       s.Ingested(),
+	})
+	return nil
+}

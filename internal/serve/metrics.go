@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"polce/internal/telemetry"
+)
+
+// routeMetrics instruments each route with a latency histogram and
+// per-status-class counters in the shared telemetry registry. Routes are
+// known statically, so every metric is registered once at construction and
+// the request path stays allocation-free. A nil registry degrades to
+// no-ops at the cost of one nil check per request.
+type routeMetrics struct {
+	byRoute map[string]*routeEntry
+}
+
+type routeEntry struct {
+	latency *telemetry.Histogram
+	status  [3]*telemetry.Counter // 2xx, 4xx, 5xx
+}
+
+// routeNames are the metric-name suffixes, one per API route.
+var routeNames = []string{"constraints", "points_to", "least_solution", "snapshot", "healthz"}
+
+// latencyBuckets spans 100µs to ~13s in powers of ~3.2 — wide enough for a
+// loopback read (tens of µs) and a deadline-bounded ingest wait alike.
+func latencyBuckets() []float64 {
+	return telemetry.LogBuckets(100e-6, 3.2, 10)
+}
+
+func newRouteMetrics(reg *telemetry.Registry) *routeMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &routeMetrics{byRoute: map[string]*routeEntry{}}
+	for _, name := range routeNames {
+		e := &routeEntry{
+			latency: reg.Histogram(
+				fmt.Sprintf("polce_http_request_seconds_%s", name),
+				fmt.Sprintf("request latency of /v1/%s in seconds", name),
+				latencyBuckets()),
+		}
+		for i, class := range []string{"2xx", "4xx", "5xx"} {
+			e.status[i] = reg.Counter(
+				fmt.Sprintf("polce_http_requests_%s_%s", name, class),
+				fmt.Sprintf("responses of /v1/%s with a %s status", name, class))
+		}
+		m.byRoute[name] = e
+	}
+	return m
+}
+
+// observe records one finished request.
+func (m *routeMetrics) observe(route string, status int, elapsed time.Duration) {
+	if m == nil {
+		return
+	}
+	e, ok := m.byRoute[route]
+	if !ok {
+		return
+	}
+	e.latency.Observe(elapsed.Seconds())
+	switch {
+	case status >= 500:
+		e.status[2].Inc()
+	case status >= 400:
+		e.status[1].Inc()
+	default:
+		e.status[0].Inc()
+	}
+}
+
+// statusRecorder captures the status a handler wrote, defaulting to 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}

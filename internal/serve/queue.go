@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"polce"
+)
+
+// ingestJob is one accepted batch awaiting the ingester. done is buffered
+// so the ingester never blocks on a caller that stopped waiting.
+type ingestJob struct {
+	batch []polce.Constraint
+	done  chan ingestResult
+}
+
+// ingestResult reports how a batch fared: how many constraints were
+// applied, the graph version afterwards, and the typed error, if any
+// (ErrInconsistent when the batch introduced inconsistencies).
+type ingestResult struct {
+	applied int
+	version uint64
+	err     error
+}
+
+// enqueue hands a lowered batch to the ingester without blocking: a full
+// queue is backpressure (ErrQueueFull → 503 + Retry-After), a draining
+// server refuses outright (ErrSolverClosed → 410).
+func (s *Server) enqueue(batch []polce.Constraint) (*ingestJob, error) {
+	if s.draining.Load() {
+		return nil, polce.ErrSolverClosed
+	}
+	job := &ingestJob{batch: batch, done: make(chan ingestResult, 1)}
+	select {
+	case s.queue <- job:
+		return job, nil
+	default:
+		return nil, polce.ErrQueueFull
+	}
+}
+
+// ingest is the single writer: it applies queued batches in arrival order
+// until Shutdown asks it to drain, then flushes what is queued and closes
+// the solver. One writer means every batch is one atomic span of the
+// online solver, and readers only ever contend on the snapshot epoch
+// check.
+func (s *Server) ingest() {
+	defer close(s.done)
+	for {
+		select {
+		case job := <-s.queue:
+			s.apply(job)
+		case <-s.drainReq:
+			for {
+				select {
+				case job := <-s.queue:
+					s.apply(job)
+				default:
+					_ = s.solver.Close()
+					return
+				}
+			}
+		}
+	}
+}
+
+// apply runs one batch against the solver and resolves its waiter. A batch
+// that introduced inconsistent constraints still applies in full — the
+// solver records the inconsistency and keeps going, matching AddConstraint
+// semantics — but the result carries an ErrInconsistent so synchronous
+// clients see a 409.
+func (s *Server) apply(job *ingestJob) {
+	errsBefore := s.solver.ErrorCount()
+	applied, err := s.solver.AddBatchContext(context.Background(), job.batch)
+	s.ingested.Add(int64(applied))
+	if err == nil {
+		if delta := s.solver.ErrorCount() - errsBefore; delta > 0 {
+			retained := s.solver.Errors()
+			if len(retained) > 0 {
+				err = fmt.Errorf("%d new inconsistency(ies), last: %w", delta, retained[len(retained)-1])
+			} else {
+				err = fmt.Errorf("%d new inconsistency(ies): %w", delta, polce.ErrInconsistent)
+			}
+		}
+	}
+	version := s.solver.Version()
+	s.lastVersion.Store(version)
+	job.done <- ingestResult{applied: applied, version: version, err: err}
+}

@@ -1,0 +1,206 @@
+// Package serve is the snapshot-backed HTTP constraint query service: a
+// stdlib-only JSON API v1 over one polce.Solver, built so queries never
+// contend with ingestion.
+//
+// Writes go through a bounded ingestion queue drained by a single
+// ingester goroutine (backpressure is a 503 with Retry-After when the
+// queue is full); every read is answered from a polce.Snapshot, which is
+// captured under the solver lock once per graph version and then read
+// lock-free, so any number of concurrent queries race an ingesting writer
+// safely. Constraints arrive as SCL text (internal/scl) and grow one
+// session-long constraint program; variables are addressed by their SCL
+// names.
+//
+// The API surface:
+//
+//	POST /v1/constraints         ingest a batch of SCL statements
+//	GET  /v1/points-to/{var}     abstract locations in var's least solution
+//	GET  /v1/least-solution/{var}full least-solution terms of var
+//	GET  /v1/snapshot            graph version, solver stats, queue state
+//	GET  /v1/healthz             liveness and queue occupancy
+//
+// Error mapping is table-driven (see StatusOf): inconsistent constraint
+// systems report 409, a full ingestion queue 503, a closed (drained)
+// solver 410. With a telemetry.Registry configured, per-route latency
+// histograms and status-class counters flow into the shared /metrics
+// surface, which is mounted on the same handler.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polce"
+	"polce/internal/telemetry"
+)
+
+// Config configures a Server. Solver is required; everything else has a
+// serviceable default.
+type Config struct {
+	// Solver is the live solver the service ingests into and snapshots
+	// from.
+	Solver *polce.Solver
+	// Registry, when non-nil, receives per-route request metrics and is
+	// served on /metrics, /metrics.json and /debug/ alongside the API.
+	Registry *telemetry.Registry
+	// QueueDepth bounds the ingestion queue (batches, not constraints).
+	// Zero means 64.
+	QueueDepth int
+	// RequestTimeout is the per-request deadline applied to every
+	// handler's context. Zero means 10s.
+	RequestTimeout time.Duration
+	// RetryAfter is the backoff hint returned with 503 responses. Zero
+	// means 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds a POST body. Zero means 1 MiB.
+	MaxBodyBytes int64
+	// SnapshotMaxStale, when positive, lets reads share the last captured
+	// snapshot for up to this long even if ingestion has moved the graph
+	// version on — bounded staleness. Under heavy write churn this keeps
+	// reads lock-free (an atomic load) instead of serialising every reader
+	// behind an O(vars) capture per version bump. Zero means reads are
+	// always served from the current version.
+	SnapshotMaxStale time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server is the service: an ingestion queue, an SCL session, and the v1
+// HTTP handlers. Create one with New, expose Handler() through an
+// http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg     Config
+	solver  *polce.Solver
+	session *session
+	metrics *routeMetrics
+	mux     *http.ServeMux
+	start   time.Time
+
+	queue    chan *ingestJob
+	drainReq chan struct{} // closed by Shutdown: ingester drains and exits
+	done     chan struct{} // closed when the ingester has exited
+	draining atomic.Bool
+
+	ingested    atomic.Int64  // constraints applied by the ingester
+	lastVersion atomic.Uint64 // graph version after the last applied batch
+
+	snapMu         sync.Mutex                // serialises strict (always-fresh) captures
+	snapCur        atomic.Pointer[snapEntry] // last capture, shared by stale reads
+	snapRefreshing atomic.Bool               // a bounded-staleness refresh is in flight
+}
+
+// snapEntry is one cached capture: the snapshot and when it was taken.
+type snapEntry struct {
+	snap *polce.Snapshot
+	at   time.Time
+}
+
+// snapshot returns the snapshot reads are served from. With
+// SnapshotMaxStale zero (the default) every read captures the current
+// version, serialised on snapMu — the solver's epoch guard makes repeat
+// captures of an unchanged graph free. With a staleness bound the scheme is
+// stale-while-revalidate: within the window a read is one atomic load; past
+// it, the first reader through refreshes while every other reader keeps
+// the previous snapshot, so no query ever waits out an O(vars) capture
+// behind a hot writer. Effective staleness is therefore the window plus one
+// capture time.
+func (s *Server) snapshot(ctx context.Context) (*polce.Snapshot, error) {
+	max := s.cfg.SnapshotMaxStale
+	if e := s.snapCur.Load(); max > 0 && e != nil {
+		if time.Since(e.at) < max {
+			return e.snap, nil
+		}
+		if !s.snapRefreshing.CompareAndSwap(false, true) {
+			return e.snap, nil // someone else is refreshing; stay on the stale view
+		}
+		defer s.snapRefreshing.Store(false)
+		snap, err := s.solver.SnapshotContext(ctx)
+		if err != nil {
+			return e.snap, nil // cancelled mid-refresh: the stale view still answers
+		}
+		s.snapCur.Store(&snapEntry{snap: snap, at: time.Now()})
+		return snap, nil
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if e := s.snapCur.Load(); max > 0 && e != nil && time.Since(e.at) < max {
+		return e.snap, nil
+	}
+	snap, err := s.solver.SnapshotContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.snapCur.Store(&snapEntry{snap: snap, at: time.Now()})
+	return snap, nil
+}
+
+// New builds a Server over cfg.Solver and starts its ingester goroutine.
+func New(cfg Config) *Server {
+	if cfg.Solver == nil {
+		panic("serve: Config.Solver is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		solver:   cfg.Solver,
+		session:  newSession(cfg.Solver),
+		metrics:  newRouteMetrics(cfg.Registry),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		queue:    make(chan *ingestJob, cfg.QueueDepth),
+		drainReq: make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.routes()
+	go s.ingest()
+	return s
+}
+
+// Handler returns the service's HTTP handler: the v1 API plus, when a
+// registry is configured, the telemetry surface (/metrics, /metrics.json,
+// /debug/vars, /debug/pprof).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the service: new ingestion is refused with
+// ErrSolverClosed (410) immediately, queued batches are applied, and the
+// solver is closed once the queue is empty. It returns nil when the drain
+// completed, or ctx's error if the deadline expired first (queued batches
+// past the deadline are dropped). Shutdown is idempotent; reads keep
+// working before and after.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.drainReq)
+	}
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// QueueLen returns the number of batches waiting in the ingestion queue.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// QueueCap returns the ingestion queue's capacity.
+func (s *Server) QueueCap() int { return cap(s.queue) }
+
+// Ingested returns the total number of constraints applied so far.
+func (s *Server) Ingested() int64 { return s.ingested.Load() }

@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"sync"
+
+	"polce"
+	"polce/internal/scl"
+)
+
+// session is the service's constraint program: one scl.File grown across
+// every POST of the server's lifetime, and a Binder interning variables by
+// name and terms structurally into the live solver. Parsing and lowering
+// mutate shared parser state, so they serialise on the session lock;
+// that lock is never held while constraints are applied (the ingester does
+// that), so a slow drain never blocks parsing.
+type session struct {
+	mu     sync.Mutex
+	file   *scl.File
+	binder *scl.Binder
+}
+
+func newSession(solver *polce.Solver) *session {
+	f := scl.MustParse("")
+	return &session{file: f, binder: scl.NewBinder(f, solver)}
+}
+
+// parse appends src's statements to the session program and lowers the new
+// constraints. The append is atomic: on a parse error nothing is
+// registered and the same batch can be corrected and resubmitted.
+func (ss *session) parse(src string) ([]polce.Constraint, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	cs, err := ss.file.ParseAppend(src)
+	if err != nil {
+		return nil, err
+	}
+	return ss.binder.Lower(cs), nil
+}
+
+// lookup resolves a variable name registered by some earlier batch.
+func (ss *session) lookup(name string) (*polce.Var, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	v, ok := ss.binder.Vars[name]
+	return v, ok
+}
+
+// vars returns the number of variables the session has interned.
+func (ss *session) vars() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return len(ss.binder.Vars)
+}

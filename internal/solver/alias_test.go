@@ -1,0 +1,26 @@
+package solver_test
+
+import (
+	"testing"
+
+	"polce"
+	solver "polce/internal/solver"
+)
+
+// TestAliasesAreIdentities pins the deprecation contract: the alias
+// package's values and constructors are the root package's, so a client
+// built against either interoperates with the other.
+func TestAliasesAreIdentities(t *testing.T) {
+	var s *solver.Solver = solver.New(solver.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 1})
+	var p *polce.Solver = s // same type, by alias
+	a := solver.NewTerm(solver.NewConstructor("a"))
+	x := p.Fresh("X")
+	s.AddConstraint(a, x)
+	snap := p.Snapshot()
+	if got := snap.LeastSolution(x); len(got) != 1 || got[0] != a {
+		t.Fatalf("LS through aliased façade = %v", got)
+	}
+	if solver.ErrQueueFull != polce.ErrQueueFull || solver.Zero != polce.Zero {
+		t.Fatal("alias package re-declares values instead of aliasing them")
+	}
+}

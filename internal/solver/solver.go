@@ -1,225 +1,90 @@
-// Package solver is the public façade of the inclusion-constraint solver:
-// the top of the three-layer stack over the resolution engine
-// (internal/core) and the graph storage layer (internal/core/graph).
+// Package solver is a deprecated alias of the root polce package.
 //
-// A Solver wraps one core.System with a mutex, so one goroutine can ingest
-// constraints while others take Snapshots and run least-solution queries
-// against them; snapshots are immutable and read without locking. The
-// façade also re-exports the whole constraint vocabulary (variables,
-// terms, options, events), so clients need only this import.
+// The façade was promoted to the module root so external clients get a
+// public import path; every name here is a true alias of its polce
+// counterpart, so existing internal clients keep compiling unchanged for
+// one release.
+//
+// Deprecated: import the root package polce instead.
 package solver
 
 import (
-	"io"
-	"sync"
-
-	"polce/internal/core"
+	"polce"
 )
 
-// Constraint is one pending inclusion L ⊆ R for AddBatch.
-type Constraint struct {
-	L, R Expr
-}
+type (
+	// Solver is an alias of polce.Solver.
+	Solver = polce.Solver
+	// Snapshot is an alias of polce.Snapshot.
+	Snapshot = polce.Snapshot
+	// Constraint is an alias of polce.Constraint.
+	Constraint = polce.Constraint
 
-// Solver is a thread-safe façade over one constraint system. All methods
-// are safe for concurrent use; each takes the solver's lock, so a method
-// call is one atomic step of the underlying online solver. For bulk
-// ingestion use AddBatch, which holds the lock across the whole batch; for
-// concurrent reads use Snapshot, which is lock-free after capture.
-type Solver struct {
-	mu  sync.Mutex
-	sys *core.System
+	// Options through Intersection alias the constraint vocabulary; see
+	// the root polce package for documentation.
+	Options       = polce.Options
+	Form          = polce.Form
+	CyclePolicy   = polce.CyclePolicy
+	OrderStrategy = polce.OrderStrategy
+	Oracle        = polce.Oracle
+	Stats         = polce.Stats
+	GraphStats    = polce.GraphStats
+	MetricsSink   = polce.MetricsSink
+	LSPass        = polce.LSPass
+	Event         = polce.Event
+	EventKind     = polce.EventKind
+	Variance      = polce.Variance
+	Constructor   = polce.Constructor
+	Expr          = polce.Expr
+	Var           = polce.Var
+	Term          = polce.Term
+	Union         = polce.Union
+	Intersection  = polce.Intersection
 
-	// snap is the last snapshot taken, reused (copy-on-write) while the
-	// graph version is unchanged.
-	snap *Snapshot
-}
+	// InconsistentError is an alias of polce.InconsistentError.
+	InconsistentError = polce.InconsistentError
+)
 
-// New creates an empty constraint system with the given options.
-func New(opt Options) *Solver {
-	return &Solver{sys: core.NewSystem(opt)}
-}
+const (
+	SF = polce.SF
+	IF = polce.IF
 
-// NewInitialGraph creates a solver that resolves constraints to atomic
-// edges but performs no closure and no cycle elimination (the paper's
-// "initial graph").
-func NewInitialGraph(opt Options) *Solver {
-	return &Solver{sys: core.NewInitialGraph(opt)}
-}
+	CycleNone             = polce.CycleNone
+	CycleOnline           = polce.CycleOnline
+	CycleOnlineIncreasing = polce.CycleOnlineIncreasing
+	CycleOracle           = polce.CycleOracle
+	CyclePeriodic         = polce.CyclePeriodic
 
-// BuildOracle derives a cycle oracle from a solved system; see
-// core.BuildOracle.
-func BuildOracle(s *Solver) *Oracle {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return core.BuildOracle(s.sys)
-}
+	OrderRandom          = polce.OrderRandom
+	OrderCreation        = polce.OrderCreation
+	OrderReverseCreation = polce.OrderReverseCreation
 
-// Fresh creates a new set variable.
-func (s *Solver) Fresh(name string) *Var {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sys.Fresh(name)
-}
+	Covariant     = polce.Covariant
+	Contravariant = polce.Contravariant
 
-// AddConstraint adds l ⊆ r and immediately restores closure.
-func (s *Solver) AddConstraint(l, r Expr) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sys.AddConstraint(l, r)
-}
+	EventSourceEdge = polce.EventSourceEdge
+	EventSinkEdge   = polce.EventSinkEdge
+	EventVarEdge    = polce.EventVarEdge
+	EventCycle      = polce.EventCycle
+	EventSweep      = polce.EventSweep
+)
 
-// AddBatch adds every constraint of the batch under one lock acquisition.
-// The constraints are applied in order through the same online path as
-// AddConstraint — closure and cycle elimination run at each one — so a
-// batch is exactly a sequence of AddConstraint calls that no concurrent
-// reader can interleave.
-func (s *Solver) AddBatch(batch []Constraint) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, c := range batch {
-		s.sys.AddConstraint(c.L, c.R)
-	}
-}
+var (
+	Zero = polce.Zero
+	One  = polce.One
 
-// Fresh variables and constraints in one locked step are not needed by any
-// current client; compose Fresh + AddBatch instead.
+	ErrInconsistent = polce.ErrInconsistent
+	ErrQueueFull    = polce.ErrQueueFull
+	ErrSolverClosed = polce.ErrSolverClosed
+)
 
-// ComputeLeastSolutions materialises the least solution for every
-// variable (a no-op under standard form or while the cache is hot).
-func (s *Solver) ComputeLeastSolutions() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sys.ComputeLeastSolutions()
-}
-
-// LeastSolution returns the source terms in the least solution of v, in
-// first-reached order. The returned slice must not be modified, and — as
-// it may alias live solver storage — must be consumed before further
-// constraints are added. Concurrent readers should use Snapshot instead.
-func (s *Solver) LeastSolution(v *Var) []*Term {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sys.LeastSolution(v)
-}
-
-// Stats returns the solver's counters so far.
-func (s *Solver) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sys.Stats()
-}
-
-// Errors returns the retained inconsistency errors.
-func (s *Solver) Errors() []error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sys.Errors()
-}
-
-// ErrorCount returns the total number of inconsistencies seen.
-func (s *Solver) ErrorCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sys.ErrorCount()
-}
-
-// CollapseCycles runs an offline Tarjan pass and collapses every
-// non-trivial strongly connected component.
-func (s *Solver) CollapseCycles() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sys.CollapseCycles()
-}
-
-// CycleClassStats reports how many variables belong to cyclic equivalence
-// classes and the size of the largest class.
-func (s *Solver) CycleClassStats() (inCycles, maxClass int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sys.CycleClassStats()
-}
-
-// TotalEdges returns the total number of distinct edges in the graph.
-func (s *Solver) TotalEdges() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sys.TotalEdges()
-}
-
-// EdgeCounts tallies the distinct edges in the current graph.
-func (s *Solver) EdgeCounts() (varVar, source, sink int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sys.EdgeCounts()
-}
-
-// CurrentGraphStats measures the graph as it stands.
-func (s *Solver) CurrentGraphStats() GraphStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sys.CurrentGraphStats()
-}
-
-// WriteDOT renders the current constraint graph in Graphviz DOT format.
-func (s *Solver) WriteDOT(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sys.WriteDOT(w)
-}
-
-// NumCreated returns the number of Fresh calls so far.
-func (s *Solver) NumCreated() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sys.NumCreated()
-}
-
-// CreatedVar returns the variable handed out for creation index i.
-func (s *Solver) CreatedVar(i int) *Var {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sys.CreatedVar(i)
-}
-
-// Find returns the canonical representative of v.
-func (s *Solver) Find(v *Var) *Var {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sys.Find(v)
-}
-
-// CanonicalVars returns the canonical (non-eliminated) variables in
-// creation order.
-func (s *Solver) CanonicalVars() []*Var {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sys.CanonicalVars()
-}
-
-// VarAdjacency builds the directed inclusion adjacency over vars.
-func (s *Solver) VarAdjacency(vars []*Var) (adj [][]int, index map[*Var]int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sys.VarAdjacency(vars)
-}
-
-// Form returns the graph representation in use.
-func (s *Solver) Form() Form {
-	// The representation is fixed at construction; no lock needed.
-	return s.sys.Form()
-}
-
-// Policy returns the cycle-elimination policy in use.
-func (s *Solver) Policy() CyclePolicy {
-	// The policy is fixed at construction; no lock needed.
-	return s.sys.Policy()
-}
-
-// Version returns the least-solution epoch of the graph; it advances
-// exactly when a mutation that can change some least solution is applied.
-func (s *Solver) Version() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sys.Version()
-}
+// Constructors and helpers forwarded to the root package.
+var (
+	New             = polce.New
+	NewInitialGraph = polce.NewInitialGraph
+	BuildOracle     = polce.BuildOracle
+	NewConstructor  = polce.NewConstructor
+	NewTerm         = polce.NewTerm
+	NewUnion        = polce.NewUnion
+	NewIntersection = polce.NewIntersection
+)

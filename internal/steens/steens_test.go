@@ -4,9 +4,9 @@ import (
 	"sort"
 	"testing"
 
+	"polce"
 	"polce/internal/andersen"
 	"polce/internal/cgen"
-	"polce/internal/solver"
 )
 
 func analyze(t *testing.T, src string) *Analysis {
@@ -75,7 +75,7 @@ void f(void) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	and := andersen.Analyze(f, andersen.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 1})
+	and := andersen.Analyze(f, andersen.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 1})
 	al := and.LocationByName("q")
 	andPts := and.PointsToNames(al)
 	if len(andPts) != 1 || andPts[0] != "x" {
@@ -193,7 +193,7 @@ int main(void) {
 		t.Fatal(err)
 	}
 	st := Analyze(f)
-	and := andersen.Analyze(f, andersen.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 7})
+	and := andersen.Analyze(f, andersen.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 7})
 	if and.Sys.ErrorCount() != 0 {
 		t.Fatalf("andersen errors: %v", and.Sys.Errors())
 	}

@@ -1,4 +1,6 @@
-package solver
+package polce
+
+import "context"
 
 // A Snapshot is an immutable view of the least solutions at one graph
 // version. Taking a snapshot locks the solver once; reading from it never
@@ -16,7 +18,9 @@ type Snapshot struct {
 	version uint64
 	form    Form
 	stats   Stats
+	errs    int
 	ls      map[*Var][]*Term
+	names   map[string]*Var
 }
 
 // Snapshot captures the current least solutions. While the graph version
@@ -28,6 +32,24 @@ type Snapshot struct {
 func (s *Solver) Snapshot() *Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+// SnapshotContext is Snapshot with cancellation: if ctx is already done
+// when the solver's lock is acquired, no least-solution pass is started
+// and ctx's error is returned. A capture that has begun runs to
+// completion — the pass mutates only the solver's own cache, so there is
+// no partially captured state to observe.
+func (s *Solver) SnapshotContext(ctx context.Context) (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.snapshotLocked(), nil
+}
+
+func (s *Solver) snapshotLocked() *Snapshot {
 	if s.snap != nil && s.snap.version == s.sys.Version() {
 		return s.snap
 	}
@@ -35,8 +57,12 @@ func (s *Solver) Snapshot() *Snapshot {
 	copySlices := s.sys.Form() == SF
 	n := s.sys.NumCreated()
 	ls := make(map[*Var][]*Term, n)
+	names := make(map[string]*Var, n)
 	for i := 0; i < n; i++ {
 		v := s.sys.CreatedVar(i)
+		if _, ok := names[v.Name()]; !ok {
+			names[v.Name()] = v
+		}
 		if _, ok := ls[v]; ok {
 			continue // oracle-aliased index: handle already captured
 		}
@@ -50,7 +76,9 @@ func (s *Solver) Snapshot() *Snapshot {
 		version: s.sys.Version(),
 		form:    s.sys.Form(),
 		stats:   s.sys.Stats(),
+		errs:    s.sys.ErrorCount(),
 		ls:      ls,
+		names:   names,
 	}
 	return s.snap
 }
@@ -63,6 +91,25 @@ func (sn *Snapshot) LeastSolution(v *Var) []*Term {
 	return sn.ls[v]
 }
 
+// LeastSolutionContext is LeastSolution with a cancellation check, for
+// callers that thread one context through every query of a request: if ctx
+// is done the read is skipped and ctx's error returned. The read itself is
+// a single lock-free map lookup.
+func (sn *Snapshot) LeastSolutionContext(ctx context.Context, v *Var) ([]*Term, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sn.ls[v], nil
+}
+
+// VarByName returns the variable captured under the given name, or nil if
+// no variable of that name existed at capture time. When several created
+// variables share a name the first-created one wins; clients that need
+// exact handles should keep the *Var from Fresh instead.
+func (sn *Snapshot) VarByName(name string) *Var {
+	return sn.names[name]
+}
+
 // Version returns the graph version the snapshot was taken at.
 func (sn *Snapshot) Version() uint64 { return sn.version }
 
@@ -71,6 +118,10 @@ func (sn *Snapshot) Form() Form { return sn.form }
 
 // Stats returns the solver counters as of the snapshot.
 func (sn *Snapshot) Stats() Stats { return sn.stats }
+
+// ErrorCount returns the solver's total inconsistency count as of the
+// snapshot.
+func (sn *Snapshot) ErrorCount() int { return sn.errs }
 
 // NumVars returns the number of variables captured in the snapshot.
 func (sn *Snapshot) NumVars() int { return len(sn.ls) }

@@ -1,4 +1,4 @@
-package solver_test
+package polce_test
 
 import (
 	"fmt"
@@ -6,15 +6,15 @@ import (
 	"sync"
 	"testing"
 
-	"polce/internal/solver"
+	"polce"
 )
 
 // TestSnapshotCaching pins the epoch guard: snapshots of an unchanged
 // graph are the same object, and any least-solution-changing mutation
 // produces a fresh one.
 func TestSnapshotCaching(t *testing.T) {
-	for _, form := range []solver.Form{solver.SF, solver.IF} {
-		s := solver.New(solver.Options{Form: form, Cycles: solver.CycleOnline, Seed: 9})
+	for _, form := range []polce.Form{polce.SF, polce.IF} {
+		s := polce.New(polce.Options{Form: form, Cycles: polce.CycleOnline, Seed: 9})
 		a := atoms(2)
 		x := s.Fresh("X")
 		y := s.Fresh("Y")
@@ -52,10 +52,10 @@ func TestSnapshotCaching(t *testing.T) {
 // ingestion, collapses included, must not change what an old snapshot
 // reports.
 func TestSnapshotIsolation(t *testing.T) {
-	for _, form := range []solver.Form{solver.SF, solver.IF} {
-		s := solver.New(solver.Options{Form: form, Cycles: solver.CycleOnline, Seed: 11})
+	for _, form := range []polce.Form{polce.SF, polce.IF} {
+		s := polce.New(polce.Options{Form: form, Cycles: polce.CycleOnline, Seed: 11})
 		a := atoms(8)
-		vars := make([]*solver.Var, 40)
+		vars := make([]*polce.Var, 40)
 		for i := range vars {
 			vars[i] = s.Fresh(fmt.Sprintf("v%d", i))
 		}
@@ -90,11 +90,11 @@ func TestSnapshotIsolation(t *testing.T) {
 // is monotone). Run under -race this also proves the capture/read paths
 // are race-clean.
 func TestSnapshotConcurrentQueries(t *testing.T) {
-	for _, form := range []solver.Form{solver.SF, solver.IF} {
+	for _, form := range []polce.Form{polce.SF, polce.IF} {
 		t.Run(form.String(), func(t *testing.T) {
-			s := solver.New(solver.Options{Form: form, Cycles: solver.CycleOnline, Seed: 17})
+			s := polce.New(polce.Options{Form: form, Cycles: polce.CycleOnline, Seed: 17})
 			const nVars = 120
-			vars := make([]*solver.Var, nVars)
+			vars := make([]*polce.Var, nVars)
 			for i := range vars {
 				vars[i] = s.Fresh(fmt.Sprintf("v%d", i))
 			}
@@ -110,13 +110,13 @@ func TestSnapshotConcurrentQueries(t *testing.T) {
 				defer close(done)
 				rng := rand.New(rand.NewSource(23))
 				for i := 0; i < 300; i++ {
-					batch := make([]solver.Constraint, 0, 8)
+					batch := make([]polce.Constraint, 0, 8)
 					for j := 0; j < 8; j++ {
 						if rng.Intn(3) == 0 {
-							batch = append(batch, solver.Constraint{
+							batch = append(batch, polce.Constraint{
 								L: a[rng.Intn(len(a))], R: vars[rng.Intn(nVars)]})
 						} else {
-							batch = append(batch, solver.Constraint{
+							batch = append(batch, polce.Constraint{
 								L: vars[rng.Intn(nVars)], R: vars[rng.Intn(nVars)]})
 						}
 					}

@@ -1,0 +1,282 @@
+package polce
+
+import (
+	"context"
+	"io"
+	"sync"
+
+	"polce/internal/core"
+)
+
+// Constraint is one pending inclusion L ⊆ R for AddBatch.
+type Constraint struct {
+	L, R Expr
+}
+
+// Solver is a thread-safe façade over one constraint system. All methods
+// are safe for concurrent use; each takes the solver's lock, so a method
+// call is one atomic step of the underlying online solver. For bulk
+// ingestion use AddBatch, which holds the lock across the whole batch; for
+// concurrent reads use Snapshot, which is lock-free after capture.
+type Solver struct {
+	mu  sync.Mutex
+	sys *core.System
+
+	// snap is the last snapshot taken, reused (copy-on-write) while the
+	// graph version is unchanged.
+	snap *Snapshot
+
+	// closed is set by Close; context-aware ingestion refuses with
+	// ErrSolverClosed afterwards while reads keep working.
+	closed bool
+}
+
+// New creates an empty constraint system with the given options.
+func New(opt Options) *Solver {
+	return &Solver{sys: core.NewSystem(opt)}
+}
+
+// NewInitialGraph creates a solver that resolves constraints to atomic
+// edges but performs no closure and no cycle elimination (the paper's
+// "initial graph").
+func NewInitialGraph(opt Options) *Solver {
+	return &Solver{sys: core.NewInitialGraph(opt)}
+}
+
+// BuildOracle derives a cycle oracle from a solved system; see
+// core.BuildOracle.
+func BuildOracle(s *Solver) *Oracle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return core.BuildOracle(s.sys)
+}
+
+// Fresh creates a new set variable.
+func (s *Solver) Fresh(name string) *Var {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.Fresh(name)
+}
+
+// AddConstraint adds l ⊆ r and immediately restores closure.
+func (s *Solver) AddConstraint(l, r Expr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sys.AddConstraint(l, r)
+}
+
+// AddConstraintContext adds l ⊆ r unless ctx is already cancelled or the
+// solver has been closed. A single constraint's closure drain is one
+// atomic step and is never interrupted part-way, so the system is always
+// consistent when this returns.
+func (s *Solver) AddConstraintContext(ctx context.Context, l, r Expr) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSolverClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.sys.AddConstraint(l, r)
+	return nil
+}
+
+// AddBatch adds every constraint of the batch under one lock acquisition.
+// The constraints are applied in order through the same online path as
+// AddConstraint — closure and cycle elimination run at each one — so a
+// batch is exactly a sequence of AddConstraint calls that no concurrent
+// reader can interleave.
+func (s *Solver) AddBatch(batch []Constraint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range batch {
+		s.sys.AddConstraint(c.L, c.R)
+	}
+}
+
+// AddBatchContext is AddBatch with cancellation: between worklist drains —
+// that is, between consecutive constraints of the batch — it checks ctx
+// and stops early if the context is done, returning how many constraints
+// were applied together with ctx's error. Each individual constraint is
+// still applied atomically (its closure drain runs to completion), so an
+// aborted batch leaves the solver fully consistent: the first n
+// constraints are in, the rest are not, and a later AddBatch of the
+// remainder yields exactly the same system as an uninterrupted run.
+//
+// If the solver has been closed, no constraint is applied and the error is
+// ErrSolverClosed.
+func (s *Solver) AddBatchContext(ctx context.Context, batch []Constraint) (applied int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrSolverClosed
+	}
+	for i, c := range batch {
+		if err := ctx.Err(); err != nil {
+			return i, err
+		}
+		s.sys.AddConstraint(c.L, c.R)
+	}
+	return len(batch), nil
+}
+
+// Close marks the solver closed: context-aware ingestion
+// (AddConstraintContext, AddBatchContext) fails with ErrSolverClosed from
+// then on, while queries and snapshots keep working on the final state.
+// Close is idempotent and always returns nil; the error result exists so
+// the solver satisfies io.Closer in teardown paths.
+func (s *Solver) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// Closed reports whether Close has been called.
+func (s *Solver) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// ComputeLeastSolutions materialises the least solution for every
+// variable (a no-op under standard form or while the cache is hot).
+func (s *Solver) ComputeLeastSolutions() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sys.ComputeLeastSolutions()
+}
+
+// LeastSolution returns the source terms in the least solution of v, in
+// first-reached order. The returned slice must not be modified, and — as
+// it may alias live solver storage — must be consumed before further
+// constraints are added. Concurrent readers should use Snapshot instead.
+func (s *Solver) LeastSolution(v *Var) []*Term {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.LeastSolution(v)
+}
+
+// Stats returns the solver's counters so far.
+func (s *Solver) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.Stats()
+}
+
+// Errors returns the retained inconsistency errors. Every returned error
+// matches errors.Is(err, ErrInconsistent) and unwraps to an
+// *InconsistentError via errors.As.
+func (s *Solver) Errors() []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.Errors()
+}
+
+// ErrorCount returns the total number of inconsistencies seen.
+func (s *Solver) ErrorCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.ErrorCount()
+}
+
+// CollapseCycles runs an offline Tarjan pass and collapses every
+// non-trivial strongly connected component.
+func (s *Solver) CollapseCycles() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.CollapseCycles()
+}
+
+// CycleClassStats reports how many variables belong to cyclic equivalence
+// classes and the size of the largest class.
+func (s *Solver) CycleClassStats() (inCycles, maxClass int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.CycleClassStats()
+}
+
+// TotalEdges returns the total number of distinct edges in the graph.
+func (s *Solver) TotalEdges() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.TotalEdges()
+}
+
+// EdgeCounts tallies the distinct edges in the current graph.
+func (s *Solver) EdgeCounts() (varVar, source, sink int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.EdgeCounts()
+}
+
+// CurrentGraphStats measures the graph as it stands.
+func (s *Solver) CurrentGraphStats() GraphStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.CurrentGraphStats()
+}
+
+// WriteDOT renders the current constraint graph in Graphviz DOT format.
+func (s *Solver) WriteDOT(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.WriteDOT(w)
+}
+
+// NumCreated returns the number of Fresh calls so far.
+func (s *Solver) NumCreated() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.NumCreated()
+}
+
+// CreatedVar returns the variable handed out for creation index i.
+func (s *Solver) CreatedVar(i int) *Var {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.CreatedVar(i)
+}
+
+// Find returns the canonical representative of v.
+func (s *Solver) Find(v *Var) *Var {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.Find(v)
+}
+
+// CanonicalVars returns the canonical (non-eliminated) variables in
+// creation order.
+func (s *Solver) CanonicalVars() []*Var {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.CanonicalVars()
+}
+
+// VarAdjacency builds the directed inclusion adjacency over vars.
+func (s *Solver) VarAdjacency(vars []*Var) (adj [][]int, index map[*Var]int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.VarAdjacency(vars)
+}
+
+// Form returns the graph representation in use.
+func (s *Solver) Form() Form {
+	// The representation is fixed at construction; no lock needed.
+	return s.sys.Form()
+}
+
+// Policy returns the cycle-elimination policy in use.
+func (s *Solver) Policy() CyclePolicy {
+	// The policy is fixed at construction; no lock needed.
+	return s.sys.Policy()
+}
+
+// Version returns the least-solution epoch of the graph; it advances
+// exactly when a mutation that can change some least solution is applied.
+func (s *Solver) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.Version()
+}

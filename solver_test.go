@@ -1,4 +1,4 @@
-package solver_test
+package polce_test
 
 import (
 	"fmt"
@@ -6,18 +6,18 @@ import (
 	"strings"
 	"testing"
 
-	"polce/internal/solver"
+	"polce"
 )
 
-func atoms(n int) []*solver.Term {
-	out := make([]*solver.Term, n)
+func atoms(n int) []*polce.Term {
+	out := make([]*polce.Term, n)
 	for i := range out {
-		out[i] = solver.NewTerm(solver.NewConstructor(fmt.Sprintf("a%d", i)))
+		out[i] = polce.NewTerm(polce.NewConstructor(fmt.Sprintf("a%d", i)))
 	}
 	return out
 }
 
-func lsNames(terms []*solver.Term) []string {
+func lsNames(terms []*polce.Term) []string {
 	out := make([]string, len(terms))
 	for i, t := range terms {
 		out[i] = t.String()
@@ -28,8 +28,8 @@ func lsNames(terms []*solver.Term) []string {
 // TestFacadeBasics drives the whole public surface once: construction,
 // ingestion, least solutions, stats, graph inspection and DOT output.
 func TestFacadeBasics(t *testing.T) {
-	for _, form := range []solver.Form{solver.SF, solver.IF} {
-		s := solver.New(solver.Options{Form: form, Cycles: solver.CycleOnline, Seed: 3})
+	for _, form := range []polce.Form{polce.SF, polce.IF} {
+		s := polce.New(polce.Options{Form: form, Cycles: polce.CycleOnline, Seed: 3})
 		a := atoms(2)
 		x := s.Fresh("X")
 		y := s.Fresh("Y")
@@ -46,7 +46,7 @@ func TestFacadeBasics(t *testing.T) {
 		if s.Form() != form {
 			t.Errorf("Form() = %v, want %v", s.Form(), form)
 		}
-		if s.Policy() != solver.CycleOnline {
+		if s.Policy() != polce.CycleOnline {
 			t.Errorf("Policy() = %v", s.Policy())
 		}
 		if s.NumCreated() != 3 || s.Stats().VarsCreated != 3 {
@@ -92,18 +92,18 @@ func TestAddBatchMatchesSequential(t *testing.T) {
 				script = append(script, op{-1, rng.Intn(30), rng.Intn(30)})
 			}
 		}
-		build := func() (*solver.Solver, []*solver.Var, []solver.Constraint) {
-			s := solver.New(solver.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: seed})
-			vars := make([]*solver.Var, 30)
+		build := func() (*polce.Solver, []*polce.Var, []polce.Constraint) {
+			s := polce.New(polce.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: seed})
+			vars := make([]*polce.Var, 30)
 			for i := range vars {
 				vars[i] = s.Fresh(fmt.Sprintf("v%d", i))
 			}
-			cs := make([]solver.Constraint, len(script))
+			cs := make([]polce.Constraint, len(script))
 			for i, o := range script {
 				if o.atom >= 0 {
-					cs[i] = solver.Constraint{L: a[o.atom], R: vars[o.r]}
+					cs[i] = polce.Constraint{L: a[o.atom], R: vars[o.r]}
 				} else {
-					cs[i] = solver.Constraint{L: vars[o.l], R: vars[o.r]}
+					cs[i] = polce.Constraint{L: vars[o.l], R: vars[o.r]}
 				}
 			}
 			return s, vars, cs
@@ -134,9 +134,9 @@ func TestAddBatchMatchesSequential(t *testing.T) {
 // BuildOracle → CycleOracle round trip.
 func TestCollapseAndOracleThroughFacade(t *testing.T) {
 	a := atoms(1)
-	build := func(opt solver.Options) (*solver.Solver, []*solver.Var) {
-		s := solver.New(opt)
-		vars := make([]*solver.Var, 10)
+	build := func(opt polce.Options) (*polce.Solver, []*polce.Var) {
+		s := polce.New(opt)
+		vars := make([]*polce.Var, 10)
 		for i := range vars {
 			vars[i] = s.Fresh(fmt.Sprintf("v%d", i))
 		}
@@ -147,7 +147,7 @@ func TestCollapseAndOracleThroughFacade(t *testing.T) {
 		return s, vars
 	}
 
-	plain, pv := build(solver.Options{Form: solver.IF, Cycles: solver.CycleNone, Seed: 5})
+	plain, pv := build(polce.Options{Form: polce.IF, Cycles: polce.CycleNone, Seed: 5})
 	if in, max := plain.CycleClassStats(); in != 10 || max != 10 {
 		t.Fatalf("cycle classes: in=%d max=%d, want 10/10", in, max)
 	}
@@ -158,12 +158,12 @@ func TestCollapseAndOracleThroughFacade(t *testing.T) {
 		t.Fatal("ring not merged after CollapseCycles")
 	}
 
-	online, _ := build(solver.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 5})
-	oracle := solver.BuildOracle(online)
+	online, _ := build(polce.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 5})
+	oracle := polce.BuildOracle(online)
 	if oracle.Len() != 10 {
 		t.Fatalf("oracle len = %d", oracle.Len())
 	}
-	guided, gv := build(solver.Options{Form: solver.IF, Cycles: solver.CycleOracle, Oracle: oracle, Seed: 5})
+	guided, gv := build(polce.Options{Form: polce.IF, Cycles: polce.CycleOracle, Oracle: oracle, Seed: 5})
 	if guided.Stats().VarsEliminated != 9 {
 		t.Fatalf("oracle eliminated %d vars, want 9", guided.Stats().VarsEliminated)
 	}
@@ -175,7 +175,7 @@ func TestCollapseAndOracleThroughFacade(t *testing.T) {
 // TestInitialGraphFacade checks NewInitialGraph skips closure.
 func TestInitialGraphFacade(t *testing.T) {
 	a := atoms(1)
-	s := solver.NewInitialGraph(solver.Options{Form: solver.SF, Seed: 1})
+	s := polce.NewInitialGraph(polce.Options{Form: polce.SF, Seed: 1})
 	x := s.Fresh("X")
 	y := s.Fresh("Y")
 	s.AddConstraint(a[0], x)

@@ -1,12 +1,12 @@
-package solver
+package polce
 
 import "polce/internal/core"
 
-// This file re-exports the solver vocabulary so façade clients import one
+// This file re-exports the solver vocabulary so API clients import one
 // package. Every name is a true alias of the core (and transitively the
 // storage-layer) type, so values flow freely between the layers — a
-// telemetry.SolverMetrics still satisfies solver.MetricsSink, and a
-// solver.Var is a core.Var.
+// telemetry.SolverMetrics still satisfies polce.MetricsSink, and a
+// polce.Var is a core.Var.
 
 type (
 	// Options configures a Solver; see core.Options for the fields.
