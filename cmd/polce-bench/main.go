@@ -29,7 +29,17 @@ import (
 	"polce/internal/bench"
 	"polce/internal/model"
 	"polce/internal/randgraph"
+	"polce/internal/telemetry"
 )
+
+// logger carries the binary's stderr diagnostics as structured JSON; the
+// benchmark tables and reports themselves still go to stdout as text.
+var logger = telemetry.NopLogger()
+
+func die(err error) {
+	logger.Error(err.Error())
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -62,8 +72,17 @@ func main() {
 		serveDuration = flag.Duration("serve-duration", 3*time.Second, "read-phase duration for -serve-load")
 		serveBatch    = flag.Int("serve-batch", 32, "constraints per ingestion POST for -serve-load")
 		serveMinQ     = flag.Int("serve-min-queries", 10000, "keep querying past -serve-duration until this many queries completed (negative disables)")
+		serveTrace    = flag.String("serve-trace", "", "write request spans of the self-hosted -serve-load run to this NDJSON file and report the queue-wait vs solve breakdown")
+		logLevel      = flag.String("log-level", "info", "stderr diagnostic level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	level, err := telemetry.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
+		os.Exit(2)
+	}
+	logger = telemetry.NewLogger(os.Stderr, level)
 
 	if *serveLoad {
 		err := bench.RunServeLoad(os.Stdout, bench.ServeLoadOptions{
@@ -73,10 +92,10 @@ func main() {
 			Batch:      *serveBatch,
 			MinQueries: *serveMinQ,
 			Seed:       *seed,
+			TracePath:  *serveTrace,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
-			os.Exit(1)
+			die(err)
 		}
 		return
 	}
@@ -91,8 +110,7 @@ func main() {
 			w = 4
 		}
 		if err := bench.VerifyLeastSolutions(os.Stdout, bench.SuiteUpTo(limit), *seed, w); err != nil {
-			fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
-			os.Exit(1)
+			die(err)
 		}
 		return
 	}
@@ -175,8 +193,7 @@ func main() {
 	if *benchSel != "" {
 		b, ok := bench.ByName(*benchSel)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "polce-bench: unknown benchmark %q\n", *benchSel)
-			os.Exit(1)
+			die(fmt.Errorf("unknown benchmark %q", *benchSel))
 		}
 		suite = []bench.Benchmark{b}
 	}
@@ -187,7 +204,7 @@ func main() {
 
 	var results []*bench.Result
 	if len(exps) > 0 || containsInt(tables, 1) {
-		fmt.Fprintf(os.Stderr, "polce-bench: running %d experiment(s) on %d benchmark(s)...\n", len(exps), len(suite))
+		logger.Info("running experiments", "experiments", len(exps), "benchmarks", len(suite))
 		var err error
 		results, err = bench.RunSuite(suite, exps, bench.Options{
 			Seed:   *seed,
@@ -198,8 +215,7 @@ func main() {
 			LSWorkers: *lsWorkers,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
-			os.Exit(1)
+			die(err)
 		}
 	}
 
@@ -215,8 +231,7 @@ func main() {
 		case 4:
 			bench.Table4(out)
 		default:
-			fmt.Fprintf(os.Stderr, "polce-bench: no table %d\n", t)
-			os.Exit(1)
+			die(fmt.Errorf("no table %d", t))
 		}
 		fmt.Fprintln(out)
 	}
@@ -233,8 +248,7 @@ func main() {
 		case 11:
 			bench.Figure11(out, results)
 		default:
-			fmt.Fprintf(os.Stderr, "polce-bench: no figure %d\n", f)
-			os.Exit(1)
+			die(fmt.Errorf("no figure %d", f))
 		}
 		fmt.Fprintln(out)
 	}
@@ -245,8 +259,7 @@ func main() {
 		case "thm52":
 			theorem52(out)
 		default:
-			fmt.Fprintf(os.Stderr, "polce-bench: unknown model %q (thm51, thm52)\n", m)
-			os.Exit(1)
+			die(fmt.Errorf("unknown model %q (thm51, thm52)", m))
 		}
 		fmt.Fprintln(out)
 	}
@@ -265,46 +278,39 @@ func main() {
 	}
 	if *sweep {
 		if err := bench.Sweep(out, nil, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
-			os.Exit(1)
+			die(err)
 		}
 		fmt.Fprintln(out)
 	}
 	if *orders {
 		if err := bench.OrderExperiment(out, suite, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
-			os.Exit(1)
+			die(err)
 		}
 		fmt.Fprintln(out)
 	}
 	if *baseline {
 		if err := bench.BaselineComparison(out, suite, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
-			os.Exit(1)
+			die(err)
 		}
 		fmt.Fprintln(out)
 	}
 	if *cfaExp || *all {
 		if err := bench.CFAExperiment(out, nil, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
-			os.Exit(1)
+			die(err)
 		}
 	}
 	if *csvPath != "" && len(results) > 0 {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
-			os.Exit(1)
+			die(err)
 		}
 		if err := bench.WriteCSV(f, results); err != nil {
-			fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
-			os.Exit(1)
+			die(err)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
-			os.Exit(1)
+			die(err)
 		}
-		fmt.Fprintf(os.Stderr, "polce-bench: wrote %s\n", *csvPath)
+		logger.Info("wrote CSV", "path", *csvPath)
 	}
 }
 
@@ -331,10 +337,10 @@ func runParallelGrid(suite []bench.Benchmark, expNames []string, seed int64, wor
 		cells[i].Seed = bench.CellSeed(seed, cells[i])
 	}
 	opt := bench.ParallelOptions{Workers: workers, Repeat: repeat, Phases: true, LSWorkers: lsWorkers}
-	fmt.Fprintf(os.Stderr, "polce-bench: running %d cell(s) on %d worker(s)...\n", len(cells), effectiveWorkers(workers))
+	logger.Info("running grid", "cells", len(cells), "workers", effectiveWorkers(workers))
 	start := time.Now()
 	results := bench.RunParallel(cells, opt)
-	fmt.Fprintf(os.Stderr, "polce-bench: grid done in %s\n", time.Since(start).Round(time.Millisecond))
+	logger.Info("grid done", "elapsed", time.Since(start).Round(time.Millisecond).String())
 	bench.ParallelTable(os.Stdout, results)
 	fmt.Fprintln(os.Stdout)
 	failed := 0
@@ -344,25 +350,21 @@ func runParallelGrid(suite []bench.Benchmark, expNames []string, seed int64, wor
 		}
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "polce-bench: %d cell(s) failed\n", failed)
-		os.Exit(1)
+		die(fmt.Errorf("%d cell(s) failed", failed))
 	}
 	if baseOut != "" {
 		f, err := os.Create(baseOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
-			os.Exit(1)
+			die(err)
 		}
 		b := bench.NewBaseline(results, opt, time.Now())
 		if err := bench.WriteBaseline(f, b); err != nil {
-			fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
-			os.Exit(1)
+			die(err)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "polce-bench: %v\n", err)
-			os.Exit(1)
+			die(err)
 		}
-		fmt.Fprintf(os.Stderr, "polce-bench: wrote %s (%d cells)\n", baseOut, len(b.Cells))
+		logger.Info("wrote baseline", "path", baseOut, "cells", len(b.Cells))
 	}
 }
 

@@ -21,6 +21,12 @@
 // per-route latency histograms and status counters alongside the solver's
 // own counters.
 //
+// Diagnostics go to stderr as structured JSON (slog): -log-level picks the
+// floor (per-request lines are debug), -slow-query logs any request at or
+// over the threshold at warn with its phase breakdown, and -trace-out
+// appends request-scoped spans — queue wait, ingest drain, cycle search,
+// snapshot capture — as NDJSON correlated by X-Request-Id.
+//
 // On SIGTERM or SIGINT the server stops accepting connections, lets
 // in-flight requests finish, applies every queued constraint batch, closes
 // the solver and exits 0; -drain-timeout bounds the wait.
@@ -30,6 +36,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -57,8 +64,18 @@ func main() {
 		maxBody      = flag.Int64("max-body", 1<<20, "maximum POST body size in bytes")
 		snapStale    = flag.Duration("snapshot-stale", 0, "serve reads from a snapshot up to this stale under write churn (0 = always current)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+
+		logLevel  = flag.String("log-level", "info", "request/diagnostic log level: debug, info, warn, error (request logs are debug)")
+		slowQuery = flag.Duration("slow-query", 0, "log requests at warn with their phase breakdown when they take at least this long (0 = off)")
+		traceOut  = flag.String("trace-out", "", "append request-scoped NDJSON spans to this file")
 	)
 	flag.Parse()
+
+	level, err := telemetry.ParseLogLevel(*logLevel)
+	if err != nil {
+		fatal("%v", err)
+	}
+	logger = telemetry.NewLogger(os.Stderr, level)
 
 	opt := polce.Options{Seed: *seed, LSWorkers: *lsWorkers}
 	switch strings.ToLower(*form) {
@@ -87,9 +104,24 @@ func main() {
 	opt.Metrics = sm
 	telemetry.PublishExpvar("polce-serve", reg)
 
+	var tracer *telemetry.Tracer
+	var tw *telemetry.TraceWriter
+	if *traceOut != "" {
+		tw, err = telemetry.CreateTrace(*traceOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+		tracer = telemetry.NewTracer(tw)
+		logger.Info("request tracing on", "path", *traceOut)
+	}
+
 	srv := serve.New(serve.Config{
 		Solver:           polce.New(opt),
 		Registry:         reg,
+		SolverMetrics:    sm,
+		Logger:           logger,
+		Tracer:           tracer,
+		SlowQuery:        *slowQuery,
 		QueueDepth:       *queueDepth,
 		RequestTimeout:   *reqTimeout,
 		RetryAfter:       *retryAfter,
@@ -108,8 +140,9 @@ func main() {
 			errc <- err
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "polce-serve: %s/%s solver serving API v1 and /metrics on %s (queue %d)\n",
-		opt.Form, opt.Cycles, ln.Addr(), *queueDepth)
+	logger.Info("serving",
+		"form", opt.Form.String(), "cycles", opt.Cycles.String(),
+		"addr", ln.Addr().String(), "queue", *queueDepth)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -120,7 +153,7 @@ func main() {
 	}
 	stop() // a second signal kills the process the default way
 
-	fmt.Fprintf(os.Stderr, "polce-serve: draining (in-flight requests, %d queued batch(es))\n", srv.QueueLen())
+	logger.Info("draining", "queued_batches", srv.QueueLen())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	// Stop accepting and finish in-flight requests first, then flush the
@@ -131,10 +164,19 @@ func main() {
 	if err := srv.Shutdown(drainCtx); err != nil {
 		fatal("queue drain: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "polce-serve: drained; %d constraint(s) ingested total\n", srv.Ingested())
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			fatal("closing trace: %v", err)
+		}
+	}
+	logger.Info("drained", "ingested", srv.Ingested())
 }
 
+// logger is re-created once -log-level is parsed; the package-level
+// default covers diagnostics before that (flag errors included).
+var logger = telemetry.NewLogger(os.Stderr, slog.LevelInfo)
+
 func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "polce-serve: "+format+"\n", args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -46,8 +47,14 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write Prometheus-text solver metrics to this file at exit")
 		traceOut   = flag.String("trace-out", "", "stream solver events as NDJSON to this file (closing record carries the final stats)")
 		httpAddr   = flag.String("http", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address (e.g. :6060); keeps serving after the run until interrupted")
+		logLevel   = flag.String("log-level", "info", "stderr diagnostic level: debug, info, warn, error")
 	)
 	flag.Parse()
+	level, err := telemetry.ParseLogLevel(*logLevel)
+	if err != nil {
+		fatal("%v", err)
+	}
+	logger = telemetry.NewLogger(os.Stderr, level)
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -68,11 +75,12 @@ func main() {
 	}
 	if *httpAddr != "" {
 		if _, err := telemetry.Serve(*httpAddr, reg, func(err error) {
-			fmt.Fprintf(os.Stderr, "polce-solve: http: %v\n", err)
+			logger.Error("http server error", "error", err.Error())
 		}); err != nil {
 			fatal("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "polce-solve: serving /metrics, /metrics.json, /debug/vars, /debug/pprof on %s\n", *httpAddr)
+		logger.Info("serving telemetry", "addr", *httpAddr,
+			"endpoints", "/metrics /metrics.json /debug/vars /debug/pprof")
 	}
 	if *traceOut != "" {
 		var err error
@@ -83,7 +91,6 @@ func main() {
 	}
 
 	var src []byte
-	var err error
 	if flag.Arg(0) == "-" {
 		src, err = io.ReadAll(os.Stdin)
 	} else {
@@ -135,7 +142,7 @@ func main() {
 		fmt.Printf("final-edges=%d\n", solved.Sys.TotalEdges())
 	}
 	if n := solved.Sys.ErrorCount(); n > 0 {
-		fmt.Fprintf(os.Stderr, "%d inconsistent constraint(s) (first: %v)\n", n, solved.Sys.Errors()[0])
+		logger.Warn("inconsistent constraints", "count", n, "first", solved.Sys.Errors()[0].Error())
 	}
 	if *dotOut != "" {
 		writeFile(*dotOut, solved.Sys.WriteDOT)
@@ -150,13 +157,13 @@ func main() {
 		if err := tw.Close(); err != nil {
 			fatal("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "polce-solve: wrote trace %s (%d events)\n", *traceOut, n)
+		logger.Info("wrote trace", "path", *traceOut, "events", n)
 	}
 	if *metricsOut != "" {
 		writeFile(*metricsOut, reg.WritePrometheus)
 	}
 	if *httpAddr != "" {
-		fmt.Fprintf(os.Stderr, "polce-solve: run complete; still serving on %s (interrupt to exit)\n", *httpAddr)
+		logger.Info("run complete; still serving until interrupted", "addr", *httpAddr)
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 		<-ch
@@ -177,7 +184,11 @@ func writeFile(path string, render func(io.Writer) error) {
 	}
 }
 
+// logger is re-created once -log-level is parsed; the package-level
+// default covers diagnostics before that (flag errors included).
+var logger = telemetry.NewLogger(os.Stderr, slog.LevelInfo)
+
 func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "polce-solve: "+format+"\n", args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

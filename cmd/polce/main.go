@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sort"
@@ -66,8 +67,15 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write Prometheus-text solver metrics to this file at exit")
 		traceOut   = flag.String("trace-out", "", "stream solver events as NDJSON to this file (closing record carries the final stats)")
 		httpAddr   = flag.String("http", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address (e.g. :6060); keeps serving after the run until interrupted")
+		logLevel   = flag.String("log-level", "info", "stderr diagnostic level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	level, err := telemetry.ParseLogLevel(*logLevel)
+	if err != nil {
+		fatal("%v", err)
+	}
+	logger = telemetry.NewLogger(os.Stderr, level)
 
 	// Telemetry wiring: the registry and sink exist only when asked for,
 	// so the solver's hot-path hooks stay a single nil check otherwise.
@@ -83,11 +91,12 @@ func main() {
 	}
 	if *httpAddr != "" {
 		if _, err := telemetry.Serve(*httpAddr, reg, func(err error) {
-			fmt.Fprintf(os.Stderr, "polce: http: %v\n", err)
+			logger.Error("http server error", "error", err.Error())
 		}); err != nil {
 			fatal("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "polce: serving /metrics, /metrics.json, /debug/vars, /debug/pprof on %s\n", *httpAddr)
+		logger.Info("serving telemetry", "addr", *httpAddr,
+			"endpoints", "/metrics /metrics.json /debug/vars /debug/pprof")
 	}
 	if *traceOut != "" {
 		var err error
@@ -140,11 +149,10 @@ func main() {
 		observers = append(observers, func(ev polce.Event) {
 			switch ev.Kind {
 			case polce.EventCycle:
-				fmt.Fprintf(os.Stderr, "cycle: %d variable(s) collapsed into %s at work=%d\n",
-					len(ev.Vars), ev.Witness.Name(), ev.Work)
+				logger.Info("cycle collapsed",
+					"vars", len(ev.Vars), "witness", ev.Witness.Name(), "work", ev.Work)
 			case polce.EventSweep:
-				fmt.Fprintf(os.Stderr, "sweep: %d variable(s) collapsed at work=%d\n",
-					ev.Collapsed, ev.Work)
+				logger.Info("sweep collapsed", "vars", ev.Collapsed, "work", ev.Work)
 			}
 		})
 	}
@@ -211,7 +219,7 @@ func main() {
 		}
 	}
 	if n := res.Sys.ErrorCount(); n > 0 {
-		fmt.Fprintf(os.Stderr, "%d inconsistent constraints (first: %v)\n", n, res.Sys.Errors()[0])
+		logger.Warn("inconsistent constraints", "count", n, "first", res.Sys.Errors()[0].Error())
 	}
 
 	if *aliasQ != "" {
@@ -251,13 +259,13 @@ func main() {
 		if err := tw.Close(); err != nil {
 			fatal("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "polce: wrote trace %s (%d events)\n", *traceOut, n)
+		logger.Info("wrote trace", "path", *traceOut, "events", n)
 	}
 	if *metricsOut != "" {
 		writeDOT(*metricsOut, reg.WritePrometheus)
 	}
 	if *httpAddr != "" {
-		fmt.Fprintf(os.Stderr, "polce: run complete; still serving on %s (interrupt to exit)\n", *httpAddr)
+		logger.Info("run complete; still serving until interrupted", "addr", *httpAddr)
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 		<-ch
@@ -276,7 +284,7 @@ func writeDOT(path string, render func(io.Writer) error) {
 	if err := f.Close(); err != nil {
 		fatal("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	logger.Info("wrote file", "path", path)
 }
 
 // firstNames lists a few location names for error messages.
@@ -328,7 +336,11 @@ func runSteensgaard(file *cgen.File, pts, onlyNonempty bool) {
 	fmt.Printf("\nsteensgaard  time=%v cells=%d locations=%d\n", elapsed, a.CellCount(), len(a.Locations()))
 }
 
+// logger is re-created once -log-level is parsed; the package-level
+// default covers diagnostics before that (flag errors included).
+var logger = telemetry.NewLogger(os.Stderr, slog.LevelInfo)
+
 func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "polce: "+format+"\n", args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

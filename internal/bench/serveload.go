@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -14,6 +15,7 @@ import (
 
 	"polce"
 	"polce/internal/serve"
+	"polce/internal/telemetry"
 )
 
 // ServeLoadOptions configures the service load generator.
@@ -35,6 +37,12 @@ type ServeLoadOptions struct {
 	Batch int
 	// Seed is the solver's variable-order seed for the self-hosted server.
 	Seed int64
+	// TracePath, when set, wires a telemetry.Tracer into the self-hosted
+	// server, writes every request's spans to this NDJSON file, and appends
+	// a trace-derived breakdown to the report: how much of the ingest p50
+	// was queue wait versus solve time. Requires self-hosting (empty Addr) —
+	// an external server's spans land in its own trace file, not ours.
+	TracePath string
 }
 
 func (o ServeLoadOptions) withDefaults() ServeLoadOptions {
@@ -94,15 +102,33 @@ func RunServeLoad(w io.Writer, opt ServeLoadOptions) error {
 
 	base := "http://" + opt.Addr
 	var shutdown func() error
+	if opt.TracePath != "" && opt.Addr != "" {
+		return fmt.Errorf("serve-load: -serve-trace requires the self-hosted server (leave Addr empty)")
+	}
 	if opt.Addr == "" {
 		// The self-hosted server reads with 2ms bounded staleness: under a
 		// saturating writer every graph-version bump would otherwise force
 		// an O(vars) snapshot capture per read.
-		srv := serve.New(serve.Config{
-			Solver:           polce.New(polce.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: opt.Seed}),
+		solverOpt := polce.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: opt.Seed}
+		cfg := serve.Config{
 			QueueDepth:       256,
 			SnapshotMaxStale: 2 * time.Millisecond,
-		})
+		}
+		var tw *telemetry.TraceWriter
+		if opt.TracePath != "" {
+			var err error
+			if tw, err = telemetry.CreateTrace(opt.TracePath); err != nil {
+				return fmt.Errorf("creating trace: %w", err)
+			}
+			reg := telemetry.NewRegistry()
+			sm := telemetry.NewSolverMetrics(reg)
+			solverOpt.Metrics = sm
+			cfg.Registry = reg
+			cfg.Tracer = telemetry.NewTracer(tw)
+			cfg.SolverMetrics = sm
+		}
+		cfg.Solver = polce.New(solverOpt)
+		srv := serve.New(cfg)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
@@ -116,7 +142,13 @@ func RunServeLoad(w io.Writer, opt ServeLoadOptions) error {
 			if err := httpSrv.Shutdown(ctx); err != nil {
 				return err
 			}
-			return srv.Shutdown(ctx)
+			if err := srv.Shutdown(ctx); err != nil {
+				return err
+			}
+			if tw != nil {
+				return tw.Close()
+			}
+			return nil
 		}
 		fmt.Fprintf(w, "serve-load: self-hosted polce-serve on %s\n", ln.Addr())
 	}
@@ -229,10 +261,116 @@ func RunServeLoad(w io.Writer, opt ServeLoadOptions) error {
 		st.percentile(0.50).Round(time.Microsecond), st.percentile(0.99).Round(time.Microsecond))
 	fmt.Fprintf(w, "  ingested  %10d batches (%d constraints)\n", st.batches.Load(), st.batches.Load()*int64(opt.Batch))
 	fmt.Fprintf(w, "  errors    %10d\n", st.errors.Load())
+	if opt.TracePath != "" {
+		bd, err := readServeTrace(opt.TracePath)
+		if err != nil {
+			return fmt.Errorf("serve-load: reading trace: %w", err)
+		}
+		fmt.Fprintf(w, "  trace     %s: %d spans, %d/%d ingest requests with linked queue-wait+drain spans\n",
+			opt.TracePath, bd.spans, bd.linked, bd.ingests)
+		fmt.Fprintf(w, "  ingest    p50 http %s, apply wait %s = queue-wait %s + ingest-drain %s + handoff %s (covers %.0f%%)\n",
+			bd.p50HTTP.Round(time.Microsecond), bd.p50Await.Round(time.Microsecond),
+			bd.p50Wait.Round(time.Microsecond), bd.p50Drain.Round(time.Microsecond),
+			bd.p50Handoff.Round(time.Microsecond), bd.coverage*100)
+		if bd.linked < bd.ingests {
+			return fmt.Errorf("serve-load: %d of %d traced ingest requests missing linked spans", bd.ingests-bd.linked, bd.ingests)
+		}
+	}
 	if st.errors.Load() > 0 {
 		return fmt.Errorf("serve-load: %d request error(s)", st.errors.Load())
 	}
 	return nil
+}
+
+// traceBreakdown is what the NDJSON trace says about the write path.
+type traceBreakdown struct {
+	spans   int
+	ingests int // traces whose http root is a constraints request
+	linked  int // of those, how many carry queue-wait + ingest-drain children
+	p50HTTP, p50Await, p50Wait, p50Drain,
+	p50Handoff time.Duration
+	// coverage is the median per-request (wait+drain+handoff)/await ratio —
+	// computed per request, not from the p50s, because the phases'
+	// distributions are skewed differently and medians do not add.
+	coverage float64
+}
+
+// readServeTrace rebuilds per-request span trees from the trace file and
+// reduces the ingest requests to a p50 breakdown: the http root span
+// against its queue-wait and ingest-drain children. The two children are
+// measured by the server on either side of the queue, so their sum
+// accounting for (almost all of) the http span is the end-to-end check
+// that the tracing pipeline measures where ingest latency actually goes.
+func readServeTrace(path string) (traceBreakdown, error) {
+	var bd traceBreakdown
+	f, err := os.Open(path)
+	if err != nil {
+		return bd, err
+	}
+	defer f.Close()
+	recs, err := telemetry.ReadTrace(f)
+	if err != nil {
+		return bd, err
+	}
+	var httpDs, awaitDs, waitDs, drainDs, handoffDs []time.Duration
+	var ratios []float64
+	for _, spans := range telemetry.SpanTree(recs) {
+		bd.spans += len(spans)
+		var root, await, wait, drain, handoff *telemetry.TraceRecord
+		for i := range spans {
+			switch spans[i].Name {
+			case "http":
+				root = &spans[i]
+			case "await-apply":
+				await = &spans[i]
+			case "queue-wait":
+				wait = &spans[i]
+			case "ingest-drain":
+				drain = &spans[i]
+			case "result-handoff":
+				handoff = &spans[i]
+			}
+		}
+		if root == nil || root.Attrs["route"] != "constraints" {
+			continue
+		}
+		bd.ingests++
+		if await == nil || wait == nil || drain == nil ||
+			await.Parent != root.Span || wait.Parent != root.Span || drain.Parent != root.Span {
+			continue
+		}
+		bd.linked++
+		httpDs = append(httpDs, time.Duration(root.DurMicros)*time.Microsecond)
+		awaitDs = append(awaitDs, time.Duration(await.DurMicros)*time.Microsecond)
+		waitDs = append(waitDs, time.Duration(wait.DurMicros)*time.Microsecond)
+		drainDs = append(drainDs, time.Duration(drain.DurMicros)*time.Microsecond)
+		var handoffUs int64
+		if handoff != nil {
+			handoffUs = handoff.DurMicros
+		}
+		handoffDs = append(handoffDs, time.Duration(handoffUs)*time.Microsecond)
+		if await.DurMicros > 0 {
+			ratios = append(ratios, float64(wait.DurMicros+drain.DurMicros+handoffUs)/float64(await.DurMicros))
+		}
+	}
+	bd.p50HTTP = p50(httpDs)
+	bd.p50Await = p50(awaitDs)
+	bd.p50Wait = p50(waitDs)
+	bd.p50Drain = p50(drainDs)
+	bd.p50Handoff = p50(handoffDs)
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		bd.coverage = ratios[len(ratios)/2]
+	}
+	return bd, nil
+}
+
+func p50(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
 }
 
 // postBatch POSTs one SCL program and fails on any non-2xx status.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -25,5 +26,50 @@ func TestRunServeLoad(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("report missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestRunServeLoadTraced runs the generator with request tracing on and
+// checks the trace-derived breakdown end to end: RunServeLoad itself fails
+// if any traced ingest request is missing its linked queue-wait and
+// ingest-drain spans, and the breakdown must decompose the ingest p50 into
+// phases that substantially account for it.
+func TestRunServeLoadTraced(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "serve.trace.ndjson")
+	var out strings.Builder
+	err := RunServeLoad(&out, ServeLoadOptions{
+		Readers:    4,
+		Duration:   200 * time.Millisecond,
+		Batch:      8,
+		MinQueries: -1,
+		Seed:       1,
+		TracePath:  tracePath,
+	})
+	if err != nil {
+		t.Fatalf("RunServeLoad: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"ingest requests with linked queue-wait+drain spans", "p50 http", "queue-wait", "ingest-drain"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("traced report missing %q:\n%s", want, report)
+		}
+	}
+	bd, err := readServeTrace(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.ingests == 0 || bd.linked != bd.ingests {
+		t.Errorf("trace has %d/%d linked ingest requests, want all of a nonzero count", bd.linked, bd.ingests)
+	}
+	if bd.p50HTTP <= 0 {
+		t.Errorf("p50 http span = %v, want positive", bd.p50HTTP)
+	}
+	// queue-wait + drain + handoff are all measured inside the handler's
+	// await interval, so their sum must substantially account for it —
+	// substantially less means the pipeline lost time somewhere, and much
+	// more means double-counting. The slack absorbs p50-of-sums vs
+	// sum-of-p50s skew at microsecond scale.
+	if bd.coverage < 0.75 || bd.coverage > 1.25 {
+		t.Errorf("breakdown covers %.0f%% of the ingest apply wait, want 75%%-125%%\n%s", bd.coverage*100, report)
 	}
 }

@@ -31,6 +31,43 @@ import "sort"
 // edge insertions and collapses, so redundant constraint re-additions do
 // not trigger a pass, and after real updates only the affected cone is
 // recomputed.
+// LSCacheState describes the least-solution cache for introspection
+// surfaces: whether a LeastSolution read right now would be answered
+// without a pass, and how much interned state the engine holds.
+type LSCacheState struct {
+	// Hot reports that the cache is valid at the current graph version
+	// (standard form is always "hot": the closed graph is the solution).
+	Hot bool `json:"hot"`
+	// Passes is the number of engine passes run so far.
+	Passes int64 `json:"passes"`
+	// InternedNodes is the number of hash-consed term-set nodes alive in
+	// the engine's intern table; MemoEntries the memoized-union entries.
+	// Both are zero under standard form or before the first pass.
+	InternedNodes int `json:"interned_nodes"`
+	MemoEntries   int `json:"memo_entries"`
+	// PendingDirty is the number of variables marked dirty since the last
+	// pass — the seed of the next pass's cone.
+	PendingDirty int `json:"pending_dirty"`
+}
+
+// LSCacheState reports the least-solution cache's current state.
+func (s *System) LSCacheState() LSCacheState {
+	st := LSCacheState{
+		Hot:          s.opt.Form == SF || (s.lsEngine != nil && s.lsVersion == s.graphVersion),
+		Passes:       s.stats.LSPasses,
+		PendingDirty: len(s.lsPending),
+	}
+	if e := s.lsEngine; e != nil {
+		e.mu.Lock()
+		for _, bucket := range e.interned {
+			st.InternedNodes += len(bucket)
+		}
+		st.MemoEntries = len(e.memo)
+		e.mu.Unlock()
+	}
+	return st
+}
+
 func (s *System) ComputeLeastSolutions() {
 	if s.opt.Form == SF {
 		return

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// This file is the live introspection surface: two read-only endpoints
+// answered entirely from copy-on-write snapshots, so they are safe to hit
+// on a production server under full ingestion load — a debug query never
+// takes the solver lock beyond the shared snapshot capture, and never
+// blocks the ingester.
+//
+//	GET /v1/debug/stats   graph size/density, collapsed-SCC histogram,
+//	                      least-solution cache state, queue + cache health
+//	GET /v1/debug/top?k=N hottest variables by points-to set size
+
+// handleDebugStats reports the solver's internal state as of the current
+// snapshot: live variables and edges, what online cycle elimination has
+// collapsed so far (class count, largest class, size histogram), the
+// least-solution cache, and the serving-side queue and snapshot-cache
+// state.
+func (s *Server) handleDebugStats(w http.ResponseWriter, r *http.Request) error {
+	snap, err := s.snapshot(r.Context())
+	if err != nil {
+		return err
+	}
+	trackFrom(r.Context()).versioned(snap.Version())
+	classes := snap.CollapsedClasses()
+	eliminated, maxClass := 0, 0
+	hist := map[string]int{}
+	for _, sz := range classes {
+		eliminated += sz - 1
+		if sz > maxClass {
+			maxClass = sz
+		}
+		hist[classBucket(sz)]++
+	}
+	g := snap.Graph()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": snap.Version(),
+		"form":    snap.Form().String(),
+		"vars":    snap.NumVars(),
+		"errors":  snap.ErrorCount(),
+		"graph": map[string]any{
+			"live_vars":     g.Vars,
+			"var_var_edges": g.VarVarEdges,
+			"source_edges":  g.SourceEdges,
+			"sink_edges":    g.SinkEdges,
+			"density":       g.Density,
+		},
+		"scc": map[string]any{
+			"collapsed_classes": len(classes),
+			"vars_eliminated":   eliminated,
+			"max_class":         maxClass,
+			"size_histogram":    hist,
+		},
+		"ls_cache": snap.LSCache(),
+		"queue": map[string]any{
+			"len":      s.QueueLen(),
+			"cap":      s.QueueCap(),
+			"ingested": s.Ingested(),
+			"draining": s.draining.Load(),
+		},
+		"stats": snap.Stats(),
+	})
+	return nil
+}
+
+// classBucket buckets a collapsed-class size into power-of-two ranges:
+// "2", "3-4", "5-8", "9-16", ... — coarse enough to stay readable on a
+// graph with thousands of collapsed cycles, fine enough to show whether
+// elimination is finding the long chains or only trivial 2-cycles.
+func classBucket(sz int) string {
+	lo, hi := 2, 2
+	for sz > hi {
+		lo, hi = hi+1, hi*2
+	}
+	if lo == hi {
+		return strconv.Itoa(lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
+}
+
+// handleDebugTop reports the k variables with the largest least solutions
+// (points-to sets), largest first — the "which variables are blowing up"
+// question. k defaults to 10 and is capped at 10000; the ranking is
+// computed from the frozen snapshot, so repeated calls at one version are
+// deterministic.
+func (s *Server) handleDebugTop(w http.ResponseWriter, r *http.Request) error {
+	k := 10
+	if q := r.URL.Query().Get("k"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("%w: k must be a positive integer, got %q", ErrBadRequest, q)
+		}
+		k = n
+	}
+	if k > 10000 {
+		k = 10000
+	}
+	snap, err := s.snapshot(r.Context())
+	if err != nil {
+		return err
+	}
+	trackFrom(r.Context()).versioned(snap.Version())
+	top := snap.Top(k)
+	rows := make([]map[string]any, len(top))
+	for i, tv := range top {
+		rows[i] = map[string]any{"var": tv.Var.Name(), "terms": tv.Terms}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": snap.Version(),
+		"k":       len(rows),
+		"top":     rows,
+	})
+	return nil
+}
+
+// handleUnmatched is the catch-all for requests no route claimed: a 404
+// counted under the "other" route metrics instead of vanishing.
+func (s *Server) handleUnmatched(w http.ResponseWriter, r *http.Request) error {
+	return fmt.Errorf("%w: no route for %s %s", ErrNotFound, r.Method, r.URL.Path)
+}

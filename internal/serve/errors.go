@@ -17,6 +17,11 @@ var ErrBadRequest = errors.New("serve: bad request")
 // clients can distinguish "typo in the program" from "not defined yet".
 var ErrUnknownVar = errors.New("serve: unknown variable")
 
+// ErrNotFound is the catch-all for requests that match no route. It gets
+// its own sentinel (rather than reusing ErrBadRequest) so the 404 carries
+// kind "not_found" and unmatched traffic is distinguishable in logs.
+var ErrNotFound = errors.New("serve: not found")
+
 // statusTable is the one place the solver's typed errors meet HTTP. Order
 // matters only for readability; the sentinels are disjoint.
 var statusTable = []struct {
@@ -27,6 +32,7 @@ var statusTable = []struct {
 	{polce.ErrQueueFull, http.StatusServiceUnavailable},   // 503 (+ Retry-After)
 	{polce.ErrSolverClosed, http.StatusGone},              // 410
 	{ErrUnknownVar, http.StatusNotFound},                  // 404
+	{ErrNotFound, http.StatusNotFound},                    // 404
 	{ErrBadRequest, http.StatusBadRequest},                // 400
 	{context.DeadlineExceeded, http.StatusGatewayTimeout}, // 504
 	{context.Canceled, http.StatusServiceUnavailable},     // client went away / draining
@@ -54,6 +60,8 @@ func kindOf(err error) string {
 		return "closed"
 	case errors.Is(err, ErrUnknownVar):
 		return "unknown_var"
+	case errors.Is(err, ErrNotFound):
+		return "not_found"
 	case errors.Is(err, ErrBadRequest):
 		return "bad_request"
 	case errors.Is(err, context.DeadlineExceeded):

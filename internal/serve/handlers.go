@@ -23,26 +23,54 @@ func (s *Server) routes() {
 	s.handle("least_solution", "GET /v1/least-solution/{var}", s.handleLeastSolution)
 	s.handle("snapshot", "GET /v1/snapshot", s.handleSnapshot)
 	s.handle("healthz", "GET /v1/healthz", s.handleHealthz)
+	s.handle("debug_stats", "GET /v1/debug/stats", s.handleDebugStats)
+	s.handle("debug_top", "GET /v1/debug/top", s.handleDebugTop)
 	if s.cfg.Registry != nil {
 		tm := telemetry.NewMux(s.cfg.Registry)
 		s.mux.Handle("/metrics", tm)
 		s.mux.Handle("/metrics.json", tm)
 		s.mux.Handle("/debug/", tm)
 	}
+	// The "/" catch-all turns unrouted requests into instrumented 404s, so
+	// they land in the "other" route metrics and the request log instead of
+	// the mux's bare response. (Method mismatches on known patterns are
+	// still the mux's own 405s — the pattern matched, so the catch-all
+	// never sees them.)
+	s.handle("other", "/", s.handleUnmatched)
 }
 
-// handle wraps one route: a deadline on the request context, a status
-// recorder for the metrics, and centralised error rendering.
+// handle wraps one route with the serve middleware: a request ID (taken
+// from the client's X-Request-Id or generated) echoed in the response
+// header and threaded through the context as the trace ID, an "http" root
+// span when tracing is on, the per-request deadline, a status recorder
+// for the metrics, centralised error rendering, and the structured
+// request log.
 func (s *Server) handle(route, pattern string, h func(http.ResponseWriter, *http.Request) error) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = telemetry.NewTraceID()
+		}
+		w.Header().Set("X-Request-Id", reqID)
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		track := &reqTrack{id: reqID}
+		ctx = withTrack(telemetry.WithTraceID(ctx, reqID), track)
+		ctx, span := s.tracer.StartSpan(ctx, "http")
+		span.SetAttr("route", route)
+		span.SetAttr("method", r.Method)
+		span.SetAttr("path", r.URL.Path)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		if err := h(rec, r.WithContext(ctx)); err != nil {
+		err := h(rec, r.WithContext(ctx))
+		if err != nil {
 			s.writeError(rec, err)
 		}
-		s.metrics.observe(route, rec.status, time.Since(start))
+		elapsed := time.Since(start)
+		span.SetAttr("status", rec.status)
+		span.End()
+		s.metrics.observe(route, rec.status, elapsed)
+		s.logRequest(r, route, rec.status, elapsed, track, err)
 	})
 }
 
@@ -87,7 +115,7 @@ func (s *Server) handleConstraints(w http.ResponseWriter, r *http.Request) error
 		writeJSON(w, http.StatusAccepted, map[string]any{"accepted": 0, "queue_len": s.QueueLen()})
 		return nil
 	}
-	job, err := s.enqueue(batch)
+	job, err := s.enqueue(r.Context(), batch)
 	if err != nil {
 		return err
 	}
@@ -95,14 +123,31 @@ func (s *Server) handleConstraints(w http.ResponseWriter, r *http.Request) error
 		writeJSON(w, http.StatusAccepted, map[string]any{"accepted": len(batch), "queue_len": s.QueueLen()})
 		return nil
 	}
+	// The await-apply span is the handler-side view of the same interval
+	// the ingester decomposes into queue-wait + ingest-drain; the remainder
+	// — result-handoff — is the scheduling delay between the ingester
+	// finishing the batch and this goroutine waking up, measured rather
+	// than inferred so the breakdown sums to the observed wait.
+	_, await := s.tracer.StartSpan(r.Context(), "await-apply")
 	select {
 	case res := <-job.done:
+		await.SetAttr("applied", res.applied)
+		await.End()
+		if handoff := time.Since(job.at) - res.wait - res.drain; handoff > 0 {
+			s.tracer.Emit(r.Context(), "result-handoff", time.Now().Add(-handoff), handoff, nil)
+		}
+		track := trackFrom(r.Context())
+		track.phase("queue_wait", res.wait)
+		track.phase("ingest_drain", res.drain)
+		track.versioned(res.version)
 		if res.err != nil {
 			return res.err
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"applied": res.applied, "version": res.version})
 		return nil
 	case <-r.Context().Done():
+		await.SetAttr("error", r.Context().Err().Error())
+		await.End()
 		// The batch stays queued and will still be applied; the client just
 		// stopped waiting for it.
 		return r.Context().Err()
@@ -144,6 +189,7 @@ func (s *Server) query(r *http.Request) (*polce.Snapshot, *polce.Var, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	trackFrom(r.Context()).queried(name, snap.Version())
 	if v, ok := s.session.lookup(name); ok {
 		return snap, v, nil
 	}

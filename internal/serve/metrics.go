@@ -22,8 +22,13 @@ type routeEntry struct {
 	status  [3]*telemetry.Counter // 2xx, 4xx, 5xx
 }
 
-// routeNames are the metric-name suffixes, one per API route.
-var routeNames = []string{"constraints", "points_to", "least_solution", "snapshot", "healthz"}
+// routeNames are the metric-name suffixes, one per API route. "other" is
+// the catch-all for requests that match no known route (404s, routes
+// added before their metrics), so unmatched traffic is still counted.
+var routeNames = []string{
+	"constraints", "points_to", "least_solution", "snapshot", "healthz",
+	"debug_stats", "debug_top", "other",
+}
 
 // latencyBuckets spans 100µs to ~13s in powers of ~3.2 — wide enough for a
 // loopback read (tens of µs) and a deadline-bounded ingest wait alike.
@@ -37,30 +42,39 @@ func newRouteMetrics(reg *telemetry.Registry) *routeMetrics {
 	}
 	m := &routeMetrics{byRoute: map[string]*routeEntry{}}
 	for _, name := range routeNames {
+		help := fmt.Sprintf("/v1/%s", name)
+		if name == "other" {
+			help = "unmatched routes"
+		}
 		e := &routeEntry{
 			latency: reg.Histogram(
 				fmt.Sprintf("polce_http_request_seconds_%s", name),
-				fmt.Sprintf("request latency of /v1/%s in seconds", name),
+				fmt.Sprintf("request latency of %s in seconds", help),
 				latencyBuckets()),
 		}
 		for i, class := range []string{"2xx", "4xx", "5xx"} {
 			e.status[i] = reg.Counter(
 				fmt.Sprintf("polce_http_requests_%s_%s", name, class),
-				fmt.Sprintf("responses of /v1/%s with a %s status", name, class))
+				fmt.Sprintf("responses of %s with a %s status", help, class))
 		}
 		m.byRoute[name] = e
 	}
 	return m
 }
 
-// observe records one finished request.
+// observe records one finished request. A route without its own entry is
+// counted under "other", so no response is ever silently dropped from the
+// metrics.
 func (m *routeMetrics) observe(route string, status int, elapsed time.Duration) {
 	if m == nil {
 		return
 	}
 	e, ok := m.byRoute[route]
 	if !ok {
-		return
+		e = m.byRoute["other"]
+		if e == nil {
+			return
+		}
 	}
 	e.latency.Observe(elapsed.Seconds())
 	switch {
@@ -73,6 +87,79 @@ func (m *routeMetrics) observe(route string, status int, elapsed time.Duration) 
 	}
 }
 
+// queueMetrics is the ingestion-queue and snapshot-cache observability:
+// depth and age gauges plus a wait-time histogram for the queue, and
+// hit/miss/stale counters for the snapshot cache. All fields are nil when
+// the server has no registry; use the observe helpers, which no-op then.
+type queueMetrics struct {
+	wait      *telemetry.Histogram
+	batchSize *telemetry.Histogram
+	snapHit   *telemetry.Counter
+	snapMiss  *telemetry.Counter
+	snapStale *telemetry.Counter
+}
+
+// newQueueMetrics registers the queue and snapshot-cache metrics. The
+// depth and age gauges are computed at exposition time from the server's
+// own state, so they cost nothing on the request path.
+func newQueueMetrics(reg *telemetry.Registry, s *Server) *queueMetrics {
+	if reg == nil {
+		return nil
+	}
+	reg.GaugeFunc("polce_serve_queue_depth", "batches waiting in the ingestion queue",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("polce_serve_queue_cap", "capacity of the ingestion queue in batches",
+		func() float64 { return float64(cap(s.queue)) })
+	reg.GaugeFunc("polce_serve_queue_oldest_age_seconds",
+		"time since the batch now being applied was enqueued (0 while ingestion is idle)",
+		func() float64 {
+			if at := s.applyingSince.Load(); at != 0 {
+				return time.Since(time.Unix(0, at)).Seconds()
+			}
+			return 0
+		})
+	return &queueMetrics{
+		wait: reg.Histogram("polce_serve_queue_wait_seconds",
+			"time a batch waited in the ingestion queue before the ingester picked it up",
+			telemetry.LogBuckets(10e-6, 4, 12)),
+		batchSize: reg.Histogram("polce_serve_ingest_batch_constraints",
+			"constraints per applied ingestion batch",
+			telemetry.LogBuckets(1, 4, 10)),
+		snapHit: reg.Counter("polce_serve_snapshot_hits_total",
+			"reads served from the cached snapshot within the staleness window"),
+		snapMiss: reg.Counter("polce_serve_snapshot_misses_total",
+			"reads that captured a snapshot (the solver's epoch guard makes unchanged-graph captures cheap)"),
+		snapStale: reg.Counter("polce_serve_snapshot_stale_total",
+			"reads served a stale snapshot while another reader refreshed (or a refresh was cancelled)"),
+	}
+}
+
+func (m *queueMetrics) observeWait(d time.Duration, batch int) {
+	if m == nil {
+		return
+	}
+	m.wait.Observe(d.Seconds())
+	m.batchSize.Observe(float64(batch))
+}
+
+func (m *queueMetrics) hit() {
+	if m != nil {
+		m.snapHit.Inc()
+	}
+}
+
+func (m *queueMetrics) miss() {
+	if m != nil {
+		m.snapMiss.Inc()
+	}
+}
+
+func (m *queueMetrics) stale() {
+	if m != nil {
+		m.snapStale.Inc()
+	}
+}
+
 // statusRecorder captures the status a handler wrote, defaulting to 200.
 type statusRecorder struct {
 	http.ResponseWriter
@@ -82,4 +169,13 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards http.Flusher to the underlying writer, so streaming
+// responses (chunked bulk ingestion, long polls) flush through the
+// recorder instead of buffering until the handler returns.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"polce"
+	"polce/internal/telemetry"
+)
+
+var updateMetricsList = flag.Bool("update", false, "rewrite api/metrics.list with the currently exported metric names")
+
+const metricsListPath = "../../api/metrics.list"
+
+// TestMetricNamesGolden scrapes /metrics from a fully wired server (route
+// metrics, queue metrics, solver metrics) and diffs the exported
+// metric-name set against api/metrics.list. Metric names are API: dashboards
+// and alerts break silently when one disappears or is renamed, so a rename
+// must show up in review as a golden-file change. Regenerate with
+//
+//	go test ./internal/serve -run TestMetricNamesGolden -update
+func TestMetricNamesGolden(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sm := telemetry.NewSolverMetrics(reg)
+	solver := polce.New(polce.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 1, Metrics: sm})
+	_, hs := newTestServer(t, Config{Solver: solver, Registry: reg, SolverMetrics: sm})
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+
+	// `# TYPE <name> <kind>` is emitted once per registered metric whether
+	// or not it has data, so the scraped name set is deterministic.
+	var names []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 4 && fields[0] == "#" && fields[1] == "TYPE" {
+			names = append(names, fmt.Sprintf("%s %s", fields[2], fields[3]))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	got := strings.Join(names, "\n") + "\n"
+
+	if *updateMetricsList {
+		if err := os.MkdirAll(filepath.Dir(metricsListPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(metricsListPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d metric names to %s", len(names), metricsListPath)
+		return
+	}
+
+	want, err := os.ReadFile(metricsListPath)
+	if err != nil {
+		t.Fatalf("reading golden: %v (regenerate with -update)", err)
+	}
+	if !bytes.Equal([]byte(got), want) {
+		t.Errorf("exported metric names differ from %s — dashboards and alerts may break.\n"+
+			"If the change is intended, regenerate with: go test ./internal/serve -run TestMetricNamesGolden -update\n"+
+			"got:\n%swant:\n%s", metricsListPath, got, want)
+	}
+}

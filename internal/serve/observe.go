@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// trackCtxKey keys the per-request tracker in the request context.
+type trackCtxKey struct{}
+
+// reqTrack accumulates what one request touched, for the structured
+// request log: which variable was queried, the snapshot (or post-ingest)
+// version that answered, and named phase durations — queue wait, ingest
+// drain, snapshot capture. It is owned by the handler goroutine; nothing
+// else writes it, so no synchronisation is needed. All methods are
+// nil-safe so instrumented paths need no "is this request tracked?"
+// conditionals.
+type reqTrack struct {
+	id      string
+	varName string
+	version uint64
+	phases  []phaseSample
+}
+
+type phaseSample struct {
+	name string
+	d    time.Duration
+}
+
+// withTrack attaches a tracker to ctx; trackFrom retrieves it (nil when
+// the request isn't tracked — e.g. a context that never passed through
+// the serve middleware).
+func withTrack(ctx context.Context, t *reqTrack) context.Context {
+	return context.WithValue(ctx, trackCtxKey{}, t)
+}
+
+func trackFrom(ctx context.Context) *reqTrack {
+	t, _ := ctx.Value(trackCtxKey{}).(*reqTrack)
+	return t
+}
+
+// phase records one named duration in request order.
+func (t *reqTrack) phase(name string, d time.Duration) {
+	if t != nil {
+		t.phases = append(t.phases, phaseSample{name: name, d: d})
+	}
+}
+
+// queried records the variable a read resolved and the snapshot version
+// that answered.
+func (t *reqTrack) queried(varName string, version uint64) {
+	if t != nil {
+		t.varName = varName
+		t.version = version
+	}
+}
+
+// versioned records the graph version a write produced.
+func (t *reqTrack) versioned(version uint64) {
+	if t != nil {
+		t.version = version
+	}
+}
+
+// logRequest writes the structured per-request log line: debug level for
+// routine traffic, warn with a "slow query" message past the SlowQuery
+// threshold, error for 5xx responses. Every line carries the request ID,
+// so log lines join against the NDJSON trace spans of the same request,
+// and slow-query lines carry the route, variable, snapshot version and
+// phase breakdown the issue of "where did the time go" needs.
+func (s *Server) logRequest(r *http.Request, route string, status int, elapsed time.Duration, track *reqTrack, err error) {
+	if s.logger == nil {
+		return
+	}
+	level, msg := slog.LevelDebug, "request"
+	switch {
+	case status >= 500:
+		level, msg = slog.LevelError, "request failed"
+	case s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery:
+		level, msg = slog.LevelWarn, "slow query"
+	}
+	ctx := context.Background() // the request context may already be cancelled
+	if !s.logger.Enabled(ctx, level) {
+		return
+	}
+	attrs := make([]any, 0, 12)
+	attrs = append(attrs,
+		slog.String("request_id", track.id),
+		slog.String("route", route),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Duration("elapsed", elapsed),
+	)
+	if track.varName != "" {
+		attrs = append(attrs, slog.String("var", track.varName))
+	}
+	if track.version != 0 {
+		attrs = append(attrs, slog.Uint64("version", track.version))
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	if len(track.phases) > 0 {
+		ph := make([]any, 0, len(track.phases))
+		for _, p := range track.phases {
+			ph = append(ph, slog.Duration(p.name, p.d))
+		}
+		attrs = append(attrs, slog.Group("phases", ph...))
+	}
+	s.logger.Log(ctx, level, msg, attrs...)
+}

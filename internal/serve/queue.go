@@ -3,34 +3,49 @@ package serve
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"polce"
+	"polce/internal/telemetry"
 )
 
 // ingestJob is one accepted batch awaiting the ingester. done is buffered
-// so the ingester never blocks on a caller that stopped waiting.
+// so the ingester never blocks on a caller that stopped waiting. ctx
+// carries the request's trace values (request ID, enclosing span) without
+// its cancellation: a client that disconnects after the 202 must not
+// cancel a batch the server already accepted.
 type ingestJob struct {
 	batch []polce.Constraint
+	ctx   context.Context
+	at    time.Time // when the batch was accepted into the queue
 	done  chan ingestResult
 }
 
 // ingestResult reports how a batch fared: how many constraints were
-// applied, the graph version afterwards, and the typed error, if any
+// applied, the graph version afterwards, how long the batch waited in the
+// queue and how long the drain took, and the typed error, if any
 // (ErrInconsistent when the batch introduced inconsistencies).
 type ingestResult struct {
 	applied int
 	version uint64
+	wait    time.Duration
+	drain   time.Duration
 	err     error
 }
 
 // enqueue hands a lowered batch to the ingester without blocking: a full
 // queue is backpressure (ErrQueueFull → 503 + Retry-After), a draining
 // server refuses outright (ErrSolverClosed → 410).
-func (s *Server) enqueue(batch []polce.Constraint) (*ingestJob, error) {
+func (s *Server) enqueue(ctx context.Context, batch []polce.Constraint) (*ingestJob, error) {
 	if s.draining.Load() {
 		return nil, polce.ErrSolverClosed
 	}
-	job := &ingestJob{batch: batch, done: make(chan ingestResult, 1)}
+	job := &ingestJob{
+		batch: batch,
+		ctx:   context.WithoutCancel(ctx),
+		at:    time.Now(),
+		done:  make(chan ingestResult, 1),
+	}
 	select {
 	case s.queue <- job:
 		return job, nil
@@ -69,9 +84,27 @@ func (s *Server) ingest() {
 // solver records the inconsistency and keeps going, matching AddConstraint
 // semantics — but the result carries an ErrInconsistent so synchronous
 // clients see a 409.
+//
+// On a traced request, apply emits the write-path spans under the
+// request's http root: "queue-wait" (measured from enqueue to pickup) and
+// "ingest-drain" around the solve, with a "cycle-search" child sized by
+// the closure phase-timer delta — attributable because this single
+// goroutine is the only closure driver.
 func (s *Server) apply(job *ingestJob) {
+	wait := time.Since(job.at)
+	s.qmetrics.observeWait(wait, len(job.batch))
+	s.applyingSince.Store(job.at.UnixNano())
+	defer s.applyingSince.Store(0)
+	s.tracer.Emit(job.ctx, "queue-wait", job.at, wait, map[string]any{"batch": len(job.batch)})
+	drainCtx, span := s.tracer.StartSpan(job.ctx, "ingest-drain")
+	span.SetAttr("batch", len(job.batch))
+	var closure0 time.Duration
+	if s.sm != nil && span != nil {
+		closure0, _ = s.sm.Phases.Get(telemetry.PhaseClosure)
+	}
+	drainStart := time.Now()
 	errsBefore := s.solver.ErrorCount()
-	applied, err := s.solver.AddBatchContext(context.Background(), job.batch)
+	applied, err := s.solver.AddBatchContext(drainCtx, job.batch)
 	s.ingested.Add(int64(applied))
 	if err == nil {
 		if delta := s.solver.ErrorCount() - errsBefore; delta > 0 {
@@ -83,7 +116,17 @@ func (s *Server) apply(job *ingestJob) {
 			}
 		}
 	}
+	if s.sm != nil && span != nil {
+		closure1, _ := s.sm.Phases.Get(telemetry.PhaseClosure)
+		if d := closure1 - closure0; d > 0 {
+			s.tracer.Emit(drainCtx, "cycle-search", drainStart, d, map[string]any{"applied": applied})
+		}
+	}
 	version := s.solver.Version()
 	s.lastVersion.Store(version)
-	job.done <- ingestResult{applied: applied, version: version, err: err}
+	drain := time.Since(drainStart)
+	span.SetAttr("applied", applied)
+	span.SetAttr("version", version)
+	span.End()
+	job.done <- ingestResult{applied: applied, version: version, wait: wait, drain: drain, err: err}
 }

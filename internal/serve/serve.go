@@ -28,6 +28,7 @@ package serve
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,24 @@ type Config struct {
 	// behind an O(vars) capture per version bump. Zero means reads are
 	// always served from the current version.
 	SnapshotMaxStale time.Duration
+	// Logger, when non-nil, receives one structured log line per request:
+	// debug level normally, warn past the SlowQuery threshold, error for
+	// 5xx responses. Every line carries the request ID, joining the log
+	// against the trace spans of the same request.
+	Logger *slog.Logger
+	// Tracer, when non-nil, emits request-scoped NDJSON spans: an "http"
+	// root span per request, with "queue-wait"/"ingest-drain"/
+	// "cycle-search" children on the write path and "snapshot-capture"/
+	// "ls-pass" children on the read path, all sharing the request ID.
+	Tracer *telemetry.Tracer
+	// SolverMetrics, when set alongside Tracer, lets the server attribute
+	// solver phase time (closure, least-solution) to individual spans by
+	// reading phase-timer deltas around single-writer sections. Install the
+	// same sink as the solver's Options.Metrics.
+	SolverMetrics *telemetry.SolverMetrics
+	// SlowQuery, when positive and Logger is set, logs requests that took
+	// at least this long at warn level with their phase breakdown.
+	SlowQuery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -86,20 +105,25 @@ func (c Config) withDefaults() Config {
 // HTTP handlers. Create one with New, expose Handler() through an
 // http.Server, and call Shutdown to drain.
 type Server struct {
-	cfg     Config
-	solver  *polce.Solver
-	session *session
-	metrics *routeMetrics
-	mux     *http.ServeMux
-	start   time.Time
+	cfg      Config
+	solver   *polce.Solver
+	session  *session
+	metrics  *routeMetrics
+	qmetrics *queueMetrics
+	logger   *slog.Logger
+	tracer   *telemetry.Tracer
+	sm       *telemetry.SolverMetrics
+	mux      *http.ServeMux
+	start    time.Time
 
 	queue    chan *ingestJob
 	drainReq chan struct{} // closed by Shutdown: ingester drains and exits
 	done     chan struct{} // closed when the ingester has exited
 	draining atomic.Bool
 
-	ingested    atomic.Int64  // constraints applied by the ingester
-	lastVersion atomic.Uint64 // graph version after the last applied batch
+	ingested      atomic.Int64  // constraints applied by the ingester
+	lastVersion   atomic.Uint64 // graph version after the last applied batch
+	applyingSince atomic.Int64  // enqueue time (unix nanos) of the batch being applied; 0 idle
 
 	snapMu         sync.Mutex                // serialises strict (always-fresh) captures
 	snapCur        atomic.Pointer[snapEntry] // last capture, shared by stale reads
@@ -125,14 +149,17 @@ func (s *Server) snapshot(ctx context.Context) (*polce.Snapshot, error) {
 	max := s.cfg.SnapshotMaxStale
 	if e := s.snapCur.Load(); max > 0 && e != nil {
 		if time.Since(e.at) < max {
+			s.qmetrics.hit()
 			return e.snap, nil
 		}
 		if !s.snapRefreshing.CompareAndSwap(false, true) {
+			s.qmetrics.stale()
 			return e.snap, nil // someone else is refreshing; stay on the stale view
 		}
 		defer s.snapRefreshing.Store(false)
-		snap, err := s.solver.SnapshotContext(ctx)
+		snap, err := s.capture(ctx)
 		if err != nil {
+			s.qmetrics.stale()
 			return e.snap, nil // cancelled mid-refresh: the stale view still answers
 		}
 		s.snapCur.Store(&snapEntry{snap: snap, at: time.Now()})
@@ -141,13 +168,47 @@ func (s *Server) snapshot(ctx context.Context) (*polce.Snapshot, error) {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	if e := s.snapCur.Load(); max > 0 && e != nil && time.Since(e.at) < max {
+		s.qmetrics.hit()
 		return e.snap, nil
 	}
-	snap, err := s.solver.SnapshotContext(ctx)
+	snap, err := s.capture(ctx)
 	if err != nil {
 		return nil, err
 	}
 	s.snapCur.Store(&snapEntry{snap: snap, at: time.Now()})
+	return snap, nil
+}
+
+// capture performs one snapshot capture, counted as a cache miss (the
+// solver's epoch guard makes unchanged-graph captures cheap, so a miss is
+// an upper bound on real work). On a traced request it wraps the capture
+// in a "snapshot-capture" span and, when the capture ran a least-solution
+// pass, emits an "ls-pass" child sized by the phase-timer delta — safe to
+// attribute because captures are serialised by the callers (snapMu, or
+// the refresh CAS) and nothing else runs LS passes.
+func (s *Server) capture(ctx context.Context) (*polce.Snapshot, error) {
+	s.qmetrics.miss()
+	ctx, span := s.tracer.StartSpan(ctx, "snapshot-capture")
+	var ls0 time.Duration
+	if s.sm != nil && span != nil {
+		ls0, _ = s.sm.Phases.Get(telemetry.PhaseLeastSolution)
+	}
+	start := time.Now()
+	snap, err := s.solver.SnapshotContext(ctx)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+		span.End()
+		return nil, err
+	}
+	if s.sm != nil && span != nil {
+		ls1, _ := s.sm.Phases.Get(telemetry.PhaseLeastSolution)
+		if d := ls1 - ls0; d > 0 {
+			s.tracer.Emit(ctx, "ls-pass", start, d, map[string]any{"version": snap.Version()})
+		}
+	}
+	span.SetAttr("version", snap.Version())
+	span.End()
+	trackFrom(ctx).phase("snapshot_capture", time.Since(start))
 	return snap, nil
 }
 
@@ -162,12 +223,16 @@ func New(cfg Config) *Server {
 		solver:   cfg.Solver,
 		session:  newSession(cfg.Solver),
 		metrics:  newRouteMetrics(cfg.Registry),
+		logger:   cfg.Logger,
+		tracer:   cfg.Tracer,
+		sm:       cfg.SolverMetrics,
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		queue:    make(chan *ingestJob, cfg.QueueDepth),
 		drainReq: make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	s.qmetrics = newQueueMetrics(cfg.Registry, s)
 	s.routes()
 	go s.ingest()
 	return s

@@ -13,23 +13,39 @@ import (
 )
 
 // TraceRecord is one line of an NDJSON solver trace: a solver event with a
-// wall-clock offset and the solver's Work counter at the time, or the
-// final cumulative-stats record ("kind": "stats") closing the trace.
+// wall-clock offset and the solver's Work counter at the time, a
+// request-scoped span ("kind": "span", see Tracer), or the final
+// cumulative-stats record ("kind": "stats") closing the trace.
 type TraceRecord struct {
 	// Kind is a core.EventKind string (source-edge, sink-edge, var-edge,
-	// cycle, sweep) or "stats" for the closing record.
+	// cycle, sweep), "span" for a Tracer span, or "stats" for the closing
+	// record.
 	Kind string `json:"kind"`
 	// TMicros is the wall-clock offset from trace start, in microseconds.
+	// For spans it is the span's start offset.
 	TMicros int64 `json:"t_us"`
 	// Work is the solver's edge-addition counter at the time of the
-	// record; in the closing record it is the final Stats.Work.
-	Work int64 `json:"work"`
+	// record; in the closing record it is the final Stats.Work. Spans
+	// leave it zero.
+	Work int64 `json:"work,omitempty"`
 
 	From      string   `json:"from,omitempty"`
 	To        string   `json:"to,omitempty"`
 	Witness   string   `json:"witness,omitempty"`
 	Vars      []string `json:"vars,omitempty"`
 	Collapsed int      `json:"collapsed,omitempty"`
+
+	// Span fields (kind "span"): Trace is the request ID shared by every
+	// span of one request, Span the span's own ID, Parent the enclosing
+	// span's ID (empty for a root span), Name the span name (http,
+	// queue-wait, ingest-drain, cycle-search, ls-pass, ...), DurMicros
+	// the span's duration, and Attrs free-form key/value detail.
+	Trace     string         `json:"trace,omitempty"`
+	Span      string         `json:"span,omitempty"`
+	Parent    string         `json:"parent,omitempty"`
+	Name      string         `json:"name,omitempty"`
+	DurMicros int64          `json:"dur_us,omitempty"`
+	Attrs     map[string]any `json:"attrs,omitempty"`
 
 	// Stats holds the full cumulative counters on the closing record.
 	Stats *TraceStats `json:"stats,omitempty"`

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"polce/internal/core"
@@ -127,6 +128,64 @@ func TestCreateTrace(t *testing.T) {
 	}
 	if last := recs[len(recs)-1]; last.Kind != "stats" || last.Work != st.Work {
 		t.Errorf("closing record = %+v, want stats with work=%d", last, st.Work)
+	}
+}
+
+// TestTraceWriterConcurrentWriters drives one TraceWriter from many
+// goroutines mixing Observe and WriteStats, then parses the output: every
+// NDJSON line must survive intact (no interleaving mid-line) and every
+// record must be accounted for.
+func TestTraceWriterConcurrentWriters(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	const goroutines, events = 8, 500
+	longName := make([]byte, 256)
+	for i := range longName {
+		longName[i] = 'x'
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := core.NewSystem(core.Options{Form: core.IF, Seed: int64(g)})
+			// Long names make torn writes overwhelmingly likely to corrupt
+			// a line if the writer's locking ever regresses.
+			v := s.Fresh(string(longName))
+			w := s.Fresh("w")
+			for i := 0; i < events; i++ {
+				tw.Observe(core.Event{Kind: core.EventVarEdge, From: v, To: w, Work: int64(i)})
+				if i%100 == 0 {
+					tw.WriteStats(core.Stats{Work: int64(i)})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace on concurrently written trace: %v", err)
+	}
+	var evs, stats int
+	for _, r := range recs {
+		switch r.Kind {
+		case "stats":
+			stats++
+		default:
+			evs++
+		}
+	}
+	if want := goroutines * events; evs != want {
+		t.Errorf("parsed %d event records, want %d", evs, want)
+	}
+	if want := goroutines * (events / 100); stats != want {
+		t.Errorf("parsed %d stats records, want %d", stats, want)
+	}
+	if tw.Events() != int64(goroutines*events) {
+		t.Errorf("writer counted %d events, want %d", tw.Events(), goroutines*events)
 	}
 }
 

@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer emits request-scoped parent/child spans into a TraceWriter's
+// NDJSON stream, alongside (or instead of) the solver-event records. A
+// span line has "kind": "span" and carries a trace ID shared by every
+// span of one request, its own span ID, its parent's span ID, a name, the
+// start offset from trace start (t_us) and a duration (dur_us) — enough
+// to rebuild the tree offline with jq or ReadTrace.
+//
+// Trace and span identity travel through context.Context: the serve edge
+// attaches a request ID with WithTraceID, StartSpan reads the enclosing
+// span from the context and returns a child context carrying the new one,
+// and Emit records an externally measured child span. A nil *Tracer is a
+// valid no-op everywhere, so call sites need no conditionals on the
+// tracing-disabled path.
+type Tracer struct {
+	tw  *TraceWriter
+	ids atomic.Uint64
+}
+
+// NewTracer returns a Tracer writing span records through tw.
+func NewTracer(tw *TraceWriter) *Tracer {
+	return &Tracer{tw: tw}
+}
+
+// Writer returns the underlying TraceWriter (nil on a nil Tracer).
+func (t *Tracer) Writer() *TraceWriter {
+	if t == nil {
+		return nil
+	}
+	return t.tw
+}
+
+// nextSpanID returns a tracer-unique span ID.
+func (t *Tracer) nextSpanID() string {
+	return fmt.Sprintf("%06x", t.ids.Add(1))
+}
+
+// NewTraceID returns a fresh 16-hex-character request ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to a
+		// timestamp so tracing degrades rather than panics.
+		return fmt.Sprintf("%016x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ctxKey keys the tracing state in a context.
+type ctxKey int
+
+const (
+	traceIDKey ctxKey = iota
+	spanKey
+)
+
+// WithTraceID returns a context carrying the request's trace ID; every
+// span started under it shares the ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey, id)
+}
+
+// TraceIDFrom returns the trace ID carried by ctx, or "".
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey).(string)
+	return id
+}
+
+// SpanFrom returns the innermost span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *TraceSpan {
+	sp, _ := ctx.Value(spanKey).(*TraceSpan)
+	return sp
+}
+
+// TraceSpan is one in-flight request-scoped span; finish it with End.
+// A nil *TraceSpan is a valid no-op.
+type TraceSpan struct {
+	tracer *Tracer
+	trace  string
+	id     string
+	parent string
+	name   string
+	start  time.Time
+	attrs  map[string]any
+	done   atomic.Bool
+}
+
+// StartSpan opens a span named name under ctx's trace and innermost span,
+// returning a child context carrying the new span. If ctx has no trace ID
+// yet, one is generated. On a nil Tracer the context is returned unchanged
+// with a nil span.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *TraceSpan) {
+	if t == nil {
+		return ctx, nil
+	}
+	trace := TraceIDFrom(ctx)
+	if trace == "" {
+		trace = NewTraceID()
+		ctx = WithTraceID(ctx, trace)
+	}
+	sp := &TraceSpan{
+		tracer: t,
+		trace:  trace,
+		id:     t.nextSpanID(),
+		name:   name,
+		start:  time.Now(),
+	}
+	if parent := SpanFrom(ctx); parent != nil {
+		sp.parent = parent.id
+	}
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// Emit records an externally measured span of the given name and extent
+// as a child of ctx's innermost span, returning its span ID ("" on a nil
+// Tracer). It is the fit for phases whose boundaries are observed after
+// the fact — a queue wait, a phase-timer delta — where there is no code
+// region to wrap with StartSpan/End.
+func (t *Tracer) Emit(ctx context.Context, name string, start time.Time, d time.Duration, attrs map[string]any) string {
+	if t == nil {
+		return ""
+	}
+	id := t.nextSpanID()
+	rec := TraceRecord{
+		Kind:      "span",
+		TMicros:   start.Sub(t.tw.start).Microseconds(),
+		Trace:     TraceIDFrom(ctx),
+		Span:      id,
+		Name:      name,
+		DurMicros: d.Microseconds(),
+		Attrs:     attrs,
+	}
+	if parent := SpanFrom(ctx); parent != nil {
+		rec.Parent = parent.id
+	}
+	t.tw.write(rec)
+	return id
+}
+
+// ID returns the span's ID ("" on a nil span).
+func (s *TraceSpan) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// TraceID returns the span's trace (request) ID ("" on a nil span).
+func (s *TraceSpan) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
+}
+
+// SetAttr attaches one key/value to the span; call before End. Spans are
+// request-scoped and owned by one goroutine at a time, so SetAttr is not
+// synchronised.
+func (s *TraceSpan) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	s.attrs[key] = value
+}
+
+// End writes the span record with the duration since StartSpan and
+// returns the duration. Ending twice writes once.
+func (s *TraceSpan) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	if !s.done.CompareAndSwap(false, true) {
+		return d
+	}
+	s.tracer.tw.write(TraceRecord{
+		Kind:      "span",
+		TMicros:   s.start.Sub(s.tracer.tw.start).Microseconds(),
+		Trace:     s.trace,
+		Span:      s.id,
+		Parent:    s.parent,
+		Name:      s.name,
+		DurMicros: d.Microseconds(),
+		Attrs:     s.attrs,
+	})
+	return d
+}
+
+// Spans filters a parsed trace down to its span records.
+func Spans(recs []TraceRecord) []TraceRecord {
+	var out []TraceRecord
+	for _, r := range recs {
+		if r.Kind == "span" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SpanTree groups span records by trace ID.
+func SpanTree(recs []TraceRecord) map[string][]TraceRecord {
+	byTrace := map[string][]TraceRecord{}
+	for _, r := range Spans(recs) {
+		byTrace[r.Trace] = append(byTrace[r.Trace], r)
+	}
+	return byTrace
+}

@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracerParentChildNesting opens a root span, a child via StartSpan,
+// and an Emit'd grandchild, then rebuilds the tree from the NDJSON and
+// checks trace sharing and parent links.
+func TestTracerParentChildNesting(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tr := NewTracer(tw)
+
+	ctx := WithTraceID(context.Background(), "req-1")
+	ctx, root := tr.StartSpan(ctx, "http")
+	childCtx, child := tr.StartSpan(ctx, "ingest-drain")
+	tr.Emit(childCtx, "cycle-search", time.Now(), 5*time.Millisecond, map[string]any{"work": 7})
+	child.SetAttr("applied", 3)
+	child.End()
+	root.SetAttr("status", 200)
+	root.End()
+	if err := tw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	spans := Spans(recs)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3:\n%+v", len(spans), spans)
+	}
+	byName := map[string]TraceRecord{}
+	for _, sp := range spans {
+		if sp.Trace != "req-1" {
+			t.Errorf("span %q has trace %q, want req-1", sp.Name, sp.Trace)
+		}
+		byName[sp.Name] = sp
+	}
+	http, drain, search := byName["http"], byName["ingest-drain"], byName["cycle-search"]
+	if http.Parent != "" {
+		t.Errorf("root span has parent %q, want none", http.Parent)
+	}
+	if drain.Parent != http.Span {
+		t.Errorf("ingest-drain parent = %q, want http's span %q", drain.Parent, http.Span)
+	}
+	if search.Parent != drain.Span {
+		t.Errorf("cycle-search parent = %q, want ingest-drain's span %q", search.Parent, drain.Span)
+	}
+	if search.DurMicros != 5000 {
+		t.Errorf("cycle-search dur_us = %d, want 5000", search.DurMicros)
+	}
+	if got := byName["ingest-drain"].Attrs["applied"]; got != float64(3) {
+		t.Errorf("ingest-drain attrs[applied] = %v, want 3", got)
+	}
+	if tree := SpanTree(recs); len(tree["req-1"]) != 3 {
+		t.Errorf("SpanTree[req-1] has %d spans, want 3", len(tree["req-1"]))
+	}
+}
+
+// TestTracerGeneratesTraceID checks that a root span under a bare context
+// mints a trace ID and propagates it to children.
+func TestTracerGeneratesTraceID(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewTraceWriter(&buf))
+	ctx, root := tr.StartSpan(context.Background(), "http")
+	if root.TraceID() == "" {
+		t.Fatal("root span has no trace ID")
+	}
+	if got := TraceIDFrom(ctx); got != root.TraceID() {
+		t.Errorf("context trace ID = %q, want %q", got, root.TraceID())
+	}
+	_, child := tr.StartSpan(ctx, "child")
+	if child.TraceID() != root.TraceID() {
+		t.Errorf("child trace = %q, want %q", child.TraceID(), root.TraceID())
+	}
+}
+
+// TestNilTracerNoOps: every Tracer and TraceSpan method must be callable
+// through nil receivers, so disabled tracing needs no call-site guards.
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.StartSpan(context.Background(), "http")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	if ctx == nil {
+		t.Fatal("nil tracer dropped the context")
+	}
+	sp.SetAttr("k", "v")
+	sp.End()
+	if id := sp.ID(); id != "" {
+		t.Errorf("nil span ID = %q", id)
+	}
+	if tr.Emit(ctx, "x", time.Now(), time.Second, nil) != "" {
+		t.Error("nil tracer Emit returned an ID")
+	}
+	if tr.Writer() != nil {
+		t.Error("nil tracer has a writer")
+	}
+}
+
+// TestSpanEndIdempotent: a span ended twice writes one record.
+func TestSpanEndIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tr := NewTracer(tw)
+	_, sp := tr.StartSpan(context.Background(), "once")
+	sp.End()
+	sp.End()
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 1 {
+		t.Fatalf("got %d records, want 1:\n%s", n, buf.String())
+	}
+}
+
+// TestNewTraceIDUnique spot-checks ID shape and uniqueness.
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace ID %q has length %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestTracerConcurrentSpans hammers one tracer from many goroutines and
+// verifies every span line survives intact (the interleaved-line
+// integrity guarantee of the shared TraceWriter).
+func TestTracerConcurrentSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tr := NewTracer(tw)
+	const goroutines, spans = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < spans; i++ {
+				ctx, root := tr.StartSpan(context.Background(), "http")
+				tr.Emit(ctx, "queue-wait", time.Now(), time.Microsecond, nil)
+				root.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace on concurrent output: %v", err)
+	}
+	if got, want := len(Spans(recs)), goroutines*spans*2; got != want {
+		t.Fatalf("got %d spans, want %d", got, want)
+	}
+	ids := map[string]bool{}
+	for _, sp := range Spans(recs) {
+		if ids[sp.Span] {
+			t.Fatalf("duplicate span ID %q", sp.Span)
+		}
+		ids[sp.Span] = true
+	}
+}

@@ -1,6 +1,9 @@
 package polce
 
-import "context"
+import (
+	"context"
+	"sort"
+)
 
 // A Snapshot is an immutable view of the least solutions at one graph
 // version. Taking a snapshot locks the solver once; reading from it never
@@ -21,6 +24,15 @@ type Snapshot struct {
 	errs    int
 	ls      map[*Var][]*Term
 	names   map[string]*Var
+
+	// Introspection captured alongside the least solutions, so the debug
+	// surfaces answer without ever touching the live solver: current graph
+	// size and density, the sizes of the equivalence classes cycle
+	// elimination has collapsed (descending, classes of ≥ 2 variables
+	// only), and the least-solution cache state.
+	graph   GraphStats
+	classes []int
+	lsCache LSCacheState
 }
 
 // Snapshot captures the current least solutions. While the graph version
@@ -58,8 +70,10 @@ func (s *Solver) snapshotLocked() *Snapshot {
 	n := s.sys.NumCreated()
 	ls := make(map[*Var][]*Term, n)
 	names := make(map[string]*Var, n)
+	classSize := make(map[*Var]int, n)
 	for i := 0; i < n; i++ {
 		v := s.sys.CreatedVar(i)
+		classSize[s.sys.Find(v)]++
 		if _, ok := names[v.Name()]; !ok {
 			names[v.Name()] = v
 		}
@@ -72,6 +86,13 @@ func (s *Solver) snapshotLocked() *Snapshot {
 		}
 		ls[v] = terms
 	}
+	var classes []int
+	for _, sz := range classSize {
+		if sz >= 2 {
+			classes = append(classes, sz)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(classes)))
 	s.snap = &Snapshot{
 		version: s.sys.Version(),
 		form:    s.sys.Form(),
@@ -79,6 +100,9 @@ func (s *Solver) snapshotLocked() *Snapshot {
 		errs:    s.sys.ErrorCount(),
 		ls:      ls,
 		names:   names,
+		graph:   s.sys.CurrentGraphStats(),
+		classes: classes,
+		lsCache: s.sys.LSCacheState(),
 	}
 	return s.snap
 }
@@ -125,3 +149,47 @@ func (sn *Snapshot) ErrorCount() int { return sn.errs }
 
 // NumVars returns the number of variables captured in the snapshot.
 func (sn *Snapshot) NumVars() int { return len(sn.ls) }
+
+// Graph returns the graph's size and density as of the snapshot.
+func (sn *Snapshot) Graph() GraphStats { return sn.graph }
+
+// LSCache returns the least-solution cache state as of the snapshot.
+func (sn *Snapshot) LSCache() LSCacheState { return sn.lsCache }
+
+// CollapsedClasses returns the sizes of the equivalence classes that cycle
+// elimination has collapsed so far — one entry per class of two or more
+// variables, in descending size order. The eliminated-variable count is
+// the sum of (size − 1) over the entries. The returned slice is shared
+// and must not be modified.
+func (sn *Snapshot) CollapsedClasses() []int { return sn.classes }
+
+// TopVar is one entry of Top: a variable and the size of its least
+// solution at the snapshot.
+type TopVar struct {
+	Var   *Var
+	Terms int
+}
+
+// Top returns the k variables with the largest least solutions, largest
+// first, ties broken by name so the ranking is deterministic. Like every
+// snapshot read it is lock-free and safe for any number of concurrent
+// callers.
+func (sn *Snapshot) Top(k int) []TopVar {
+	if k <= 0 {
+		return nil
+	}
+	all := make([]TopVar, 0, len(sn.ls))
+	for v, terms := range sn.ls {
+		all = append(all, TopVar{Var: v, Terms: len(terms)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Terms != all[j].Terms {
+			return all[i].Terms > all[j].Terms
+		}
+		return all[i].Var.Name() < all[j].Var.Name()
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}

@@ -179,3 +179,94 @@ func TestSnapshotConcurrentQueries(t *testing.T) {
 		})
 	}
 }
+
+// TestSnapshotIntrospection checks the debug-surface data captured with a
+// snapshot: graph stats, collapsed-class sizes, LS cache state and the
+// top-k ranking — all answered from the frozen capture, so an old
+// snapshot keeps its numbers while the solver moves on.
+func TestSnapshotIntrospection(t *testing.T) {
+	s := polce.New(polce.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 3})
+	a := atoms(4)
+	x := s.Fresh("X")
+	y := s.Fresh("Y")
+	z := s.Fresh("Z")
+	big := s.Fresh("Big")
+	for _, t := range a {
+		s.AddConstraint(t, big)
+	}
+	s.AddConstraint(a[0], x)
+	// Collapse {X, Y, Z} into one class.
+	s.AddConstraint(x, y)
+	s.AddConstraint(y, z)
+	s.AddConstraint(z, x)
+
+	sn := s.Snapshot()
+	if g := sn.Graph(); g.Vars <= 0 || g.VarVarEdges+g.SourceEdges+g.SinkEdges <= 0 {
+		t.Fatalf("snapshot graph stats empty: %+v", g)
+	}
+	classes := sn.CollapsedClasses()
+	if len(classes) != 1 || classes[0] != 3 {
+		t.Fatalf("collapsed classes = %v, want [3]", classes)
+	}
+	eliminated := 0
+	for _, sz := range classes {
+		eliminated += sz - 1
+	}
+	if eliminated != sn.Stats().VarsEliminated {
+		t.Fatalf("classes imply %d eliminated vars, stats say %d", eliminated, sn.Stats().VarsEliminated)
+	}
+	if lc := sn.LSCache(); !lc.Hot || lc.InternedNodes == 0 {
+		t.Fatalf("LS cache after capture = %+v, want hot with interned nodes", lc)
+	}
+
+	top := sn.Top(2)
+	if len(top) != 2 || top[0].Var.Name() != "Big" || top[0].Terms != 4 {
+		t.Fatalf("Top(2) = %+v, want Big with 4 terms first", top)
+	}
+	if top[1].Terms > top[0].Terms {
+		t.Fatalf("Top(2) not sorted: %+v", top)
+	}
+	if got := sn.Top(0); got != nil {
+		t.Fatalf("Top(0) = %v, want nil", got)
+	}
+	if got := sn.Top(100); len(got) != sn.NumVars() {
+		t.Fatalf("Top(100) returned %d entries, want all %d", len(got), sn.NumVars())
+	}
+
+	// Ties rank by name, so repeated calls are deterministic.
+	t1, t2 := fmt.Sprint(sn.Top(100)), fmt.Sprint(sn.Top(100))
+	if t1 != t2 {
+		t.Fatalf("Top is nondeterministic:\n%s\n%s", t1, t2)
+	}
+
+	// The capture is frozen: more ingestion must not change it.
+	w := s.Fresh("W")
+	s.AddConstraint(a[1], w)
+	s.AddConstraint(w, x)
+	if got := fmt.Sprint(sn.CollapsedClasses()); got != fmt.Sprint(classes) {
+		t.Fatalf("old snapshot classes changed after ingestion: %v", got)
+	}
+	if sn2 := s.Snapshot(); len(sn2.CollapsedClasses()) == 0 {
+		t.Fatalf("new snapshot lost collapsed classes")
+	}
+}
+
+// TestSnapshotIntrospectionSF covers the standard-form capture: the LS
+// cache reports hot (the closed graph is the solution) and the class
+// accounting still matches the stats.
+func TestSnapshotIntrospectionSF(t *testing.T) {
+	s := polce.New(polce.Options{Form: polce.SF, Cycles: polce.CycleOnline, Seed: 3})
+	a := atoms(1)
+	x := s.Fresh("X")
+	y := s.Fresh("Y")
+	s.AddConstraint(a[0], x)
+	s.AddConstraint(x, y)
+	s.AddConstraint(y, x)
+	sn := s.Snapshot()
+	if !sn.LSCache().Hot {
+		t.Fatalf("SF LS cache = %+v, want hot", sn.LSCache())
+	}
+	if classes := sn.CollapsedClasses(); len(classes) != 1 || classes[0] != 2 {
+		t.Fatalf("SF collapsed classes = %v, want [2]", classes)
+	}
+}

@@ -24,6 +24,8 @@ type (
 	Stats = core.Stats
 	// GraphStats summarises the current graph's size and density.
 	GraphStats = core.GraphStats
+	// LSCacheState describes the least-solution cache for introspection.
+	LSCacheState = core.LSCacheState
 	// MetricsSink receives per-operation solver measurements.
 	MetricsSink = core.MetricsSink
 	// LSPass describes one least-solution engine pass.
