@@ -13,6 +13,7 @@
 //	polce-bench -metrics -bench li    # phase timings + search-depth p50/p90/max
 //	polce-bench -serve-load           # load-test the HTTP service (self-hosted)
 //	polce-bench -serve-load -serve-addr localhost:8080  # against a live polce-serve
+//	polce-bench -wal-verify /var/lib/polce/wal  # replay a constraint log, check it against its manifest
 //
 // The benchmark programs are synthetic stand-ins generated at the paper's
 // Table 1 scales; see DESIGN.md for the substitution argument.
@@ -73,7 +74,12 @@ func main() {
 		serveBatch    = flag.Int("serve-batch", 32, "constraints per ingestion POST for -serve-load")
 		serveMinQ     = flag.Int("serve-min-queries", 10000, "keep querying past -serve-duration until this many queries completed (negative disables)")
 		serveTrace    = flag.String("serve-trace", "", "write request spans of the self-hosted -serve-load run to this NDJSON file and report the queue-wait vs solve breakdown")
-		logLevel      = flag.String("log-level", "info", "stderr diagnostic level: debug, info, warn, error")
+
+		walVerify   = flag.String("wal-verify", "", "replay this constraint-log directory standalone and check the recovered graph against its manifest (recording it on first run)")
+		walManifest = flag.String("wal-manifest", "", "manifest path for -wal-verify (default <dir>/manifest.json)")
+		walSamples  = flag.Int("wal-samples", 0, "least solutions sampled into the manifest for -wal-verify (0 = 64)")
+
+		logLevel = flag.String("log-level", "info", "stderr diagnostic level: debug, info, warn, error")
 	)
 	flag.Parse()
 
@@ -83,6 +89,18 @@ func main() {
 		os.Exit(2)
 	}
 	logger = telemetry.NewLogger(os.Stderr, level)
+
+	if *walVerify != "" {
+		err := bench.RunWALVerify(os.Stdout, bench.WALVerifyOptions{
+			Dir:          *walVerify,
+			ManifestPath: *walManifest,
+			Samples:      *walSamples,
+		})
+		if err != nil {
+			die(err)
+		}
+		return
+	}
 
 	if *serveLoad {
 		err := bench.RunServeLoad(os.Stdout, bench.ServeLoadOptions{

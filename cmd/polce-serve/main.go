@@ -27,6 +27,13 @@
 // appends request-scoped spans — queue wait, ingest drain, cycle search,
 // snapshot capture — as NDJSON correlated by X-Request-Id.
 //
+// Durability: -wal <dir> appends every accepted batch's SCL text to a
+// replayable constraint log before the batch is acknowledged, and replays
+// the log through the normal solver path on startup, so a crash loses
+// nothing that was acked (-wal-sync picks the fsync policy: always, batch
+// or off). Torn log tails — a crash mid-write — are truncated at startup,
+// never fatal. `polce-bench -wal-verify` audits a log offline.
+//
 // On SIGTERM or SIGINT the server stops accepting connections, lets
 // in-flight requests finish, applies every queued constraint batch, closes
 // the solver and exits 0; -drain-timeout bounds the wait.
@@ -48,6 +55,8 @@ import (
 	"polce"
 	"polce/internal/serve"
 	"polce/internal/telemetry"
+	"polce/internal/wal"
+	"polce/internal/walreplay"
 )
 
 func main() {
@@ -64,6 +73,10 @@ func main() {
 		maxBody      = flag.Int64("max-body", 1<<20, "maximum POST body size in bytes")
 		snapStale    = flag.Duration("snapshot-stale", 0, "serve reads from a snapshot up to this stale under write churn (0 = always current)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+
+		walDir     = flag.String("wal", "", "directory of the durable constraint log; replayed on startup, appended per accepted batch")
+		walSync    = flag.String("wal-sync", "always", "constraint-log fsync policy: always (per accepted batch), batch (at queue-empty), off")
+		walSession = flag.String("wal-session", "default", "session label recorded in each log frame")
 
 		logLevel  = flag.String("log-level", "info", "request/diagnostic log level: debug, info, warn, error (request logs are debug)")
 		slowQuery = flag.Duration("slow-query", 0, "log requests at warn with their phase breakdown when they take at least this long (0 = off)")
@@ -115,6 +128,26 @@ func main() {
 		logger.Info("request tracing on", "path", *traceOut)
 	}
 
+	var walLog *wal.Log
+	var walRec *wal.Recovered
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fatal("%v", err)
+		}
+		// The log's meta pins the options that make replay deterministic
+		// (form, cycle policy, seed); opening an existing log under
+		// different options is a configuration error, not a recovery.
+		walLog, walRec, err = wal.Open(*walDir, wal.Options{
+			Sync: policy,
+			Meta: walreplay.OptionsMeta(opt),
+		})
+		if err != nil {
+			fatal("opening constraint log: %v", err)
+		}
+		defer walLog.Close()
+	}
+
 	srv := serve.New(serve.Config{
 		Solver:           polce.New(opt),
 		Registry:         reg,
@@ -127,7 +160,24 @@ func main() {
 		RetryAfter:       *retryAfter,
 		MaxBodyBytes:     *maxBody,
 		SnapshotMaxStale: *snapStale,
+		WAL:              walLog,
+		WALSession:       *walSession,
 	})
+
+	if walRec != nil && len(walRec.Frames) > 0 {
+		start := time.Now()
+		constraints, err := srv.Recover(walRec.Frames)
+		if err != nil {
+			fatal("replaying constraint log: %v", err)
+		}
+		logger.Info("constraint log replayed",
+			"frames", len(walRec.Frames), "constraints", constraints,
+			"truncated_bytes", walRec.TruncatedBytes,
+			"elapsed", time.Since(start).String())
+	} else if walRec != nil && walRec.TruncatedBytes > 0 {
+		logger.Warn("constraint log had a torn tail and no intact frames",
+			"truncated_bytes", walRec.TruncatedBytes)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

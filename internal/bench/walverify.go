@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"polce/internal/wal"
+	"polce/internal/walreplay"
+)
+
+// WALVerifyOptions configures RunWALVerify.
+type WALVerifyOptions struct {
+	// Dir is the constraint-log directory (the -wal directory of a
+	// polce-serve run).
+	Dir string
+	// ManifestPath is where the reference manifest lives. Empty means
+	// <Dir>/manifest.json. A missing manifest is recorded (first run); an
+	// existing one is compared against (subsequent runs).
+	ManifestPath string
+	// Samples bounds the least solutions recorded in the manifest (0 = 64).
+	Samples int
+}
+
+// RunWALVerify replays a constraint log standalone — same parse → lower →
+// solve path the server uses, under the options pinned in the log's meta —
+// and fingerprints the recovered graph: version, partition signature,
+// sampled least solutions, mutation counters. On the first run the
+// fingerprint is recorded as the manifest; on later runs it is compared
+// field by field, and any divergence (a lost frame, a reordered batch, a
+// mismatched seed) fails with the exact mismatches. Replay is read-only on
+// the log: a torn tail is reported, not truncated.
+func RunWALVerify(out io.Writer, o WALVerifyOptions) error {
+	meta, err := wal.ReadMeta(o.Dir)
+	if err != nil {
+		return fmt.Errorf("reading log meta: %w", err)
+	}
+	opt, err := walreplay.OptionsFromMeta(meta)
+	if err != nil {
+		return err
+	}
+	rec, err := wal.ReadDir(o.Dir)
+	if err != nil {
+		return fmt.Errorf("scanning log: %w", err)
+	}
+	fmt.Fprintf(out, "wal-verify: %s\n", o.Dir)
+	fmt.Fprintf(out, "  options:  form=%s cycles=%s seed=%s\n", meta["form"], meta["cycles"], meta["seed"])
+	fmt.Fprintf(out, "  log:      %d frames, %d bytes, last seq %d\n", len(rec.Frames), rec.Bytes, rec.LastSeq)
+	if rec.TruncatedBytes > 0 {
+		fmt.Fprintf(out, "  torn tail: %d trailing bytes are not intact frames (a restart with -wal would truncate them)\n",
+			rec.TruncatedBytes)
+	}
+
+	solver, _, constraints, err := walreplay.Replay(rec.Frames, opt)
+	if err != nil {
+		return err
+	}
+	m := walreplay.Fingerprint(solver, o.Samples)
+	m.Options = meta
+	m.Frames = len(rec.Frames)
+	m.LastSeq = rec.LastSeq
+	m.Constraints = constraints
+	fmt.Fprintf(out, "  replayed: %d constraints -> version %d, %d vars, %d errors\n",
+		constraints, m.Version, m.Vars, m.Errors)
+	fmt.Fprintf(out, "  partition: %s (%d LS samples)\n", m.PartitionSig, len(m.Samples))
+
+	path := o.ManifestPath
+	if path == "" {
+		path = filepath.Join(o.Dir, "manifest.json")
+	}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		// Record mode: this run becomes the reference.
+		blob, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("recording manifest: %w", err)
+		}
+		fmt.Fprintf(out, "  recorded manifest: %s\n", path)
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("reading manifest: %w", err)
+	}
+	var want walreplay.Manifest
+	if err := json.Unmarshal(raw, &want); err != nil {
+		return fmt.Errorf("decoding manifest %s: %w", path, err)
+	}
+	if diffs := want.Diff(m); len(diffs) != 0 {
+		fmt.Fprintf(out, "  MISMATCH against %s:\n", path)
+		for _, d := range diffs {
+			fmt.Fprintf(out, "    %s\n", d)
+		}
+		return fmt.Errorf("recovered graph diverges from manifest %s in %d field(s)", path, len(diffs))
+	}
+	fmt.Fprintf(out, "  manifest OK: recovered graph matches %s\n", path)
+	return nil
+}

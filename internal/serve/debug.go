@@ -38,6 +38,17 @@ func (s *Server) handleDebugStats(w http.ResponseWriter, r *http.Request) error 
 		hist[classBucket(sz)]++
 	}
 	g := snap.Graph()
+	walBlock := map[string]any{"enabled": s.wal != nil}
+	if s.wal != nil {
+		walBlock["sync"] = s.wal.Policy().String()
+		walBlock["frames"] = s.wal.Frames()
+		walBlock["bytes"] = s.wal.Bytes()
+		walBlock["syncs"] = s.wal.Syncs()
+		walBlock["last_seq"] = s.wal.LastSeq()
+		walBlock["replayed_frames"] = s.walReplayed.Load()
+		walBlock["truncated_bytes"] = s.wal.TruncatedBytes()
+		walBlock["failed"] = s.walFailed.Load()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"version": snap.Version(),
 		"form":    snap.Form().String(),
@@ -63,6 +74,7 @@ func (s *Server) handleDebugStats(w http.ResponseWriter, r *http.Request) error 
 			"ingested": s.Ingested(),
 			"draining": s.draining.Load(),
 		},
+		"wal":   walBlock,
 		"stats": snap.Stats(),
 	})
 	return nil

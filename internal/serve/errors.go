@@ -22,6 +22,14 @@ var ErrUnknownVar = errors.New("serve: unknown variable")
 // kind "not_found" and unmatched traffic is distinguishable in logs.
 var ErrNotFound = errors.New("serve: not found")
 
+// ErrWALFailed means a constraint-log write failed after the batch was
+// already admitted. The server poisons ingestion — every further write is
+// refused with this error until a restart re-opens the log — because
+// continuing to ack batches the log cannot record would break the
+// "202 means durable" promise and leave a gap in the replayable stream.
+// Reads are unaffected.
+var ErrWALFailed = errors.New("serve: constraint log write failed; ingestion disabled until restart")
+
 // statusTable is the one place the solver's typed errors meet HTTP. Order
 // matters only for readability; the sentinels are disjoint.
 var statusTable = []struct {
@@ -64,6 +72,8 @@ func kindOf(err error) string {
 		return "not_found"
 	case errors.Is(err, ErrBadRequest):
 		return "bad_request"
+	case errors.Is(err, ErrWALFailed):
+		return "wal_failed"
 	case errors.Is(err, context.DeadlineExceeded):
 		return "deadline"
 	case errors.Is(err, context.Canceled):

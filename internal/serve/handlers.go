@@ -11,6 +11,7 @@ import (
 
 	"polce"
 	"polce/internal/telemetry"
+	"polce/internal/wal"
 )
 
 // routes wires the v1 API onto the server's mux, each handler wrapped with
@@ -97,30 +98,37 @@ type constraintsRequest struct {
 	Program string `json:"program"`
 }
 
-// handleConstraints ingests one batch. The parse is synchronous (400 on
-// malformed SCL, atomically rolled back), the solve is queued: by default
-// the response is a 202 once the batch is accepted by the bounded queue,
-// and ?wait=1 blocks until the batch has been applied, reporting the graph
+// handleConstraints ingests one batch. Admission is synchronous — parse
+// (400 on malformed SCL, atomically rolled back), constraint-log append,
+// enqueue, all one atomic step in accept — and the solve is queued: by
+// default the response is a 202 once the batch is durably accepted, and
+// ?wait=1 blocks until the batch has been applied, reporting the graph
 // version it produced (or a 409 if it made the system inconsistent).
+// Declaration-only batches queue (and log) too: replay needs every
+// vocabulary change in stream order, not just the constraint-bearing ones.
 func (s *Server) handleConstraints(w http.ResponseWriter, r *http.Request) error {
 	src, err := readProgram(r, s.cfg.MaxBodyBytes)
 	if err != nil {
 		return err
 	}
-	batch, err := s.session.parse(src)
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrBadRequest, err)
-	}
-	if len(batch) == 0 { // declarations/queries only: nothing to queue
-		writeJSON(w, http.StatusAccepted, map[string]any{"accepted": 0, "queue_len": s.QueueLen()})
-		return nil
-	}
-	job, err := s.enqueue(r.Context(), batch)
+	job, err := s.accept(r.Context(), src)
 	if err != nil {
 		return err
 	}
+	// Under SyncAlways the frame reaches stable storage before any ack —
+	// outside the session lock, so concurrent accepts share one fsync and
+	// reads never queue behind the disk.
+	if s.wal != nil && s.wal.Policy() == wal.SyncAlways {
+		if err := s.durable(job); err != nil {
+			return err
+		}
+	}
 	if r.URL.Query().Get("wait") == "" {
-		writeJSON(w, http.StatusAccepted, map[string]any{"accepted": len(batch), "queue_len": s.QueueLen()})
+		resp := map[string]any{"accepted": len(job.batch), "queue_len": s.QueueLen()}
+		if job.seq != 0 {
+			resp["wal_seq"] = job.seq
+		}
+		writeJSON(w, http.StatusAccepted, resp)
 		return nil
 	}
 	// The await-apply span is the handler-side view of the same interval

@@ -3,10 +3,56 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"polce/internal/telemetry"
 )
+
+// ageTracker records the enqueue times of batches that are queued but not
+// yet picked up, in FIFO order — the data behind the oldest-age gauge. The
+// queue channel itself cannot be inspected, so accept pushes here right
+// before the channel send and the ingester pops right after receiving.
+// A plain slice with a moving head: pushes and pops are O(1), and the
+// occasional compaction keeps memory bounded by queue depth.
+type ageTracker struct {
+	mu   sync.Mutex
+	at   []time.Time
+	head int
+}
+
+func (a *ageTracker) push(t time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.head > 0 && a.head == len(a.at) {
+		a.at = a.at[:0]
+		a.head = 0
+	}
+	a.at = append(a.at, t)
+}
+
+func (a *ageTracker) pop() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.head < len(a.at) {
+		a.head++
+		if a.head == len(a.at) {
+			a.at = a.at[:0]
+			a.head = 0
+		}
+	}
+}
+
+// oldest returns the enqueue time of the oldest still-queued batch, or the
+// zero time when the queue is empty.
+func (a *ageTracker) oldest() time.Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.head < len(a.at) {
+		return a.at[a.head]
+	}
+	return time.Time{}
+}
 
 // routeMetrics instruments each route with a latency histogram and
 // per-status-class counters in the shared telemetry registry. Routes are
@@ -92,11 +138,12 @@ func (m *routeMetrics) observe(route string, status int, elapsed time.Duration) 
 // hit/miss/stale counters for the snapshot cache. All fields are nil when
 // the server has no registry; use the observe helpers, which no-op then.
 type queueMetrics struct {
-	wait      *telemetry.Histogram
-	batchSize *telemetry.Histogram
-	snapHit   *telemetry.Counter
-	snapMiss  *telemetry.Counter
-	snapStale *telemetry.Counter
+	wait       *telemetry.Histogram
+	batchSize  *telemetry.Histogram
+	walAppendH *telemetry.Histogram
+	snapHit    *telemetry.Counter
+	snapMiss   *telemetry.Counter
+	snapStale  *telemetry.Counter
 }
 
 // newQueueMetrics registers the queue and snapshot-cache metrics. The
@@ -111,14 +158,36 @@ func newQueueMetrics(reg *telemetry.Registry, s *Server) *queueMetrics {
 	reg.GaugeFunc("polce_serve_queue_cap", "capacity of the ingestion queue in batches",
 		func() float64 { return float64(cap(s.queue)) })
 	reg.GaugeFunc("polce_serve_queue_oldest_age_seconds",
-		"time since the batch now being applied was enqueued (0 while ingestion is idle)",
+		"age of the oldest unapplied batch: the one mid-apply, else the queue head (0 when idle)",
 		func() float64 {
+			// The batch being applied entered the queue before anything
+			// still queued (single FIFO ingester), so it is the oldest
+			// whenever one is in flight. A stalled ingester with a full
+			// queue has applyingSince 0 but a non-zero queue head — the
+			// case the old applyingSince-only gauge reported as 0.
 			if at := s.applyingSince.Load(); at != 0 {
 				return time.Since(time.Unix(0, at)).Seconds()
 			}
+			if at := s.ages.oldest(); !at.IsZero() {
+				return time.Since(at).Seconds()
+			}
 			return 0
 		})
-	return &queueMetrics{
+	if s.wal != nil {
+		reg.GaugeFunc("polce_serve_wal_frames", "frames in the constraint log, recovered plus appended",
+			func() float64 { return float64(s.wal.Frames()) })
+		reg.GaugeFunc("polce_serve_wal_bytes", "size of the constraint log in bytes",
+			func() float64 { return float64(s.wal.Bytes()) })
+		reg.GaugeFunc("polce_serve_wal_syncs", "fsyncs issued against the constraint log",
+			func() float64 { return float64(s.wal.Syncs()) })
+		reg.GaugeFunc("polce_serve_wal_last_seq", "sequence number of the last logged frame",
+			func() float64 { return float64(s.wal.LastSeq()) })
+		reg.GaugeFunc("polce_serve_wal_replayed_frames", "frames replayed from the log at startup",
+			func() float64 { return float64(s.walReplayed.Load()) })
+		reg.GaugeFunc("polce_serve_wal_truncated_bytes", "torn-tail bytes truncated from the log at startup",
+			func() float64 { return float64(s.wal.TruncatedBytes()) })
+	}
+	qm := &queueMetrics{
 		wait: reg.Histogram("polce_serve_queue_wait_seconds",
 			"time a batch waited in the ingestion queue before the ingester picked it up",
 			telemetry.LogBuckets(10e-6, 4, 12)),
@@ -132,6 +201,12 @@ func newQueueMetrics(reg *telemetry.Registry, s *Server) *queueMetrics {
 		snapStale: reg.Counter("polce_serve_snapshot_stale_total",
 			"reads served a stale snapshot while another reader refreshed (or a refresh was cancelled)"),
 	}
+	if s.wal != nil {
+		qm.walAppendH = reg.Histogram("polce_serve_wal_append_seconds",
+			"time to append one frame to the constraint log (excluding fsync)",
+			telemetry.LogBuckets(1e-6, 4, 12))
+	}
+	return qm
 }
 
 func (m *queueMetrics) observeWait(d time.Duration, batch int) {
@@ -140,6 +215,13 @@ func (m *queueMetrics) observeWait(d time.Duration, batch int) {
 	}
 	m.wait.Observe(d.Seconds())
 	m.batchSize.Observe(float64(batch))
+}
+
+func (m *queueMetrics) walAppend(d time.Duration) {
+	if m == nil || m.walAppendH == nil {
+		return
+	}
+	m.walAppendH.Observe(d.Seconds())
 }
 
 func (m *queueMetrics) hit() {

@@ -14,6 +14,7 @@ import (
 
 	"polce"
 	"polce/internal/telemetry"
+	"polce/internal/wal"
 )
 
 var updateMetricsList = flag.Bool("update", false, "rewrite api/metrics.list with the currently exported metric names")
@@ -31,7 +32,14 @@ func TestMetricNamesGolden(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	sm := telemetry.NewSolverMetrics(reg)
 	solver := polce.New(polce.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: 1, Metrics: sm})
-	_, hs := newTestServer(t, Config{Solver: solver, Registry: reg, SolverMetrics: sm})
+	// A WAL is wired in so the polce_serve_wal_* names are part of the
+	// golden surface too.
+	l, _, err := wal.Open(t.TempDir(), wal.Options{Sync: wal.SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	_, hs := newTestServer(t, Config{Solver: solver, Registry: reg, SolverMetrics: sm, WAL: l})
 
 	resp, err := http.Get(hs.URL + "/metrics")
 	if err != nil {

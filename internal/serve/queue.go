@@ -18,13 +18,15 @@ type ingestJob struct {
 	batch []polce.Constraint
 	ctx   context.Context
 	at    time.Time // when the batch was accepted into the queue
+	seq   uint64    // WAL sequence number (0 when the log is off)
 	done  chan ingestResult
 }
 
 // ingestResult reports how a batch fared: how many constraints were
 // applied, the graph version afterwards, how long the batch waited in the
 // queue and how long the drain took, and the typed error, if any
-// (ErrInconsistent when the batch introduced inconsistencies).
+// (ErrInconsistent when the batch introduced inconsistencies,
+// ErrSolverClosed when a drain raced the batch past the solver's close).
 type ingestResult struct {
 	applied int
 	version uint64
@@ -33,24 +35,115 @@ type ingestResult struct {
 	err     error
 }
 
-// enqueue hands a lowered batch to the ingester without blocking: a full
-// queue is backpressure (ErrQueueFull → 503 + Retry-After), a draining
-// server refuses outright (ErrSolverClosed → 410).
-func (s *Server) enqueue(ctx context.Context, batch []polce.Constraint) (*ingestJob, error) {
+// accept is the whole write-side admission path, one atomic step under the
+// session lock: reserve a queue slot, parse and lower the SCL text, append
+// the frame to the constraint log, and hand the job to the ingester.
+//
+// The ordering discipline here is what makes WAL replay bit-identical to
+// the live run. Lowering creates solver variables (first use calls Fresh),
+// and the seeded variable order o(·) — which decides edge orientation —
+// depends on creation order; so the log must record frames in exactly the
+// order lowering ran. Holding the session lock across parse + append +
+// enqueue forces accept order = frame order = queue order = apply order,
+// and replaying frames in sequence reproduces both the variable creation
+// order and the constraint application order.
+//
+// The slot is reserved before anything mutates: a full queue
+// (ErrQueueFull → 503 + Retry-After) and a draining server
+// (ErrSolverClosed → 410) are refused while the session, the log and the
+// solver are still exactly as before the call, so a refused batch leaves
+// no trace — in particular no orphan variables that would skew the seeded
+// order of later batches against replay.
+func (s *Server) accept(ctx context.Context, src string) (*ingestJob, error) {
+	// Fast refusals, before any lock.
 	if s.draining.Load() {
 		return nil, polce.ErrSolverClosed
 	}
+	if s.walFailed.Load() {
+		return nil, ErrWALFailed
+	}
+
+	// drainMu (read side) brackets the whole admission: Shutdown flips
+	// draining under the write lock, so once Shutdown proceeds, no accept
+	// is mid-flight — every job is either already in the queue (the
+	// ingester's final flush will apply it) or will be refused by the
+	// draining check below. This closes the accepted-then-lost race.
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining.Load() {
+		return nil, polce.ErrSolverClosed
+	}
+
+	s.session.mu.Lock()
+	defer s.session.mu.Unlock()
+
+	// Reserve a queue slot. slots and queue share a capacity, and a held
+	// slot guarantees the channel send below cannot block.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		return nil, polce.ErrQueueFull
+	}
+	held := true
+	defer func() {
+		if held {
+			<-s.slots
+		}
+	}()
+
+	cs, err := s.session.parseLocked(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	batch := s.session.binder.Lower(cs)
 	job := &ingestJob{
 		batch: batch,
 		ctx:   context.WithoutCancel(ctx),
 		at:    time.Now(),
 		done:  make(chan ingestResult, 1),
 	}
-	select {
-	case s.queue <- job:
-		return job, nil
-	default:
-		return nil, polce.ErrQueueFull
+
+	if s.wal != nil {
+		start := time.Now()
+		seq, err := s.wal.Append(s.cfg.WALSession, src)
+		if err != nil {
+			// The session already absorbed the batch but the log did not.
+			// Appending further frames would leave a gap, so the log is
+			// poisoned: ingestion refuses with ErrWALFailed until restart
+			// (reads keep working) and the log on disk stays a consistent
+			// prefix of what was acknowledged.
+			s.walFailed.Store(true)
+			s.logError("wal append failed; refusing further ingestion", err)
+			return nil, fmt.Errorf("%w: %v", ErrWALFailed, err)
+		}
+		job.seq = seq
+		s.qmetrics.walAppend(time.Since(start))
+	}
+
+	s.ages.push(job.at)
+	s.queue <- job // cannot block: the slot is held
+	held = false
+	return job, nil
+}
+
+// durable blocks until the job's frame is on stable storage under
+// SyncAlways (concurrent accepts share one fsync); under batch/off it
+// returns immediately — the policy's documented trade-off.
+func (s *Server) durable(job *ingestJob) error {
+	if s.wal == nil || job.seq == 0 {
+		return nil
+	}
+	if err := s.wal.Sync(); err != nil {
+		s.walFailed.Store(true)
+		s.logError("wal fsync failed; refusing further ingestion", err)
+		return fmt.Errorf("%w: %v", ErrWALFailed, err)
+	}
+	return nil
+}
+
+func (s *Server) logError(msg string, err error) {
+	if s.logger != nil {
+		s.logger.Error(msg, "error", err.Error())
 	}
 }
 
@@ -65,16 +158,56 @@ func (s *Server) ingest() {
 		select {
 		case job := <-s.queue:
 			s.apply(job)
+			s.syncAtIdle()
 		case <-s.drainReq:
 			for {
 				select {
 				case job := <-s.queue:
 					s.apply(job)
 				default:
+					if s.wal != nil {
+						if err := s.wal.Sync(); err != nil {
+							s.logError("wal fsync at drain", err)
+						}
+					}
 					_ = s.solver.Close()
+					// Defence in depth: Shutdown's drainMu barrier means no
+					// job can land after the flush above saw an empty queue,
+					// but if one ever did, resolving it here with
+					// ErrSolverClosed (→ 410) beats silently dropping it —
+					// its waiter would otherwise stall to its deadline.
+					s.resolveStragglers()
 					return
 				}
 			}
+		}
+	}
+}
+
+// syncAtIdle lands appended frames whenever the queue goes empty — the
+// batch boundary of the SyncBatch policy. Under SyncAlways frames were
+// already synced at accept; under SyncOff Sync is a no-op.
+func (s *Server) syncAtIdle() {
+	if s.wal == nil || len(s.queue) > 0 {
+		return
+	}
+	if err := s.wal.Sync(); err != nil {
+		s.walFailed.Store(true)
+		s.logError("wal fsync failed; refusing further ingestion", err)
+	}
+}
+
+// resolveStragglers drains any job that slipped into the queue after the
+// final flush and resolves its waiter with ErrSolverClosed.
+func (s *Server) resolveStragglers() {
+	for {
+		select {
+		case job := <-s.queue:
+			s.ages.pop()
+			<-s.slots
+			job.done <- ingestResult{err: polce.ErrSolverClosed}
+		default:
+			return
 		}
 	}
 }
@@ -93,11 +226,20 @@ func (s *Server) ingest() {
 func (s *Server) apply(job *ingestJob) {
 	wait := time.Since(job.at)
 	s.qmetrics.observeWait(wait, len(job.batch))
+	// Order matters for the oldest-age gauge: the batch becomes "applying"
+	// before it stops being "queued", so the gauge never reads idle while
+	// work is outstanding. The slot frees at pickup, restoring queue
+	// capacity the moment the channel has room again.
 	s.applyingSince.Store(job.at.UnixNano())
 	defer s.applyingSince.Store(0)
+	s.ages.pop()
+	<-s.slots
 	s.tracer.Emit(job.ctx, "queue-wait", job.at, wait, map[string]any{"batch": len(job.batch)})
 	drainCtx, span := s.tracer.StartSpan(job.ctx, "ingest-drain")
 	span.SetAttr("batch", len(job.batch))
+	if job.seq != 0 {
+		span.SetAttr("wal_seq", job.seq)
+	}
 	var closure0 time.Duration
 	if s.sm != nil && span != nil {
 		closure0, _ = s.sm.Phases.Get(telemetry.PhaseClosure)

@@ -188,3 +188,88 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Logf("post-shutdown dial failed as expected (non-ECONNREFUSED): %v", err)
 	}
 }
+
+// TestEnqueueShutdownRace is the regression test for the accepted-then-lost
+// race: enqueue used to check draining and then send to the queue without
+// holding anything across the two, so a batch accepted in the window after
+// Shutdown's flag flip but before the ingester's final empty-queue poll was
+// silently dropped — its async client kept a 202 for nothing and its
+// ?wait=1 client stalled to the deadline. The fix must guarantee that every
+// batch accept returns a job for is either applied before the drain
+// completes or resolved with ErrSolverClosed, promptly. Rounds of writers
+// race Shutdown directly at the accept level (no HTTP) to maximise
+// interleavings under -race.
+func TestEnqueueShutdownRace(t *testing.T) {
+	const (
+		rounds  = 25
+		writers = 8
+		tries   = 30
+	)
+	for round := 0; round < rounds; round++ {
+		solver := polce.New(polce.Options{Form: polce.IF, Cycles: polce.CycleOnline, Seed: int64(round)})
+		s := New(Config{Solver: solver, QueueDepth: 8})
+
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			accepted []*ingestJob
+		)
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < tries; i++ {
+					job, err := s.accept(context.Background(), fmt.Sprintf("a%d_%d <= b%d_%d", w, i, w, i))
+					switch {
+					case err == nil:
+						mu.Lock()
+						accepted = append(accepted, job)
+						mu.Unlock()
+					case errors.Is(err, polce.ErrQueueFull):
+						// Backpressure, not loss: the batch was refused
+						// before anything mutated.
+					case errors.Is(err, polce.ErrSolverClosed):
+						return // drained: no further accepts can succeed
+					default:
+						t.Errorf("round %d writer %d: accept = %v", round, w, err)
+						return
+					}
+				}
+			}(w)
+		}
+		// Shut down while the writers are mid-hammer.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := s.Shutdown(ctx); err != nil {
+			t.Fatalf("round %d: Shutdown: %v", round, err)
+		}
+		cancel()
+		wg.Wait()
+
+		// Every accepted job resolved: applied, or refused with
+		// ErrSolverClosed. A job whose done channel never fires is the bug.
+		var applied int64
+		for i, job := range accepted {
+			select {
+			case res := <-job.done:
+				switch {
+				case res.err == nil:
+					applied += int64(res.applied)
+				case errors.Is(res.err, polce.ErrSolverClosed):
+					// accepted but drained: the waiter was told, not stalled
+				default:
+					t.Fatalf("round %d: job %d resolved with %v", round, i, res.err)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatalf("round %d: job %d of %d never resolved — accepted batch lost",
+					round, i, len(accepted))
+			}
+		}
+		if got := s.Ingested(); got != applied {
+			t.Fatalf("round %d: solver ingested %d constraints but jobs reported %d applied",
+				round, got, applied)
+		}
+		if !solver.Closed() {
+			t.Fatalf("round %d: solver not closed after Shutdown", round)
+		}
+	}
+}

@@ -28,6 +28,7 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"sync"
@@ -36,6 +37,7 @@ import (
 
 	"polce"
 	"polce/internal/telemetry"
+	"polce/internal/wal"
 )
 
 // Config configures a Server. Solver is required; everything else has a
@@ -83,6 +85,17 @@ type Config struct {
 	// SlowQuery, when positive and Logger is set, logs requests that took
 	// at least this long at warn level with their phase breakdown.
 	SlowQuery time.Duration
+	// WAL, when non-nil, is the durable constraint log. Every accepted
+	// batch's SCL text is appended (and, under SyncAlways, fsynced) before
+	// the 202/200 goes out, so an acknowledged batch survives a process
+	// crash: on the next start, Recover replays the log through the normal
+	// parse → lower → solve path and reconstructs a bit-identical graph.
+	// The caller opens the log (wal.Open pins the solver options into the
+	// log's meta) and closes it after Shutdown returns.
+	WAL *wal.Log
+	// WALSession is the session label recorded in each frame. Empty means
+	// "default".
+	WALSession string
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +110,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.WALSession == "" {
+		c.WALSession = "default"
 	}
 	return c
 }
@@ -117,13 +133,20 @@ type Server struct {
 	start    time.Time
 
 	queue    chan *ingestJob
+	slots    chan struct{} // queue-slot semaphore: reserved in accept before any mutation
 	drainReq chan struct{} // closed by Shutdown: ingester drains and exits
 	done     chan struct{} // closed when the ingester has exited
 	draining atomic.Bool
+	drainMu  sync.RWMutex // accept holds R across admission; Shutdown's W is the barrier
+
+	wal         *wal.Log
+	walFailed   atomic.Bool  // a log write failed: ingestion refuses until restart
+	walReplayed atomic.Int64 // frames replayed by Recover at startup
 
 	ingested      atomic.Int64  // constraints applied by the ingester
 	lastVersion   atomic.Uint64 // graph version after the last applied batch
 	applyingSince atomic.Int64  // enqueue time (unix nanos) of the batch being applied; 0 idle
+	ages          *ageTracker   // enqueue times of queued-but-unapplied batches, FIFO
 
 	snapMu         sync.Mutex                // serialises strict (always-fresh) captures
 	snapCur        atomic.Pointer[snapEntry] // last capture, shared by stale reads
@@ -214,6 +237,14 @@ func (s *Server) capture(ctx context.Context) (*polce.Snapshot, error) {
 
 // New builds a Server over cfg.Solver and starts its ingester goroutine.
 func New(cfg Config) *Server {
+	s := newServer(cfg)
+	go s.ingest()
+	return s
+}
+
+// newServer builds a Server without starting the ingester — tests that
+// need a parked ingester (queue-full paths, age gauges) use it directly.
+func newServer(cfg Config) *Server {
 	if cfg.Solver == nil {
 		panic("serve: Config.Solver is required")
 	}
@@ -229,13 +260,38 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		queue:    make(chan *ingestJob, cfg.QueueDepth),
+		slots:    make(chan struct{}, cfg.QueueDepth),
 		drainReq: make(chan struct{}),
 		done:     make(chan struct{}),
+		wal:      cfg.WAL,
+		ages:     &ageTracker{},
 	}
 	s.qmetrics = newQueueMetrics(cfg.Registry, s)
 	s.routes()
-	go s.ingest()
 	return s
+}
+
+// Recover replays frames recovered from the constraint log through the
+// normal session path — ParseAppend, Binder.Lower, AddBatch — exactly as
+// the live accept path ran them, so the recovered graph is bit-identical
+// to the pre-crash one: same variable creation order, same constraint
+// order, same seeded edge orientations, same partition. Call it after New
+// and before serving traffic; frames bypass the queue and are NOT
+// re-appended to the log (they are already in it).
+func (s *Server) Recover(frames []wal.Frame) (int, error) {
+	constraints := 0
+	for _, f := range frames {
+		batch, err := s.session.parse(f.Text)
+		if err != nil {
+			return constraints, fmt.Errorf("serve: wal frame %d does not parse: %w", f.Seq, err)
+		}
+		s.solver.AddBatch(batch)
+		constraints += len(batch)
+		s.walReplayed.Add(1)
+	}
+	s.ingested.Add(int64(constraints))
+	s.lastVersion.Store(s.solver.Version())
+	return constraints, nil
 }
 
 // Handler returns the service's HTTP handler: the v1 API plus, when a
@@ -250,7 +306,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // past the deadline are dropped). Shutdown is idempotent; reads keep
 // working before and after.
 func (s *Server) Shutdown(ctx context.Context) error {
-	if s.draining.CompareAndSwap(false, true) {
+	// The write lock is the barrier against the accepted-then-lost race:
+	// accept holds the read side across its draining check and queue send,
+	// so once this Lock is granted no admission is mid-flight — every
+	// accepted job is already in the queue, where the ingester's final
+	// flush (which only starts after drainReq closes, i.e. after this
+	// barrier) is guaranteed to see it.
+	s.drainMu.Lock()
+	first := s.draining.CompareAndSwap(false, true)
+	s.drainMu.Unlock()
+	if first {
 		close(s.drainReq)
 	}
 	select {

@@ -190,23 +190,14 @@ func TestErrorMapping(t *testing.T) {
 }
 
 // TestQueueFullBackpressure fills the bounded queue with no ingester
-// running (the Server is assembled by hand) and checks the 503 +
-// Retry-After contract end to end.
+// running (newServer does not start one) and checks the 503 + Retry-After
+// contract end to end.
 func TestQueueFullBackpressure(t *testing.T) {
-	cfg := Config{Solver: polce.New(polce.Options{Form: polce.IF, Seed: 1})}.withDefaults()
-	cfg.QueueDepth = 1
-	cfg.RetryAfter = 2 * time.Second
-	s := &Server{
-		cfg:      cfg,
-		solver:   cfg.Solver,
-		session:  newSession(cfg.Solver),
-		mux:      http.NewServeMux(),
-		start:    time.Now(),
-		queue:    make(chan *ingestJob, cfg.QueueDepth),
-		drainReq: make(chan struct{}),
-		done:     make(chan struct{}),
-	}
-	s.routes() // note: no ingester goroutine — the queue never drains
+	s := newServer(Config{
+		Solver:     polce.New(polce.Options{Form: polce.IF, Seed: 1}),
+		QueueDepth: 1,
+		RetryAfter: 2 * time.Second,
+	}) // note: no ingester goroutine — the queue never drains
 	hs := httptest.NewServer(s.Handler())
 	defer hs.Close()
 

@@ -37,6 +37,13 @@ func (ss *session) parse(src string) ([]polce.Constraint, error) {
 	return ss.binder.Lower(cs), nil
 }
 
+// parseLocked is parse's body for callers already holding ss.mu — the
+// accept path, which must keep the lock across parse, log append and
+// enqueue so that frame order equals variable-creation order.
+func (ss *session) parseLocked(src string) ([]scl.Constraint, error) {
+	return ss.file.ParseAppend(src)
+}
+
 // lookup resolves a variable name registered by some earlier batch.
 func (ss *session) lookup(name string) (*polce.Var, bool) {
 	ss.mu.Lock()

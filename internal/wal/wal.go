@@ -1,0 +1,440 @@
+// Package wal is the durable constraint log: an append-only file of
+// length-prefixed, CRC-checked frames, each carrying one accepted batch of
+// SCL wire text together with its session name and a monotone sequence
+// number.
+//
+// The online solver computes a deterministic least solution from the
+// constraint stream — replaying the exact accepted stream through the
+// normal ingestion path reconstructs a bit-identical graph — so the log of
+// accepted batches is a complete durability primitive: no graph state is
+// ever persisted, only the stream that produced it.
+//
+// On Open the tail of the log is validated frame by frame. A partial frame
+// or a CRC mismatch — the signature of a torn write from a crash — drops
+// the bad suffix by truncating the file back to the last intact frame;
+// opening never fails on a torn tail. Everything before the tear replays.
+//
+// File layout (all integers little-endian):
+//
+//	header   8 bytes   magic "PLCEWAL1"
+//	frame    4 bytes   payload length
+//	         4 bytes   CRC32 (IEEE) of the payload
+//	         payload:  8 bytes sequence number
+//	                   2 bytes session-name length, session name
+//	                   SCL wire text (the rest)
+//
+// A wal directory also carries meta.json, pinning the solver options the
+// log was written under (graph form, cycle policy, variable-order seed).
+// Replay is only deterministic under the same options, so Open refuses a
+// directory whose recorded options differ from the caller's — a
+// configuration error reported at startup rather than a silently divergent
+// graph.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	magic    = "PLCEWAL1"
+	logName  = "wal.log"
+	metaName = "meta.json"
+
+	frameHeaderSize = 8  // payload length + CRC32
+	payloadMinSize  = 10 // sequence number + session-name length
+
+	// maxFrameSize bounds a single frame. A length prefix beyond it is
+	// treated as corruption (a torn length field reads as garbage), not as
+	// an instruction to allocate gigabytes.
+	maxFrameSize = 64 << 20
+)
+
+// SyncPolicy selects when appended frames are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before an append is acknowledged: a batch the
+	// client saw accepted survives power loss. The slowest mode — one
+	// fsync per accepted request (concurrent accepts may share one).
+	SyncAlways SyncPolicy = iota
+	// SyncBatch fsyncs at batch boundaries — when the server's ingestion
+	// queue drains and at shutdown — so a crash loses at most the batches
+	// accepted since the queue last went idle.
+	SyncBatch
+	// SyncOff never fsyncs; the OS flushes on its own schedule and a clean
+	// Close still lands everything. A power loss can lose the unflushed
+	// suffix, which the torn-tail scan then drops on the next open.
+	SyncOff
+)
+
+// ParseSyncPolicy parses the -wal-sync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return SyncAlways, nil
+	case "batch":
+		return SyncBatch, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (always, batch, off)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncBatch:
+		return "batch"
+	case SyncOff:
+		return "off"
+	}
+	return "?"
+}
+
+// Options configures Open.
+type Options struct {
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// Meta, when non-nil, pins the options the log is valid under. On the
+	// first open it is written to meta.json; on later opens it must equal
+	// the recorded map exactly, or Open fails with ErrMetaMismatch.
+	Meta map[string]string
+}
+
+// ErrMetaMismatch reports an Open against a log written under different
+// solver options — replaying it would not reconstruct the same graph.
+var ErrMetaMismatch = errors.New("wal: meta mismatch")
+
+// Frame is one logged batch: the SCL wire text exactly as the server
+// accepted it.
+type Frame struct {
+	Seq     uint64
+	Session string
+	Text    string
+}
+
+// Recovered reports what a scan of an existing log found.
+type Recovered struct {
+	// Frames are the intact frames, in sequence order.
+	Frames []Frame
+	// LastSeq is the sequence number of the last intact frame (0 when the
+	// log is empty).
+	LastSeq uint64
+	// TruncatedBytes is the size of the torn tail that was (or, for a
+	// read-only scan, would be) dropped.
+	TruncatedBytes int64
+	// Bytes is the size of the intact prefix, header included.
+	Bytes int64
+}
+
+// Log is an open, appendable constraint log. Append and Sync are safe for
+// concurrent use; Close must not race either.
+type Log struct {
+	mu      sync.Mutex
+	f       *os.File
+	dirty   bool // bytes written since the last fsync
+	nextSeq uint64
+	policy  SyncPolicy
+
+	frames    atomic.Int64
+	bytes     atomic.Int64
+	syncs     atomic.Int64
+	lastSeq   atomic.Uint64
+	truncated atomic.Int64 // torn-tail bytes dropped at Open
+}
+
+// Open opens (creating if needed) the log in dir, validates any existing
+// frames, truncates a torn tail, and positions the writer after the last
+// intact frame. The returned Recovered holds every intact frame, ready for
+// replay.
+func Open(dir string, opt Options) (*Log, *Recovered, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	if err := checkMeta(dir, opt.Meta); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: opening log: %w", err)
+	}
+	rec, err := scanFile(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if rec.Bytes == 0 {
+		// Fresh log: write the header.
+		if _, err := f.Write([]byte(magic)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: writing header: %w", err)
+		}
+		rec.Bytes = int64(len(magic))
+	}
+	if rec.TruncatedBytes > 0 {
+		if err := f.Truncate(rec.Bytes); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(rec.Bytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: seeking to tail: %w", err)
+	}
+	l := &Log{f: f, nextSeq: rec.LastSeq + 1, policy: opt.Sync}
+	l.lastSeq.Store(rec.LastSeq)
+	l.truncated.Store(rec.TruncatedBytes)
+	l.frames.Store(int64(len(rec.Frames)))
+	l.bytes.Store(rec.Bytes)
+	return l, rec, nil
+}
+
+// ReadDir scans the log in dir read-only: the intact frames are returned
+// and a torn tail is reported (TruncatedBytes) but not removed. Use it for
+// standalone replay and verification of a log another process owns.
+func ReadDir(dir string) (*Recovered, error) {
+	f, err := os.Open(filepath.Join(dir, logName))
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening log: %w", err)
+	}
+	defer f.Close()
+	return scanFile(f)
+}
+
+// ReadMeta returns the options map recorded in dir's meta.json.
+func ReadMeta(dir string) (map[string]string, error) {
+	b, err := os.ReadFile(filepath.Join(dir, metaName))
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading meta: %w", err)
+	}
+	var m map[string]string
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("wal: decoding meta: %w", err)
+	}
+	return m, nil
+}
+
+// checkMeta records want into dir on first open and compares strictly on
+// later ones. A nil want skips the check entirely.
+func checkMeta(dir string, want map[string]string) error {
+	if want == nil {
+		return nil
+	}
+	path := filepath.Join(dir, metaName)
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		out, err := json.MarshalIndent(want, "", "  ")
+		if err != nil {
+			return fmt.Errorf("wal: encoding meta: %w", err)
+		}
+		return os.WriteFile(path, append(out, '\n'), 0o644)
+	}
+	if err != nil {
+		return fmt.Errorf("wal: reading meta: %w", err)
+	}
+	var got map[string]string
+	if err := json.Unmarshal(b, &got); err != nil {
+		return fmt.Errorf("wal: decoding meta: %w", err)
+	}
+	if len(got) != len(want) {
+		return metaMismatch(got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			return metaMismatch(got, want)
+		}
+	}
+	return nil
+}
+
+func metaMismatch(got, want map[string]string) error {
+	return fmt.Errorf("%w: log was written under %s, solver configured as %s — "+
+		"restart with the recorded options or point -wal at a fresh directory",
+		ErrMetaMismatch, renderMeta(got), renderMeta(want))
+}
+
+func renderMeta(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + m[k]
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// scanFile validates f from the start and reports the intact prefix. Any
+// defect — short header, partial frame, CRC mismatch, impossible length,
+// non-monotone sequence — marks the tear; everything from the first defect
+// on is the torn tail. An entirely empty file is a valid empty log.
+func scanFile(f *os.File) (*Recovered, error) {
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, fmt.Errorf("wal: sizing log: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("wal: rewinding log: %w", err)
+	}
+	rec := &Recovered{}
+	if size == 0 {
+		return rec, nil
+	}
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(f, hdr); err != nil || string(hdr) != magic {
+		return nil, fmt.Errorf("wal: %s is not a constraint log (bad header)", f.Name())
+	}
+	good := int64(len(magic))
+	buf := make([]byte, frameHeaderSize)
+	for {
+		if _, err := io.ReadFull(f, buf); err != nil {
+			if err == io.EOF {
+				break // clean end on a frame boundary
+			}
+			rec.TruncatedBytes = size - good // partial frame header
+			break
+		}
+		n := binary.LittleEndian.Uint32(buf[0:4])
+		sum := binary.LittleEndian.Uint32(buf[4:8])
+		if n < payloadMinSize || n > maxFrameSize || good+frameHeaderSize+int64(n) > size {
+			rec.TruncatedBytes = size - good
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			rec.TruncatedBytes = size - good
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			rec.TruncatedBytes = size - good
+			break
+		}
+		seq := binary.LittleEndian.Uint64(payload[0:8])
+		sessLen := int(binary.LittleEndian.Uint16(payload[8:10]))
+		if payloadMinSize+sessLen > len(payload) || seq != rec.LastSeq+1 {
+			rec.TruncatedBytes = size - good
+			break
+		}
+		rec.Frames = append(rec.Frames, Frame{
+			Seq:     seq,
+			Session: string(payload[payloadMinSize : payloadMinSize+sessLen]),
+			Text:    string(payload[payloadMinSize+sessLen:]),
+		})
+		rec.LastSeq = seq
+		good += frameHeaderSize + int64(n)
+	}
+	rec.Bytes = good
+	return rec, nil
+}
+
+// Append writes one frame carrying text for session and returns its
+// sequence number. The frame is written in a single write; durability
+// follows the sync policy — SyncAlways callers must call Sync before
+// acknowledging (Append itself never fsyncs, so concurrent accepts can
+// share one fsync).
+func (l *Log) Append(session, text string) (uint64, error) {
+	if len(session) > 1<<16-1 {
+		return 0, fmt.Errorf("wal: session name of %d bytes exceeds the 2-byte length field", len(session))
+	}
+	if payloadMinSize+len(session)+len(text) > maxFrameSize {
+		return 0, fmt.Errorf("wal: frame of %d bytes exceeds the %d-byte frame bound", len(session)+len(text), maxFrameSize)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq := l.nextSeq
+	payload := make([]byte, payloadMinSize+len(session)+len(text))
+	binary.LittleEndian.PutUint64(payload[0:8], seq)
+	binary.LittleEndian.PutUint16(payload[8:10], uint16(len(session)))
+	copy(payload[payloadMinSize:], session)
+	copy(payload[payloadMinSize+len(session):], text)
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderSize:], payload)
+	if _, err := l.f.Write(frame); err != nil {
+		// The file may now hold a partial frame; the next open's torn-tail
+		// scan drops it. The in-memory sequence is not advanced.
+		return 0, fmt.Errorf("wal: appending frame %d: %w", seq, err)
+	}
+	l.nextSeq++
+	l.dirty = true
+	l.frames.Add(1)
+	l.bytes.Add(int64(len(frame)))
+	l.lastSeq.Store(seq)
+	return seq, nil
+}
+
+// Sync fsyncs appended frames to stable storage. It is a no-op when
+// nothing was appended since the last sync, or under SyncOff.
+func (l *Log) Sync() error {
+	if l.policy == SyncOff {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.dirty = false
+	l.syncs.Add(1)
+	return nil
+}
+
+// Close fsyncs outstanding frames (regardless of policy — a clean shutdown
+// should never lose acknowledged batches) and closes the file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	syncErr := l.syncLocked()
+	closeErr := l.f.Close()
+	l.f = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// Policy returns the sync policy the log was opened with.
+func (l *Log) Policy() SyncPolicy { return l.policy }
+
+// Frames returns how many frames this process appended.
+func (l *Log) Frames() int64 { return l.frames.Load() }
+
+// Bytes returns how many bytes this process appended (frame headers
+// included).
+func (l *Log) Bytes() int64 { return l.bytes.Load() }
+
+// Syncs returns how many fsyncs actually reached the file.
+func (l *Log) Syncs() int64 { return l.syncs.Load() }
+
+// LastSeq returns the sequence number of the last durable-or-pending
+// frame, recovered frames included.
+func (l *Log) LastSeq() uint64 { return l.lastSeq.Load() }
+
+// TruncatedBytes returns the size of the torn tail dropped when the log
+// was opened (0 for a clean log).
+func (l *Log) TruncatedBytes() int64 { return l.truncated.Load() }

@@ -1,0 +1,302 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, opt Options) (*Log, *Recovered) {
+	t.Helper()
+	l, rec, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, rec
+}
+
+func appendFrames(t *testing.T, l *Log, n int) {
+	t.Helper()
+	for i := 1; i <= n; i++ {
+		seq, err := l.Append("s", fmt.Sprintf("cons c%d; c%d <= x%d", i, i, i))
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("Append %d returned seq %d", i, seq)
+		}
+	}
+}
+
+// TestRoundTrip: frames written are the frames recovered, in order, with
+// monotone sequence numbers, across a close/reopen cycle.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := mustOpen(t, dir, Options{Sync: SyncAlways})
+	if len(rec.Frames) != 0 || rec.LastSeq != 0 {
+		t.Fatalf("fresh log recovered %+v", rec)
+	}
+	appendFrames(t, l, 5)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec2 := mustOpen(t, dir, Options{})
+	if len(rec2.Frames) != 5 || rec2.LastSeq != 5 || rec2.TruncatedBytes != 0 {
+		t.Fatalf("recovered %d frames, lastSeq %d, truncated %d; want 5/5/0",
+			len(rec2.Frames), rec2.LastSeq, rec2.TruncatedBytes)
+	}
+	for i, f := range rec2.Frames {
+		if f.Seq != uint64(i+1) || f.Session != "s" {
+			t.Fatalf("frame %d = %+v", i, f)
+		}
+		if want := fmt.Sprintf("cons c%d; c%d <= x%d", i+1, i+1, i+1); f.Text != want {
+			t.Fatalf("frame %d text = %q, want %q", i, f.Text, want)
+		}
+	}
+	// Appending continues the sequence.
+	if seq, err := l2.Append("s", "x1 <= x2"); err != nil || seq != 6 {
+		t.Fatalf("continued append = seq %d, %v; want 6", seq, err)
+	}
+}
+
+// TestTornTailTruncation covers the three crash signatures: a partial
+// frame header, a partial payload, and a payload whose bytes were torn
+// (CRC mismatch). Each must recover the intact prefix and drop the tail —
+// never fail the open.
+func TestTornTailTruncation(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		wantFrames int
+		tear       func(path string, t *testing.T)
+	}{
+		{"partial frame header", 3, func(path string, t *testing.T) { chop(t, path, 3) }},
+		{"partial payload", 3, func(path string, t *testing.T) { chop(t, path, 12) }},
+		{"torn payload bytes", 3, func(path string, t *testing.T) { flipLastByte(t, path) }},
+		{"garbage appended", 4, func(path string, t *testing.T) {
+			f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := f.Write([]byte{0xff, 0x13, 0x37}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, _ := mustOpen(t, dir, Options{Sync: SyncAlways})
+			appendFrames(t, l, 4)
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			tc.tear(filepath.Join(dir, logName), t)
+
+			l2, rec := mustOpen(t, dir, Options{})
+			if rec.TruncatedBytes == 0 {
+				t.Fatal("tear not detected")
+			}
+			if len(rec.Frames) != tc.wantFrames || rec.LastSeq != uint64(tc.wantFrames) {
+				t.Fatalf("recovered %d frames lastSeq %d, want the %d-frame prefix",
+					len(rec.Frames), rec.LastSeq, tc.wantFrames)
+			}
+			// The torn tail is gone from disk: appends continue the intact
+			// sequence and a further reopen is clean.
+			next := uint64(tc.wantFrames + 1)
+			if seq, err := l2.Append("s", "x1 <= x3"); err != nil || seq != next {
+				t.Fatalf("append after truncation = seq %d, %v; want %d", seq, err, next)
+			}
+			if err := l2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			_, rec3 := mustOpen(t, dir, Options{})
+			if len(rec3.Frames) != tc.wantFrames+1 || rec3.TruncatedBytes != 0 {
+				t.Fatalf("reopen after truncation: %d frames, truncated %d; want %d/0",
+					len(rec3.Frames), rec3.TruncatedBytes, tc.wantFrames+1)
+			}
+		})
+	}
+}
+
+// chop removes the last n bytes of the file.
+func chop(t *testing.T, path string, n int64) {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flipLastByte corrupts the final payload byte so the CRC fails.
+func flipLastByte(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadDirIsReadOnly: a standalone scan reports the torn tail without
+// removing it.
+func TestReadDirIsReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Sync: SyncAlways})
+	appendFrames(t, l, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, logName)
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chop(t, path, 2)
+
+	rec, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Frames) != 2 || rec.TruncatedBytes == 0 {
+		t.Fatalf("ReadDir recovered %d frames, truncated %d", len(rec.Frames), rec.TruncatedBytes)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size()-2 {
+		t.Fatalf("ReadDir modified the log: %d -> %d bytes", before.Size()-2, after.Size())
+	}
+}
+
+// TestMetaPinning: the first open records the options; a matching reopen
+// succeeds, a mismatched one fails with ErrMetaMismatch, and ReadMeta
+// returns the recorded map.
+func TestMetaPinning(t *testing.T) {
+	dir := t.TempDir()
+	meta := map[string]string{"form": "IF", "cycles": "Online", "seed": "1"}
+	l, _ := mustOpen(t, dir, Options{Meta: meta})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["form"] != "IF" || got["cycles"] != "Online" || got["seed"] != "1" {
+		t.Fatalf("ReadMeta = %v", got)
+	}
+
+	if l2, _, err := Open(dir, Options{Meta: meta}); err != nil {
+		t.Fatalf("matching reopen: %v", err)
+	} else {
+		l2.Close()
+	}
+	bad := map[string]string{"form": "SF", "cycles": "Online", "seed": "1"}
+	if _, _, err := Open(dir, Options{Meta: bad}); !errors.Is(err, ErrMetaMismatch) {
+		t.Fatalf("mismatched reopen = %v, want ErrMetaMismatch", err)
+	}
+	// A nil meta skips the check (read-only tooling).
+	if l3, _, err := Open(dir, Options{}); err != nil {
+		t.Fatalf("meta-less reopen: %v", err)
+	} else {
+		l3.Close()
+	}
+}
+
+// TestSyncPolicies pins the fsync accounting: always-mode callers sync per
+// append, batch-mode shares syncs, off never syncs (but a clean Close
+// still lands everything).
+func TestSyncPolicies(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Sync: SyncAlways})
+	appendFrames(t, l, 2)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil { // idempotent: nothing dirty
+		t.Fatal(err)
+	}
+	if got := l.Syncs(); got != 1 {
+		t.Fatalf("syncs = %d, want 1 (second Sync saw a clean log)", got)
+	}
+
+	off, _ := mustOpen(t, t.TempDir(), Options{Sync: SyncOff})
+	if _, err := off.Append("s", "cons a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := off.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := off.Syncs(); got != 0 {
+		t.Fatalf("SyncOff synced %d times, want 0", got)
+	}
+}
+
+// TestSequenceDiscontinuityIsATear: a frame whose sequence number does not
+// continue the chain marks the tear even if its CRC is intact.
+func TestSequenceDiscontinuityIsATear(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, _ := mustOpen(t, dirA, Options{Sync: SyncAlways})
+	appendFrames(t, a, 2)
+	a.Close()
+	b, _ := mustOpen(t, dirB, Options{Sync: SyncAlways})
+	appendFrames(t, b, 4)
+	b.Close()
+
+	// Graft the 4th frame of log B (seq 4) onto log A (last seq 2).
+	bBytes, err := os.ReadFile(filepath.Join(dirB, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aBytes, err := os.ReadFile(filepath.Join(dirA, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recB, err := ReadDir(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate frame 4's start: the intact prefix of B minus its last frame.
+	last := recB.Frames[3]
+	lastSize := int64(frameHeaderSize + payloadMinSize + len(last.Session) + len(last.Text))
+	graft := bBytes[recB.Bytes-lastSize:]
+	if err := os.WriteFile(filepath.Join(dirA, logName), append(aBytes, graft...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := ReadDir(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Frames) != 2 || rec.TruncatedBytes != lastSize {
+		t.Fatalf("recovered %d frames, truncated %d; want 2 frames and %d bytes dropped",
+			len(rec.Frames), rec.TruncatedBytes, lastSize)
+	}
+}
+
+// TestNotALog: a file that is not a constraint log fails loudly rather
+// than being silently truncated to nothing.
+func TestNotALog(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, logName), []byte("definitely not a wal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a non-log file")
+	}
+}
