@@ -66,6 +66,7 @@ func main() {
 		cycles    = flag.String("cycles", "online", "cycle policy: none, online, online-incr, periodic")
 		seed      = flag.Int64("seed", 1, "variable-order seed")
 		lsWorkers = flag.Int("ls-workers", 0, "least-solution pass worker count (0 = GOMAXPROCS)")
+		reprFlag  = flag.String("repr", "hybrid", "adjacency storage representation: hybrid or csr")
 
 		queueDepth   = flag.Int("queue", 64, "ingestion queue depth (batches)")
 		reqTimeout   = flag.Duration("request-timeout", 10*time.Second, "per-request deadline")
@@ -91,6 +92,9 @@ func main() {
 	logger = telemetry.NewLogger(os.Stderr, level)
 
 	opt := polce.Options{Seed: *seed, LSWorkers: *lsWorkers}
+	if opt.Repr, err = polce.ParseRepr(*reprFlag); err != nil {
+		fatal("%v", err)
+	}
 	switch strings.ToLower(*form) {
 	case "sf":
 		opt.Form = polce.SF
@@ -192,6 +196,7 @@ func main() {
 	}()
 	logger.Info("serving",
 		"form", opt.Form.String(), "cycles", opt.Cycles.String(),
+		"repr", opt.Repr.String(), "ls_workers", polce.ResolveLSWorkers(*lsWorkers),
 		"addr", ln.Addr().String(), "queue", *queueDepth)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,130 @@
+package polce_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"polce"
+)
+
+// TestCSRSnapshotsDuringCompaction races concurrent snapshot readers
+// against heavy CSR-mode ingestion whose cycle collapses retire enough
+// arena capacity to trigger online compactions. Snapshots must stay
+// isolated from arena relocation: a retained snapshot's least solutions
+// are frozen, live readers see monotone versions, and under -race the
+// whole capture/read/compact interleaving must be clean.
+func TestCSRSnapshotsDuringCompaction(t *testing.T) {
+	for _, form := range []polce.Form{polce.SF, polce.IF} {
+		t.Run(form.String(), func(t *testing.T) {
+			s := polce.New(polce.Options{
+				Form: form, Cycles: polce.CycleOnline, Seed: 29, Repr: polce.ReprCSR,
+			})
+			const (
+				nVars    = 1000
+				blockLen = 100 // vars per collapsed cycle block
+			)
+			a := atoms(128)
+			vars := make([]*polce.Var, nVars)
+			for i := range vars {
+				vars[i] = s.Fresh(fmt.Sprintf("v%d", i))
+			}
+			// Seed every variable with sources so the collapses below
+			// retire real term-set capacity, then take the snapshot whose
+			// stability across compactions the test asserts.
+			rng := rand.New(rand.NewSource(31))
+			for i := range vars {
+				for j := 0; j < 20; j++ {
+					s.AddConstraint(a[rng.Intn(len(a))], vars[i])
+				}
+			}
+			early := s.Snapshot()
+			frozen := make([][]string, len(vars))
+			for i, v := range vars {
+				frozen[i] = lsNames(early.LeastSolution(v))
+			}
+
+			done := make(chan struct{})
+			errc := make(chan error, 8)
+			var wg sync.WaitGroup
+
+			wg.Add(1)
+			go func() { // ingestion: edges plus block cycles that collapse
+				defer wg.Done()
+				defer close(done)
+				for base := 0; base+blockLen <= nVars; base += blockLen {
+					batch := make([]polce.Constraint, 0, blockLen+1)
+					for i := 0; i < blockLen-1; i++ {
+						batch = append(batch, polce.Constraint{
+							L: vars[base+i], R: vars[base+i+1]})
+					}
+					// Close the block into a cycle: one collapse of
+					// blockLen variables, retiring their set storage.
+					batch = append(batch, polce.Constraint{
+						L: vars[base+blockLen-1], R: vars[base]})
+					s.AddBatch(batch)
+				}
+				// Second wave: ring the block witnesses together, collapsing
+				// the merged (much larger) term sets and retiring their
+				// grown segment capacities too.
+				for base := 0; base < nVars; base += blockLen {
+					s.AddConstraint(vars[base], vars[(base+blockLen)%nVars])
+				}
+				// Online elimination is partial by design; the offline pass
+				// collapses the cycles it missed, retiring the remaining
+				// absorbed storage — the push past the compaction threshold.
+				s.CollapseCycles()
+			}()
+
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func(r int) { // readers
+					defer wg.Done()
+					var lastVersion uint64
+					rng := rand.New(rand.NewSource(int64(100 + r)))
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						snap := s.Snapshot()
+						if v := snap.Version(); v < lastVersion {
+							errc <- fmt.Errorf("reader %d: version went backwards: %d then %d", r, lastVersion, v)
+							return
+						} else {
+							lastVersion = v
+						}
+						for j := 0; j < 20; j++ {
+							_ = snap.LeastSolution(vars[rng.Intn(nVars)])
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Error(err)
+			}
+
+			// The retained snapshot must be bit-for-bit what it was before
+			// any collapse, relocation or compaction ran.
+			for i, v := range vars {
+				if got := lsNames(early.LeastSolution(v)); fmt.Sprint(got) != fmt.Sprint(frozen[i]) {
+					t.Fatalf("%v: early snapshot LS(v%d) drifted:\nbefore %v\nafter  %v", form, i, frozen[i], got)
+				}
+			}
+			st := s.StorageStats()
+			if st.Repr != polce.ReprCSR.String() {
+				t.Fatalf("storage repr = %q, want csr", st.Repr)
+			}
+			// The workload is sized so the collapses retire enough arena
+			// capacity to cross the compaction threshold; without this the
+			// test would not exercise relocation under concurrent readers.
+			if st.Arena.Compactions == 0 {
+				t.Fatalf("no arena compaction ran (arena %+v); workload too small", st.Arena)
+			}
+		})
+	}
+}

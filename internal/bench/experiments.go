@@ -100,6 +100,10 @@ type Run struct {
 	// predecessor DAG and the memoized-union hit rate of the pass.
 	LSLevels       int64
 	LSUnionHitRate float64
+
+	// VETime is the closed-world vertex-elimination closure build time
+	// (recorded only under Options.VE; not part of Time).
+	VETime time.Duration
 }
 
 // VisitsPerSearch is the measured analogue of Theorem 5.2's E(R_X).
@@ -158,6 +162,13 @@ type Options struct {
 	// LSWorkers is the least-solution pass worker count; see
 	// polce.Options.LSWorkers.
 	LSWorkers int
+	// Repr selects the adjacency storage representation; see
+	// polce.Options.Repr. Both representations are bit-identical in their
+	// results, so this is a pure performance axis.
+	Repr polce.StorageRepr
+	// VE additionally times a closed-world vertex-elimination closure
+	// build after each solve (Run.VETime).
+	VE bool
 }
 
 // RunBenchmark measures the named experiments (nil = all six) on one
@@ -230,12 +241,18 @@ func runOne(p *program, exp Experiment, oracle *polce.Oracle, opt Options, repea
 			Oracle:           oracle,
 			PeriodicInterval: exp.Interval,
 			LSWorkers:        opt.LSWorkers,
+			Repr:             opt.Repr,
 		}
 		var sm *telemetry.SolverMetrics
 		if opt.Phases {
 			sm = telemetry.NewSolverMetrics(telemetry.NewRegistry())
 			aOpts.Metrics = sm
 		}
+		// Settle the heap before timing so a cell is not charged for
+		// collecting the previous cell's (or repeat's) floating garbage —
+		// with sequential workers the grid otherwise bleeds GC tax from
+		// each cell into the next, drowning small deltas on large cells.
+		runtime.GC()
 		var msBefore runtime.MemStats
 		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
@@ -268,6 +285,11 @@ func runOne(p *program, exp Experiment, oracle *polce.Oracle, opt Options, repea
 		if exp.Form == polce.IF {
 			run.LSLevels = st.LSLevels
 			run.LSUnionHitRate = st.LSUnionHitRate()
+		}
+		if opt.VE {
+			veStart := time.Now()
+			r.Sys.BuildVEClosure(polce.VEOrderMinDegree)
+			run.VETime = time.Since(veStart)
 		}
 		if sm != nil {
 			run.ClosureTime, _ = sm.Phases.Get(telemetry.PhaseClosure)

@@ -17,6 +17,7 @@ const smallSetThreshold = 8
 type SmallSet[T comparable] struct {
 	list []T
 	set  map[T]struct{} // nil while len(list) <= smallSetThreshold
+	ar   *arena[T]      // nil under ReprHybrid; owns list's storage otherwise
 }
 
 // Add inserts v and reports whether it was new.
@@ -26,7 +27,7 @@ func (s *SmallSet[T]) Add(v T) bool {
 			return false
 		}
 		s.set[v] = struct{}{}
-		s.list = append(s.list, v)
+		s.append(v)
 		return true
 	}
 	for _, w := range s.list {
@@ -34,11 +35,21 @@ func (s *SmallSet[T]) Add(v T) bool {
 			return false
 		}
 	}
-	s.list = append(s.list, v)
+	s.append(v)
 	if len(s.list) > smallSetThreshold {
 		s.promote()
 	}
 	return true
+}
+
+// append grows the backing storage through the arena when one is
+// attached; the element order and every observable set behavior are
+// identical either way.
+func (s *SmallSet[T]) append(v T) {
+	if s.ar != nil && len(s.list) == cap(s.list) {
+		s.list = s.ar.grow(s.list)
+	}
+	s.list = append(s.list, v)
 }
 
 // promote builds the membership map from the current slice.
@@ -77,9 +88,32 @@ func (s *SmallSet[T]) List() []T { return s.list }
 // collapsed variable's edges are re-inserted onto the witness.
 func (s *SmallSet[T]) Take() []T {
 	l := s.list
+	if s.ar != nil {
+		s.ar.retire(cap(l))
+	}
 	s.list = nil
 	s.set = nil
 	return l
+}
+
+// release drops the set's contents and retires its arena storage.
+func (s *SmallSet[T]) release() {
+	if s.ar != nil {
+		s.ar.retire(cap(s.list))
+	}
+	s.list = nil
+	s.set = nil
+}
+
+// repack re-allocates the set's elements densely in a (post-reset) arena.
+func (s *SmallSet[T]) repack(a *arena[T]) {
+	s.ar = a
+	if len(s.list) == 0 {
+		s.list = nil
+		return
+	}
+	seg := a.alloc(len(s.list))
+	s.list = append(seg, s.list...)
 }
 
 // VarSet is the variable adjacency set. After cycles are collapsed,

@@ -20,12 +20,20 @@ type Store struct {
 	created []*Var // creation-index → variable handed out (aliases included)
 
 	mergeEpoch uint64 // bumped on every collapse; drives lazy compaction
+
+	// Flat-memory backend (see csr.go). Both arenas are nil under
+	// ReprHybrid; under ReprCSR every adjacency set of every variable is
+	// a segment of one of them.
+	repr      Repr
+	varArena  *arena[*Var]
+	termArena *arena[*Term]
 }
 
 // Fresh allocates a variable with the next creation index and the given
 // total-order position, and registers it as live.
 func (st *Store) Fresh(name string, order uint64) *Var {
 	v := NewVar(name, len(st.created), order)
+	st.attachArenas(v)
 	st.created = append(st.created, v)
 	st.vars = append(st.vars, v)
 	return v

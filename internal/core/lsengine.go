@@ -231,12 +231,18 @@ func (e *lsEngine) evalVar(y *Var) *lsNode {
 	return n
 }
 
-// lsWorkers resolves the configured worker count (<= 0 → GOMAXPROCS).
-func (s *System) lsWorkers() int {
-	if w := s.opt.LSWorkers; w > 0 {
+// ResolveLSWorkers resolves an Options.LSWorkers setting to the effective
+// pool size (<= 0 → GOMAXPROCS), for callers that want to report it.
+func ResolveLSWorkers(w int) int {
+	if w > 0 {
 		return w
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// lsWorkers resolves the configured worker count (<= 0 → GOMAXPROCS).
+func (s *System) lsWorkers() int {
+	return ResolveLSWorkers(s.opt.LSWorkers)
 }
 
 // runLeastSolutionPass brings every canonical variable's lsNode up to

@@ -1,6 +1,37 @@
 package core
 
-import "time"
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"polce/internal/core/graph"
+)
+
+// StorageRepr selects the adjacency storage representation: ReprHybrid is
+// the per-set slice/map layout, ReprCSR the arena-backed flat-memory
+// layout with delta (range) propagation. The two produce bit-identical
+// partition signatures, least solutions and Stats counters; they differ
+// only in memory layout and constant factors. See graph.Repr.
+type StorageRepr = graph.Repr
+
+const (
+	// ReprHybrid is the classic hybrid small-set layout (the default).
+	ReprHybrid = graph.ReprHybrid
+	// ReprCSR is the arena-backed CSR layout with delta propagation.
+	ReprCSR = graph.ReprCSR
+)
+
+// ParseRepr parses a -repr flag value ("hybrid" or "csr").
+func ParseRepr(s string) (StorageRepr, error) {
+	switch strings.ToLower(s) {
+	case "", "hybrid":
+		return ReprHybrid, nil
+	case "csr":
+		return ReprCSR, nil
+	}
+	return ReprHybrid, fmt.Errorf("unknown storage representation %q (want hybrid or csr)", s)
+}
 
 // MetricsSink receives per-operation solver measurements as they happen.
 // It is the distribution-level counterpart of Options.Observer: where the
@@ -185,4 +216,8 @@ type Options struct {
 	// setting. Zero or negative means GOMAXPROCS; 1 forces the sequential
 	// pass.
 	LSWorkers int
+	// Repr selects the adjacency storage representation (default
+	// ReprHybrid). ReprCSR additionally switches the drain loop to delta
+	// (range) propagation; results are bit-identical at either setting.
+	Repr StorageRepr
 }

@@ -12,10 +12,35 @@ import (
 // MetricsSink.WorklistLen samples.
 const worklistSampleInterval = 64
 
-// constraint is a pending inclusion l ⊆ r awaiting resolution.
+// constraint is a pending inclusion awaiting resolution. A conSingle
+// entry is the inclusion l ⊆ r. Under delta propagation (ReprCSR) the
+// engine also pushes *range* entries, each standing for a batch of
+// inclusions over a prefix of a term set:
+//
+//	conSrcRange:  from.PredS.List()[i] ⊆ r   for i in [0, hi)
+//	conSinkRange: l ⊆ from.SuccK.List()[i]   for i in [0, hi)
+//
+// A range entry is sound because term sets are append-only (terms never
+// forward and TermSet never compacts), so the window [0, hi) keeps
+// denoting the same elements no matter how the set grows — only the
+// *backing storage* may move, and the elements are re-read from the set
+// at pop time. Draining a range pops one element per step, highest index
+// first, re-pushing the narrowed window below any work the element
+// generates — exactly the LIFO order the equivalent conSingle pushes
+// would produce, which is what keeps the CSR path bit-identical to the
+// hybrid path (same closure, same cycle collapses, same Stats).
 type constraint struct {
 	l, r Expr
+	from *Var  // range entries: variable whose term set the window indexes
+	hi   int32 // window [0, hi) into from's term set
+	kind uint8 // conSingle, conSrcRange, conSinkRange
 }
+
+const (
+	conSingle uint8 = iota
+	conSrcRange
+	conSinkRange
+)
 
 // System is an online inclusion-constraint solver: the resolution engine of
 // the three-layer stack. It owns the worklist and the resolution rules
@@ -46,6 +71,18 @@ type System struct {
 
 	work  []constraint // LIFO worklist of pending constraints
 	stats Stats
+
+	// Delta-propagation state (ReprCSR; see the constraint type). Term-set
+	// crossings push one range entry instead of one entry per term, so a
+	// drain moves only the "new since last crossing" window across each
+	// edge. deferredFree holds collapsed variables whose term sets pending
+	// ranges may still reference; their storage is released when the
+	// worklist empties.
+	delta        bool
+	deferredFree []*Var
+	deltaRanges  int64 // range entries pushed
+	deltaMaxSpan int   // widest range window pushed
+	workHWM      int   // worklist high-water mark (entries, ranges count once)
 
 	errs     []error
 	errCount int
@@ -80,7 +117,9 @@ func NewSystem(opt Options) *System {
 		opt:    opt,
 		rng:    rand.New(rand.NewSource(opt.Seed)),
 		maxErr: maxErr,
+		delta:  opt.Repr == ReprCSR,
 	}
+	s.store.SetRepr(opt.Repr)
 	if opt.Form == SF {
 		s.rep = standardForm{}
 	} else {
@@ -160,7 +199,32 @@ func (s *System) AddConstraint(l, r Expr) {
 }
 
 func (s *System) push(l, r Expr) {
-	s.work = append(s.work, constraint{l, r})
+	s.work = append(s.work, constraint{l: l, r: r})
+}
+
+// pushSrcRange batches the inclusions from.PredS.List()[0:n] ⊆ target as
+// one worklist entry (delta propagation; no-op window when n is zero).
+func (s *System) pushSrcRange(from *Var, target Expr, n int) {
+	if n == 0 {
+		return
+	}
+	s.work = append(s.work, constraint{r: target, from: from, hi: int32(n), kind: conSrcRange})
+	s.deltaRanges++
+	if n > s.deltaMaxSpan {
+		s.deltaMaxSpan = n
+	}
+}
+
+// pushSinkRange batches the inclusions l ⊆ from.SuccK.List()[0:n].
+func (s *System) pushSinkRange(l Expr, from *Var, n int) {
+	if n == 0 {
+		return
+	}
+	s.work = append(s.work, constraint{l: l, from: from, hi: int32(n), kind: conSinkRange})
+	s.deltaRanges++
+	if n > s.deltaMaxSpan {
+		s.deltaMaxSpan = n
+	}
 }
 
 // drain empties the worklist. topLevel marks drains triggered directly by
@@ -177,6 +241,9 @@ func (s *System) drain(topLevel bool) {
 		if s.cycSweep {
 			s.cyc.BeforeStep()
 		}
+		if len(s.work) > s.workHWM {
+			s.workHWM = len(s.work)
+		}
 		if s.opt.Metrics != nil {
 			s.drainSteps++
 			if s.drainSteps%worklistSampleInterval == 0 {
@@ -184,12 +251,54 @@ func (s *System) drain(topLevel bool) {
 			}
 		}
 		c := s.work[len(s.work)-1]
-		s.work = s.work[:len(s.work)-1]
-		s.step(c.l, c.r)
+		switch c.kind {
+		case conSrcRange:
+			// Consume the highest-indexed element by narrowing the window
+			// in place at the top of the stack (popping it when this was
+			// the last element), so work the element generates drains
+			// before the rest of the window — the exact order the
+			// equivalent per-term pushes would drain in, at one worklist
+			// operation per element instead of a pop plus a re-push.
+			if c.hi > 1 {
+				s.work[len(s.work)-1].hi--
+			} else {
+				s.work = s.work[:len(s.work)-1]
+			}
+			s.step(c.from.PredS.List()[c.hi-1], c.r)
+		case conSinkRange:
+			if c.hi > 1 {
+				s.work[len(s.work)-1].hi--
+			} else {
+				s.work = s.work[:len(s.work)-1]
+			}
+			s.step(c.l, c.from.SuccK.List()[c.hi-1])
+		default:
+			s.work = s.work[:len(s.work)-1]
+			s.step(c.l, c.r)
+		}
+	}
+	if s.delta {
+		s.flushDelta()
 	}
 	if report {
 		s.opt.Metrics.ClosureDone(time.Since(t0))
 	}
+}
+
+// flushDelta runs at the end of every drain, when no range entry is
+// pending: collapsed variables' storage (kept alive for in-flight ranges)
+// is released, and the arenas are repacked into CSR layout if enough
+// garbage has accumulated. This is the only point a compaction can run,
+// which is what makes it safe — no worklist entry, iterator or chain
+// search references arena storage here.
+func (s *System) flushDelta() {
+	if len(s.deferredFree) > 0 {
+		for _, a := range s.deferredFree {
+			a.ReleaseStorage()
+		}
+		s.deferredFree = s.deferredFree[:0]
+	}
+	s.store.MaybeCompactArenas()
 }
 
 // step resolves one constraint to atomic form, applying the resolution
@@ -313,8 +422,12 @@ func (s *System) addSource(t *Term, x *Var) {
 	for _, y := range x.SuccV.List() {
 		s.push(t, find(y))
 	}
-	for _, k := range x.SuccK.List() {
-		s.push(t, k)
+	if s.delta {
+		s.pushSinkRange(t, x, x.SuccK.Size())
+	} else {
+		for _, k := range x.SuccK.List() {
+			s.push(t, k)
+		}
 	}
 }
 
@@ -334,8 +447,12 @@ func (s *System) addSink(x *Var, t *Term) {
 		return
 	}
 	s.store.Clean(x)
-	for _, src := range x.PredS.List() {
-		s.push(src, t)
+	if s.delta {
+		s.pushSrcRange(x, t, x.PredS.Size())
+	} else {
+		for _, src := range x.PredS.List() {
+			s.push(src, t)
+		}
 	}
 	for _, v := range x.PredV.List() {
 		s.push(find(v), t)
@@ -375,8 +492,12 @@ func (s *System) addVarEdge(x, y *Var) {
 		if s.skipClosure {
 			return
 		}
-		for _, src := range x.PredS.List() {
-			s.push(src, y)
+		if s.delta {
+			s.pushSrcRange(x, y, x.PredS.Size())
+		} else {
+			for _, src := range x.PredS.List() {
+				s.push(src, y)
+			}
 		}
 		for _, v := range x.PredV.List() {
 			s.push(find(v), y)
@@ -390,8 +511,12 @@ func (s *System) addVarEdge(x, y *Var) {
 		for _, w := range y.SuccV.List() {
 			s.push(x, find(w))
 		}
-		for _, k := range y.SuccK.List() {
-			s.push(x, k)
+		if s.delta {
+			s.pushSinkRange(x, y, y.SuccK.Size())
+		} else {
+			for _, k := range y.SuccK.List() {
+				s.push(x, k)
+			}
 		}
 	}
 }
@@ -400,6 +525,37 @@ func (s *System) addVarEdge(x, y *Var) {
 func (s *System) Stats() Stats {
 	st := s.stats
 	return st
+}
+
+// StorageStats describes the storage backend and drain shape: which
+// representation is active, the arena's edge-block state (zero under
+// ReprHybrid), the worklist high-water mark, and how the delta worklist
+// batched term crossings. These are deliberately *not* part of Stats —
+// Stats is bit-identical across representations; this is where the
+// representations are allowed to differ.
+type StorageStats struct {
+	// Repr is the active representation's flag spelling ("hybrid", "csr").
+	Repr string `json:"repr"`
+	// Arena is the flat-memory backend state; see graph.ArenaStats.
+	Arena graph.ArenaStats `json:"arena"`
+	// WorklistHWM is the worklist's high-water mark in entries (a range
+	// entry counts once however wide its window).
+	WorklistHWM int `json:"worklist_hwm"`
+	// DeltaRanges counts range entries pushed; DeltaMaxSpan is the widest
+	// window among them. Both zero under ReprHybrid.
+	DeltaRanges  int64 `json:"delta_ranges"`
+	DeltaMaxSpan int   `json:"delta_max_span"`
+}
+
+// StorageStats reports the storage backend and drain-shape counters.
+func (s *System) StorageStats() StorageStats {
+	return StorageStats{
+		Repr:         s.store.Repr().String(),
+		Arena:        s.store.ArenaStats(),
+		WorklistHWM:  s.workHWM,
+		DeltaRanges:  s.deltaRanges,
+		DeltaMaxSpan: s.deltaMaxSpan,
+	}
 }
 
 // Version returns the least-solution epoch of the graph: it advances

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// veSorted returns the online engine's LS(v) as a Seq-sorted, deduped
+// slice — the set view the vertex-elimination closure reports in.
+func veSorted(s *System, v *Var) []*Term {
+	src := s.LeastSolution(v)
+	out := make([]*Term, len(src))
+	copy(out, src)
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq() < out[b].Seq() })
+	w := 0
+	for i, t := range out {
+		if i > 0 && t == out[i-1] {
+			continue
+		}
+		out[w] = t
+		w++
+	}
+	return out[:w]
+}
+
+func veSameTerms(a, b []*Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestVEClosureMatchesOnline is the oracle property: for every variable,
+// the vertex-elimination closure computes exactly the online engine's
+// least solution, as a set — across forms, cycle policies, orders, both
+// representations and both elimination orders.
+func TestVEClosureMatchesOnline(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		ops := genScript(seed, 50, 200)
+		for _, form := range []Form{SF, IF} {
+			for _, pol := range []CyclePolicy{CycleNone, CycleOnline} {
+				for _, repr := range []StorageRepr{ReprHybrid, ReprCSR} {
+					s, vars := runScript(Options{Form: form, Cycles: pol, Seed: seed, Repr: repr}, ops)
+					for _, ord := range []VEOrder{VEOrderMinDegree, VEOrderTotal} {
+						ve := s.BuildVEClosure(ord)
+						for i, v := range vars {
+							want := veSorted(s, v)
+							got := ve.LeastSolution(v)
+							if !veSameTerms(got, want) {
+								t.Fatalf("seed=%d %v/%v/%v/%v: VE LS(v%d) = %v, online = %v",
+									seed, form, pol, repr, ord, i, got, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVEClosureDeterministic: two builds over the same system agree
+// element-wise, min-degree included (the lazy queue breaks ties by o(·)).
+func TestVEClosureDeterministic(t *testing.T) {
+	s, vars := runScript(Options{Form: IF, Cycles: CycleOnline, Seed: 7}, genScript(7, 60, 240))
+	for _, ord := range []VEOrder{VEOrderMinDegree, VEOrderTotal} {
+		a := s.BuildVEClosure(ord)
+		b := s.BuildVEClosure(ord)
+		if a.Stats() != b.Stats() {
+			t.Fatalf("%v: stats differ across builds: %+v vs %+v", ord, a.Stats(), b.Stats())
+		}
+		for i, v := range vars {
+			if !veSameTerms(a.LeastSolution(v), b.LeastSolution(v)) {
+				t.Fatalf("%v: LS(v%d) differs across builds", ord, i)
+			}
+		}
+	}
+}
+
+// TestVEClosureShape sanity-checks stats and the staleness contract.
+func TestVEClosureShape(t *testing.T) {
+	s := NewSystem(Options{Form: IF, Cycles: CycleOnline, Seed: 1})
+	a := atoms(2)
+	x, y, z := s.Fresh("x"), s.Fresh("y"), s.Fresh("z")
+	s.AddConstraint(a[0], x)
+	s.AddConstraint(x, y)
+	s.AddConstraint(y, z)
+	ve := s.BuildVEClosure(VEOrderMinDegree)
+	if ve.Version() != s.Version() {
+		t.Fatalf("closure version %d != system version %d", ve.Version(), s.Version())
+	}
+	st := ve.Stats()
+	if st.Vars != 3 || st.Edges != 2 {
+		t.Fatalf("unexpected shape: %+v", st)
+	}
+	if got := ve.LeastSolution(z); len(got) != 1 || got[0] != a[0] {
+		t.Fatalf("VE LS(z) = %v, want [a0]", got)
+	}
+	// A variable created after the build is unknown to the closure.
+	w := s.Fresh("w")
+	s.AddConstraint(a[1], w)
+	if got := ve.LeastSolution(w); got != nil {
+		t.Fatalf("stale closure answered for post-build var: %v", got)
+	}
+	if ve.Version() == s.Version() {
+		t.Fatal("version did not advance past the closure's")
+	}
+	if ve.Order().String() != "mindegree" || VEOrderTotal.String() != "total" {
+		t.Fatalf("order names wrong: %q %q", ve.Order(), VEOrderTotal)
+	}
+}
+
+// TestVEClosureCycles: variables on a collapsed cycle share one closure
+// entry through their witness; with CycleNone the cycle survives in the
+// graph and vertex elimination must still close over it correctly.
+func TestVEClosureCycles(t *testing.T) {
+	for _, pol := range []CyclePolicy{CycleOnline, CycleNone} {
+		s := NewSystem(Options{Form: IF, Cycles: pol, Seed: 2})
+		a := atoms(1)
+		vs := make([]*Var, 6)
+		for i := range vs {
+			vs[i] = s.Fresh(fmt.Sprintf("v%d", i))
+		}
+		for i := range vs {
+			s.AddConstraint(vs[i], vs[(i+1)%len(vs)])
+		}
+		s.AddConstraint(a[0], vs[3])
+		ve := s.BuildVEClosure(VEOrderMinDegree)
+		for i, v := range vs {
+			if got := ve.LeastSolution(v); len(got) != 1 || got[0] != a[0] {
+				t.Fatalf("%v: VE LS(v%d) = %v, want [a0]", pol, i, got)
+			}
+		}
+	}
+}

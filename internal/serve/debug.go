@@ -75,6 +75,7 @@ func (s *Server) handleDebugStats(w http.ResponseWriter, r *http.Request) error 
 			"draining": s.draining.Load(),
 		},
 		"wal":   walBlock,
+		"core":  snap.Storage(),
 		"stats": snap.Stats(),
 	})
 	return nil

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"polce"
 	"polce/internal/telemetry"
 )
 
@@ -173,6 +174,31 @@ func newQueueMetrics(reg *telemetry.Registry, s *Server) *queueMetrics {
 			}
 			return 0
 		})
+	// Storage-backend gauges: the solver's StorageStats read is O(1)
+	// counters under the solver lock, cheap enough per scrape.
+	reg.GaugeFunc("polce_core_repr_csr", "1 when the solver uses the arena-backed CSR representation, 0 for hybrid",
+		func() float64 {
+			if s.solver.StorageStats().Repr == polce.ReprCSR.String() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("polce_core_arena_chunks", "edge-arena chunks currently allocated",
+		func() float64 { return float64(s.solver.StorageStats().Arena.Chunks) })
+	reg.GaugeFunc("polce_core_arena_handed_out", "arena elements handed out since the last compaction",
+		func() float64 { return float64(s.solver.StorageStats().Arena.HandedOut) })
+	reg.GaugeFunc("polce_core_arena_retired", "arena elements retired (garbage) since the last compaction",
+		func() float64 { return float64(s.solver.StorageStats().Arena.Retired) })
+	reg.GaugeFunc("polce_core_arena_compactions", "arena compactions performed so far",
+		func() float64 { return float64(s.solver.StorageStats().Arena.Compactions) })
+	reg.GaugeFunc("polce_core_arena_epoch", "arena placement epoch (advances at each compaction)",
+		func() float64 { return float64(s.solver.StorageStats().Arena.Epoch) })
+	reg.GaugeFunc("polce_core_worklist_hwm", "high-water mark of the closure worklist",
+		func() float64 { return float64(s.solver.StorageStats().WorklistHWM) })
+	reg.GaugeFunc("polce_core_delta_ranges", "delta range entries pushed by the CSR drain loop",
+		func() float64 { return float64(s.solver.StorageStats().DeltaRanges) })
+	reg.GaugeFunc("polce_core_delta_max_span", "widest delta range pushed by the CSR drain loop",
+		func() float64 { return float64(s.solver.StorageStats().DeltaMaxSpan) })
 	if s.wal != nil {
 		reg.GaugeFunc("polce_serve_wal_frames", "frames in the constraint log, recovered plus appended",
 			func() float64 { return float64(s.wal.Frames()) })

@@ -33,6 +33,7 @@ type Snapshot struct {
 	graph   GraphStats
 	classes []int
 	lsCache LSCacheState
+	storage StorageStats
 }
 
 // Snapshot captures the current least solutions. While the graph version
@@ -103,6 +104,7 @@ func (s *Solver) snapshotLocked() *Snapshot {
 		graph:   s.sys.CurrentGraphStats(),
 		classes: classes,
 		lsCache: s.sys.LSCacheState(),
+		storage: s.sys.StorageStats(),
 	}
 	return s.snap
 }
@@ -155,6 +157,10 @@ func (sn *Snapshot) Graph() GraphStats { return sn.graph }
 
 // LSCache returns the least-solution cache state as of the snapshot.
 func (sn *Snapshot) LSCache() LSCacheState { return sn.lsCache }
+
+// Storage returns the storage-backend state (representation name, arena
+// edge blocks, delta-worklist high-water marks) as of the snapshot.
+func (sn *Snapshot) Storage() StorageStats { return sn.storage }
 
 // CollapsedClasses returns the sizes of the equivalence classes that cycle
 // elimination has collapsed so far — one entry per class of two or more
