@@ -13,6 +13,8 @@
 //	polce-bench -metrics -bench li    # phase timings + search-depth p50/p90/max
 //	polce-bench -serve-load           # load-test the HTTP service (self-hosted)
 //	polce-bench -serve-load -serve-addr localhost:8080  # against a live polce-serve
+//	polce-bench -serve-load -serve-conditional  # readers re-poll with If-None-Match, report the 304 ratio
+//	polce-bench -retract -retract-frac 0.10   # retraction benchmark: dirty-cone size + from-scratch equivalence
 //	polce-bench -wal-verify /var/lib/polce/wal  # replay a constraint log, check it against its manifest
 //
 // The benchmark programs are synthetic stand-ins generated at the paper's
@@ -78,6 +80,12 @@ func main() {
 		serveBatch    = flag.Int("serve-batch", 32, "constraints per ingestion POST for -serve-load")
 		serveMinQ     = flag.Int("serve-min-queries", 10000, "keep querying past -serve-duration until this many queries completed (negative disables)")
 		serveTrace    = flag.String("serve-trace", "", "write request spans of the self-hosted -serve-load run to this NDJSON file and report the queue-wait vs solve breakdown")
+		serveCond     = flag.Bool("serve-conditional", false, "readers re-poll with If-None-Match and the report includes the 304 not-modified ratio")
+
+		retractRun      = flag.Bool("retract", false, "run the retraction benchmark: retract a fraction of batches, measure dirty-cone sizes, verify against a from-scratch solve of the survivors")
+		retractFrac     = flag.Float64("retract-frac", 0.10, "fraction of batches retracted for -retract")
+		retractClusters = flag.Int("retract-clusters", 64, "constraint batches (clusters) for -retract")
+		retractSize     = flag.Int("retract-cluster-size", 12, "variables per cluster for -retract")
 
 		walVerify   = flag.String("wal-verify", "", "replay this constraint-log directory standalone and check the recovered graph against its manifest (recording it on first run)")
 		walManifest = flag.String("wal-manifest", "", "manifest path for -wal-verify (default <dir>/manifest.json)")
@@ -119,16 +127,36 @@ func main() {
 
 	if *serveLoad {
 		err := bench.RunServeLoad(os.Stdout, bench.ServeLoadOptions{
-			Addr:       *serveAddr,
-			Readers:    *serveReaders,
-			Duration:   *serveDuration,
-			Batch:      *serveBatch,
-			MinQueries: *serveMinQ,
-			Seed:       *seed,
-			TracePath:  *serveTrace,
+			Addr:        *serveAddr,
+			Readers:     *serveReaders,
+			Duration:    *serveDuration,
+			Batch:       *serveBatch,
+			MinQueries:  *serveMinQ,
+			Seed:        *seed,
+			TracePath:   *serveTrace,
+			Conditional: *serveCond,
 		})
 		if err != nil {
 			die(err)
+		}
+		return
+	}
+
+	if *retractRun {
+		// -repr both runs the benchmark once per representation; the
+		// self-verification inside RunRetract covers each independently.
+		for _, rp := range reprs {
+			err := bench.RunRetract(os.Stdout, bench.RetractOptions{
+				Clusters:    *retractClusters,
+				ClusterSize: *retractSize,
+				Frac:        *retractFrac,
+				Seed:        *seed,
+				Repr:        rp,
+			})
+			if err != nil {
+				die(err)
+			}
+			fmt.Fprintln(os.Stdout)
 		}
 		return
 	}

@@ -8,13 +8,23 @@
 //	polce-serve -addr :8080
 //	polce-serve -addr :8080 -form sf -cycles online -queue 256
 //
-// The API v1 (see internal/serve):
+// The API v1 (see internal/serve) is sessionized — each {session} is an
+// independent SCL namespace over the one shared solver — with batch
+// retraction when -retractable is on (the POST returns a batch handle, the
+// DELETE withdraws it):
 //
-//	curl -X POST localhost:8080/v1/constraints -d 'cons a; a <= X; X <= Y'
-//	curl localhost:8080/v1/least-solution/Y
-//	curl localhost:8080/v1/points-to/Y
-//	curl localhost:8080/v1/snapshot
+//	curl -X POST localhost:8080/v1/constraints/app -d 'cons a; a <= X; X <= Y'
+//	curl -X DELETE localhost:8080/v1/constraints/app/7
+//	curl localhost:8080/v1/least-solution/app/Y
+//	curl localhost:8080/v1/points-to/app/Y
+//	curl localhost:8080/v1/snapshot/app
 //	curl localhost:8080/v1/healthz
+//
+// The pre-session routes (POST /v1/constraints, GET /v1/least-solution/Y,
+// ...) still work as deprecated aliases of the default session and answer
+// with a Deprecation header. Reads carry a graph-version ETag and honour
+// If-None-Match with 304s, so re-polling clients pay nothing while the
+// graph is quiet.
 //
 // Telemetry is always on: /metrics (Prometheus text), /metrics.json,
 // /debug/vars and /debug/pprof are served on the same address, with
@@ -67,6 +77,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "variable-order seed")
 		lsWorkers = flag.Int("ls-workers", 0, "least-solution pass worker count (0 = GOMAXPROCS)")
 		reprFlag  = flag.String("repr", "hybrid", "adjacency storage representation: hybrid or csr")
+		retract   = flag.Bool("retractable", true, "track batch reasons so DELETE /v1/constraints/{session}/{batch} can retract them (off: DELETE answers 501)")
 
 		queueDepth   = flag.Int("queue", 64, "ingestion queue depth (batches)")
 		reqTimeout   = flag.Duration("request-timeout", 10*time.Second, "per-request deadline")
@@ -91,7 +102,7 @@ func main() {
 	}
 	logger = telemetry.NewLogger(os.Stderr, level)
 
-	opt := polce.Options{Seed: *seed, LSWorkers: *lsWorkers}
+	opt := polce.Options{Seed: *seed, LSWorkers: *lsWorkers, Retractable: *retract}
 	if opt.Repr, err = polce.ParseRepr(*reprFlag); err != nil {
 		fatal("%v", err)
 	}
@@ -114,6 +125,11 @@ func main() {
 		opt.Cycles = polce.CyclePeriodic
 	default:
 		fatal("unknown cycle policy %q", *cycles)
+	}
+	if opt.Retractable && opt.Cycles == polce.CyclePeriodic {
+		// Periodic offline collapses mutate the graph outside batch
+		// tracking, so replay could not reproduce the pre-retraction state.
+		fatal("-cycles periodic cannot be combined with -retractable; pass -retractable=false")
 	}
 
 	reg := telemetry.NewRegistry()
@@ -197,6 +213,7 @@ func main() {
 	logger.Info("serving",
 		"form", opt.Form.String(), "cycles", opt.Cycles.String(),
 		"repr", opt.Repr.String(), "ls_workers", polce.ResolveLSWorkers(*lsWorkers),
+		"retractable", *retract,
 		"addr", ln.Addr().String(), "queue", *queueDepth)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

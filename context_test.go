@@ -58,8 +58,10 @@ func TestAddBatchContextCancelKeepsStateConsistent(t *testing.T) {
 		interrupted := polce.New(opt)
 		iVars, iCS := chainScript(interrupted, 400)
 		const stopAfter = 97
-		ctx := &countingCtx{Context: context.Background(), limit: stopAfter}
-		applied, err := interrupted.AddBatchContext(ctx, iCS)
+		// +1: AddBatchContext preflights ctx once before minting the batch,
+		// then checks again before each constraint.
+		ctx := &countingCtx{Context: context.Background(), limit: stopAfter + 1}
+		applied, _, err := interrupted.AddBatchContext(ctx, iCS)
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("%v: err = %v, want context.Canceled", form, err)
 		}
@@ -67,7 +69,7 @@ func TestAddBatchContextCancelKeepsStateConsistent(t *testing.T) {
 			t.Fatalf("%v: applied %d constraints, want %d", form, applied, stopAfter)
 		}
 		// The abort point is a consistent solver: finish the rest.
-		if n, err := interrupted.AddBatchContext(context.Background(), iCS[applied:]); err != nil || n != len(iCS)-applied {
+		if n, _, err := interrupted.AddBatchContext(context.Background(), iCS[applied:]); err != nil || n != len(iCS)-applied {
 			t.Fatalf("%v: resume applied %d, err %v", form, n, err)
 		}
 
@@ -99,7 +101,7 @@ func TestAddBatchContextPromptAbort(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	applied, err := s.AddBatchContext(ctx, cs)
+	applied, _, err := s.AddBatchContext(ctx, cs)
 	if err == nil {
 		t.Skip("batch completed before the cancel landed; nothing to assert")
 	}
@@ -124,13 +126,13 @@ func TestAddConstraintContext(t *testing.T) {
 	x := s.Fresh("X")
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if err := s.AddConstraintContext(ctx, a[0], x); !errors.Is(err, context.Canceled) {
+	if _, err := s.AddConstraintContext(ctx, a[0], x); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled AddConstraintContext err = %v", err)
 	}
 	if s.TotalEdges() != 0 {
 		t.Fatal("cancelled AddConstraintContext mutated the graph")
 	}
-	if err := s.AddConstraintContext(context.Background(), a[0], x); err != nil {
+	if _, err := s.AddConstraintContext(context.Background(), a[0], x); err != nil {
 		t.Fatalf("live AddConstraintContext err = %v", err)
 	}
 	if got := s.LeastSolution(x); len(got) != 1 {
@@ -178,10 +180,10 @@ func TestSolverClose(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatalf("second Close err = %v", err)
 	}
-	if err := s.AddConstraintContext(context.Background(), a[0], x); !errors.Is(err, polce.ErrSolverClosed) {
+	if _, err := s.AddConstraintContext(context.Background(), a[0], x); !errors.Is(err, polce.ErrSolverClosed) {
 		t.Fatalf("AddConstraintContext after Close err = %v", err)
 	}
-	if n, err := s.AddBatchContext(context.Background(), []polce.Constraint{{L: a[0], R: x}}); n != 0 || !errors.Is(err, polce.ErrSolverClosed) {
+	if n, _, err := s.AddBatchContext(context.Background(), []polce.Constraint{{L: a[0], R: x}}); n != 0 || !errors.Is(err, polce.ErrSolverClosed) {
 		t.Fatalf("AddBatchContext after Close = %d, %v", n, err)
 	}
 	if got := s.Snapshot().LeastSolution(x); len(got) != 1 {

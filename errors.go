@@ -26,6 +26,17 @@ var (
 	// no further constraints; queries against existing snapshots keep
 	// working.
 	ErrSolverClosed = errors.New("polce: solver closed")
+
+	// ErrUnknownBatch is matched by RetractBatch failures naming a batch id
+	// that is not live — never issued, or already retracted. Nothing is
+	// retracted when any id is unknown.
+	ErrUnknownBatch = core.ErrUnknownBatch
+
+	// ErrNotRetractable is matched by RetractBatch failures on a solver
+	// built without Options.Retractable, or whose graph was mutated outside
+	// batch tracking (an offline CollapseCycles) so replay could no longer
+	// reproduce it.
+	ErrNotRetractable = core.ErrNotRetractable
 )
 
 // InconsistentError records one inconsistent constraint; see

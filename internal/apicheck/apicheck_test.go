@@ -82,10 +82,13 @@ func TestSurfaceMentionsCoreAPI(t *testing.T) {
 	}
 	for _, want := range []string{
 		"func New(opt Options) *Solver",
-		"func (s *Solver) AddBatchContext(ctx context.Context, batch []Constraint) (applied int, err error)",
+		"func (s *Solver) AddBatchContext(ctx context.Context, batch []Constraint) (applied int, id BatchID, err error)",
+		"func (s *Solver) RetractBatch(ids ...BatchID) (RetractReport, error)",
 		"func (s *Solver) Snapshot() *Snapshot",
 		"func (sn *Snapshot) LeastSolution(v *Var) []*Term",
 		"var ErrQueueFull",
+		"var ErrUnknownBatch",
+		"type BatchID uint64",
 		"type Solver struct",
 	} {
 		if !strings.Contains(got, want) {

@@ -37,6 +37,12 @@ type ServeLoadOptions struct {
 	Batch int
 	// Seed is the solver's variable-order seed for the self-hosted server.
 	Seed int64
+	// Conditional makes each reader a well-behaved re-polling client: it
+	// remembers the last ETag it saw per path and sends it back as
+	// If-None-Match, so an unchanged graph answers 304 with no body. The
+	// report then includes the not-modified ratio — the fraction of reads
+	// the server satisfied without rendering a response.
+	Conditional bool
 	// TracePath, when set, wires a telemetry.Tracer into the self-hosted
 	// server, writes every request's spans to this NDJSON file, and appends
 	// a trace-derived breakdown to the report: how much of the ingest p50
@@ -70,9 +76,10 @@ type serveLoadStats struct {
 	mu        sync.Mutex
 	latencies []time.Duration
 
-	queries atomic.Int64
-	errors  atomic.Int64
-	batches atomic.Int64
+	queries     atomic.Int64
+	errors      atomic.Int64
+	batches     atomic.Int64
+	notModified atomic.Int64
 }
 
 func (st *serveLoadStats) record(d time.Duration) {
@@ -205,19 +212,31 @@ func RunServeLoad(w io.Writer, opt ServeLoadOptions) error {
 		}
 	}()
 
-	paths := []string{"/v1/least-solution/v0", "/v1/points-to/v0", "/v1/snapshot", "/v1/healthz"}
+	paths := []string{"/v1/least-solution/default/v0", "/v1/points-to/default/v0", "/v1/snapshot/default", "/v1/healthz"}
 	for r := 0; r < opt.Readers; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
+			// Each reader remembers the last ETag per path, like a real
+			// re-polling client with its own cache.
+			etags := make([]string, len(paths))
 			for i := r; ; i++ {
 				select {
 				case <-stop:
 					return
 				default:
 				}
+				p := i % len(paths)
+				req, err := http.NewRequest(http.MethodGet, base+paths[p], nil)
+				if err != nil {
+					st.errors.Add(1)
+					continue
+				}
+				if opt.Conditional && etags[p] != "" {
+					req.Header.Set("If-None-Match", etags[p])
+				}
 				begin := time.Now()
-				resp, err := client.Get(base + paths[i%len(paths)])
+				resp, err := client.Do(req)
 				if err != nil {
 					st.errors.Add(1)
 					continue
@@ -226,7 +245,14 @@ func RunServeLoad(w io.Writer, opt ServeLoadOptions) error {
 				resp.Body.Close()
 				st.record(time.Since(begin))
 				st.queries.Add(1)
-				if resp.StatusCode != http.StatusOK {
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if tag := resp.Header.Get("ETag"); tag != "" {
+						etags[p] = tag
+					}
+				case http.StatusNotModified:
+					st.notModified.Add(1)
+				default:
 					st.errors.Add(1)
 				}
 			}
@@ -260,6 +286,14 @@ func RunServeLoad(w io.Writer, opt ServeLoadOptions) error {
 	fmt.Fprintf(w, "  latency   p50 %8s   p99 %8s\n",
 		st.percentile(0.50).Round(time.Microsecond), st.percentile(0.99).Round(time.Microsecond))
 	fmt.Fprintf(w, "  ingested  %10d batches (%d constraints)\n", st.batches.Load(), st.batches.Load()*int64(opt.Batch))
+	if opt.Conditional {
+		nm := st.notModified.Load()
+		var ratio float64
+		if queries > 0 {
+			ratio = float64(nm) / float64(queries)
+		}
+		fmt.Fprintf(w, "  not-mod   %10d   (%.0f%% of reads answered 304 from the ETag)\n", nm, ratio*100)
+	}
 	fmt.Fprintf(w, "  errors    %10d\n", st.errors.Load())
 	if opt.TracePath != "" {
 		bd, err := readServeTrace(opt.TracePath)

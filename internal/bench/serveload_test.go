@@ -2,6 +2,8 @@ package bench
 
 import (
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -26,6 +28,33 @@ func TestRunServeLoad(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("report missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestRunServeLoadConditional runs the generator with re-polling readers:
+// every reader sends If-None-Match from its last-seen ETag, and because the
+// query floor keeps the readers draining after the writer stops, some polls
+// must hit an unchanged graph and come back 304.
+func TestRunServeLoadConditional(t *testing.T) {
+	var out strings.Builder
+	err := RunServeLoad(&out, ServeLoadOptions{
+		Readers:     4,
+		Duration:    150 * time.Millisecond,
+		Batch:       8,
+		MinQueries:  1500, // past the write phase: static graph, guaranteed 304s
+		Seed:        1,
+		Conditional: true,
+	})
+	if err != nil {
+		t.Fatalf("RunServeLoad: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	m := regexp.MustCompile(`not-mod\s+(\d+)`).FindStringSubmatch(report)
+	if m == nil {
+		t.Fatalf("report missing the not-mod line:\n%s", report)
+	}
+	if n, _ := strconv.Atoi(m[1]); n == 0 {
+		t.Errorf("conditional run saw no 304s:\n%s", report)
 	}
 }
 

@@ -64,6 +64,10 @@ func RunWALVerify(out io.Writer, o WALVerifyOptions) error {
 	m.Constraints = constraints
 	fmt.Fprintf(out, "  replayed: %d constraints -> version %d, %d vars, %d errors\n",
 		constraints, m.Version, m.Vars, m.Errors)
+	if m.Retractions > 0 {
+		fmt.Fprintf(out, "  retracted: %d batches (cone %d vars, %d constraints re-drained)\n",
+			m.Retractions, m.RetractConeVars, m.RetractReplayed)
+	}
 	fmt.Fprintf(out, "  partition: %s (%d LS samples)\n", m.PartitionSig, len(m.Samples))
 
 	path := o.ManifestPath

@@ -187,6 +187,9 @@ func (s *System) collapse(nodes []*Var) {
 		}
 	}
 	if len(merged) > 0 {
+		if s.retract != nil {
+			s.retractCollapse(witness, merged)
+		}
 		// The witness inherits every absorbed variable's edges (and any
 		// dirty mark they carried), so it seeds the recomputation cone;
 		// consumers holding a now-forwarded predecessor reach it through

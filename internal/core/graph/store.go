@@ -67,6 +67,40 @@ func (st *Store) Forward(a, w *Var) {
 // once per collapse.
 func (st *Store) BumpMergeEpoch() { st.mergeEpoch++ }
 
+// ResetVar returns v to its freshly-created state: adjacency cleared (arena
+// capacity retired, arenas stay attached), forwarding pointer removed,
+// search mark and least-solution slot zeroed. The retraction engine calls
+// it for every variable in a dirty cone before replaying the surviving
+// constraints; callers must follow up with RebuildLive so the live list and
+// dead count reflect the un-forwarded variables.
+func (st *Store) ResetVar(v *Var) {
+	v.ReleaseStorage()
+	v.parent = nil
+	v.Mark = 0
+	v.cleanEpoch = 0
+	v.Sol = SolSlot{}
+}
+
+// RebuildLive reconstructs the live list from the creation-index space:
+// every distinct created variable, in creation order, with the dead count
+// recomputed from the forwarding pointers. Oracle pre-merged aliases occupy
+// several creation indices with one variable; they are listed once.
+func (st *Store) RebuildLive() {
+	seen := make(map[*Var]struct{}, len(st.created))
+	st.vars = st.vars[:0]
+	st.dead = 0
+	for _, v := range st.created {
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		st.vars = append(st.vars, v)
+		if v.parent != nil {
+			st.dead++
+		}
+	}
+}
+
 // Clean lazily canonicalises v's variable adjacency after collapses.
 func (st *Store) Clean(v *Var) {
 	if v.cleanEpoch == st.mergeEpoch {

@@ -60,6 +60,10 @@ type MetricsSink interface {
 	// LeastSolutionDone fires after each inductive-form least-solution
 	// pass with its shape and cost; see LSPass.
 	LeastSolutionDone(p LSPass)
+	// RetractDone fires after each RetractBatches call with its shape and
+	// cost — in particular the dirty-cone size against the total variable
+	// count; see RetractReport.
+	RetractDone(p RetractReport)
 }
 
 // LSPass describes one least-solution engine pass for MetricsSink
@@ -220,4 +224,14 @@ type Options struct {
 	// ReprHybrid). ReprCSR additionally switches the drain loop to delta
 	// (range) propagation; results are bit-identical at either setting.
 	Repr StorageRepr
+	// Retractable enables constraint retraction: every batch added
+	// between BeginBatch/EndBatch is recorded (constraints, variable
+	// footprint, per-edge reason multisets) so RetractBatches can later
+	// remove it and rebuild only the entangled dirty cone. Off by
+	// default: tracking costs memory proportional to the added
+	// constraints and a branch per edge attempt, and a non-retractable
+	// system's behavior is bit-identical to previous releases.
+	// Incompatible with CyclePeriodic (NewSystem panics), whose global
+	// sweeps couple otherwise-independent batches.
+	Retractable bool
 }

@@ -1,0 +1,532 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file implements constraint retraction with reason tracking. The
+// design (DESIGN.md §12) has three parts:
+//
+//  1. Batch footprints. With Options.Retractable set, every top-level
+//     constraint is added inside a batch (BeginBatch/EndBatch; the façade
+//     wraps single adds in implicit one-constraint batches). While a batch
+//     is open the engine records, in the batch's record, every variable an
+//     edge attempt or collapse touches — the *post-find endpoints*, fresh
+//     and redundant attempts alike. Because both endpoints of every
+//     insertion land in the inserting batch's footprint, no edge ever
+//     crosses from a variable inside a union of footprints to one outside
+//     it: footprint-connected components of batches are edge-disjoint
+//     regions of the graph.
+//
+//  2. Reason multisets. Every edge attempt bumps a per-edge bag keyed by
+//     the batch id (ICDGraph-style multiset semantics): a fact asserted
+//     two ways holds two justifications and survives losing one. The bags
+//     drive the no-op fast path — retracting a batch that never mutated
+//     the graph (every attempt redundant, no collapse) only removes its
+//     justifications and leaves the graph, version, and least-solution
+//     cache untouched — and are the retract-side counterpart of the
+//     Stats.Redundant accounting.
+//
+//  3. Rollback + ordered replay. RetractBatches computes the entanglement
+//     fixpoint: the dirty region is the union of footprints of every batch
+//     reachable from the retracted ones through footprint intersection.
+//     Every dirty variable is reset wholesale to its freshly-created state
+//     (adjacency cleared, forwarding removed — this un-collapses every
+//     witness in the region and is the CSR story as well: the variable's
+//     arena segments are retired and rebuilt, no per-edge surgery), and
+//     the surviving dirty batches are replayed in their original order
+//     through the normal push/drain path. Clean components are untouched
+//     and replay is confined to the dirty region, so the result is
+//     bit-identical — partition signature and least solutions — to a
+//     from-scratch solve of the surviving constraints (the differential
+//     suite in retract_test.go is the gate). The least-solution cache is
+//     invalidated for exactly the dirty cone via the existing
+//     graphVersion/markLS machinery.
+//
+// The replay argument needs every mutation to happen inside a tracked
+// batch: CyclePeriodic's interval-coupled global sweeps are rejected at
+// construction, and an offline CollapseCycles on a retractable system
+// taints it (subsequent retraction fails with ErrNotRetractable rather
+// than returning wrong answers). Variable creation is never undone — the
+// vocabulary (creation indices, random orders, interned terms) is
+// monotone, which is what lets a replayed batch reuse its original
+// expression pointers.
+
+// ErrUnknownBatch is returned by RetractBatches when an id does not name a
+// live (previously added, not yet retracted) batch.
+var ErrUnknownBatch = errors.New("polce: unknown constraint batch")
+
+// ErrNotRetractable is returned by RetractBatches when the system was not
+// built with Options.Retractable, or when the graph has been mutated
+// outside batch tracking (an offline CollapseCycles) so replay could no
+// longer reproduce it.
+var ErrNotRetractable = errors.New("polce: solver not configured for retraction")
+
+// RetractReport describes one RetractBatches pass: how many batches were
+// retracted, the size of the dirty cone that was rolled back (DirtyVars out
+// of TotalVars canonical variables at entry — the cone being much smaller
+// than the graph is the whole point), and how much surviving work was
+// replayed. NoOp reports the fast path: no retracted batch had ever
+// mutated the graph, so only justification bags changed. The same struct
+// is delivered to MetricsSink.RetractDone.
+type RetractReport struct {
+	// Duration is the wall-clock time of the whole retraction, rollback
+	// and replay included.
+	Duration time.Duration `json:"duration_ns"`
+	// Batches is the number of batches retracted by this call.
+	Batches int `json:"batches"`
+	// DirtyVars is the number of variables in the rolled-back dirty cone;
+	// TotalVars is the number of canonical variables when the call began.
+	DirtyVars int `json:"dirty_vars"`
+	TotalVars int `json:"total_vars"`
+	// ReplayedBatches and ReplayedConstraints count the surviving batches
+	// (and their top-level constraints) re-applied during the rebuild.
+	ReplayedBatches     int `json:"replayed_batches"`
+	ReplayedConstraints int `json:"replayed_constraints"`
+	// NoOp reports that the graph was left physically untouched: every
+	// retracted batch's attempts were redundant and it caused no collapse.
+	NoOp bool `json:"noop"`
+}
+
+// edgeKey identifies one atomic edge for the reason bags: a variable edge
+// x ⊆ y, a source edge t ⊆ x, or a sink edge x ⊆ t. Variables and terms
+// key by identity, matching the adjacency sets themselves.
+type edgeKey struct {
+	kind uint8
+	x, y *Var
+	t    *Term
+}
+
+const (
+	keyVarEdge uint8 = iota
+	keySrcEdge
+	keySinkEdge
+)
+
+// retractCon is one recorded top-level constraint of a batch, kept for
+// replay. The expression pointers stay valid across rollback because the
+// vocabulary is never undone.
+type retractCon struct{ l, r Expr }
+
+// batchRecord is the undo-log entry for one batch: its constraints in
+// application order, its variable footprint, the reason-bag keys it
+// bumped, and its mutation counters.
+type batchRecord struct {
+	id      uint64
+	cons    []retractCon
+	touched map[*Var]struct{}
+	keys    []edgeKey
+
+	inserted  int // fresh edge insertions (including edges consumed by a collapse)
+	collapses int // collapses this batch triggered
+	errs      int // inconsistencies recorded while this batch was open
+}
+
+// mutated reports whether the batch changed the graph at all.
+func (b *batchRecord) mutated() bool { return b.inserted > 0 || b.collapses > 0 }
+
+// resetForReplay clears the footprint and counters while keeping the
+// recorded constraints; the replay re-records them as it re-applies.
+func (b *batchRecord) resetForReplay() {
+	b.touched = make(map[*Var]struct{}, len(b.touched))
+	b.keys = b.keys[:0]
+	b.inserted, b.collapses, b.errs = 0, 0, 0
+}
+
+// retractState is the per-system retraction bookkeeping, allocated only
+// when Options.Retractable is set; a nil *retractState costs one branch
+// per hook site on the hot paths.
+type retractState struct {
+	nextID  uint64
+	active  *batchRecord
+	batches map[uint64]*batchRecord
+	order   []uint64 // live batch ids in application order
+
+	// reasons is the per-edge justification multiset: edge → batch id →
+	// number of attempts by that batch.
+	reasons map[edgeKey]map[uint64]int
+
+	// errBatch runs parallel to System.errs: the batch id each retained
+	// error is attributed to (0 when recorded outside any batch).
+	errBatch []uint64
+
+	// tainted is set when the graph is mutated with no batch open (an
+	// offline CollapseCycles); retraction then refuses rather than replay
+	// from an unreproducible state.
+	tainted bool
+}
+
+func newRetractState() *retractState {
+	return &retractState{
+		batches: make(map[uint64]*batchRecord),
+		reasons: make(map[edgeKey]map[uint64]int),
+	}
+}
+
+// bump adds one justification for edge k by batch b.
+func (r *retractState) bump(b *batchRecord, k edgeKey) {
+	bag := r.reasons[k]
+	if bag == nil {
+		bag = make(map[uint64]int, 1)
+		r.reasons[k] = bag
+	}
+	bag[b.id]++
+	b.keys = append(b.keys, k)
+}
+
+// dropReasons removes every justification b holds, deleting bags that
+// empty — the multiset semantics: a fact loses only this batch's votes.
+func (r *retractState) dropReasons(b *batchRecord) {
+	for _, k := range b.keys {
+		bag := r.reasons[k]
+		if bag == nil {
+			continue
+		}
+		if bag[b.id] <= 1 {
+			delete(bag, b.id)
+		} else {
+			bag[b.id]--
+		}
+		if len(bag) == 0 {
+			delete(r.reasons, k)
+		}
+	}
+	b.keys = b.keys[:0]
+}
+
+// Retractable reports whether the system tracks batches for retraction.
+func (s *System) Retractable() bool { return s.retract != nil }
+
+// BatchCount returns the number of live (added, not yet retracted) batches
+// tracked for retraction; zero when the system is not retractable.
+func (s *System) BatchCount() int {
+	if s.retract == nil {
+		return 0
+	}
+	return len(s.retract.batches)
+}
+
+// BeginBatch opens a batch: until EndBatch, every AddConstraint is
+// recorded under one retraction handle, returned here. On a
+// non-retractable system it returns 0 and records nothing.
+func (s *System) BeginBatch() uint64 {
+	r := s.retract
+	if r == nil {
+		return 0
+	}
+	if r.active != nil {
+		panic("core: BeginBatch inside an open batch")
+	}
+	r.nextID++
+	b := &batchRecord{id: r.nextID, touched: make(map[*Var]struct{})}
+	r.batches[b.id] = b
+	r.order = append(r.order, b.id)
+	r.active = b
+	return b.id
+}
+
+// EndBatch closes the open batch (no-op when none is open).
+func (s *System) EndBatch() {
+	if r := s.retract; r != nil {
+		r.active = nil
+	}
+}
+
+// Hook helpers, called from the resolution engine behind a nil check on
+// s.retract so the non-retractable hot path pays one branch per site.
+
+func (s *System) retractSrc(t *Term, x *Var, fresh bool) {
+	r := s.retract
+	b := r.active
+	if b == nil {
+		if fresh {
+			r.tainted = true
+		}
+		return
+	}
+	b.touched[x] = struct{}{}
+	r.bump(b, edgeKey{kind: keySrcEdge, x: x, t: t})
+	if fresh {
+		b.inserted++
+	}
+}
+
+func (s *System) retractSink(x *Var, t *Term, fresh bool) {
+	r := s.retract
+	b := r.active
+	if b == nil {
+		if fresh {
+			r.tainted = true
+		}
+		return
+	}
+	b.touched[x] = struct{}{}
+	r.bump(b, edgeKey{kind: keySinkEdge, x: x, t: t})
+	if fresh {
+		b.inserted++
+	}
+}
+
+// retractVarEdge records an attempted variable edge x ⊆ y. A fresh attempt
+// that the cycle strategy consumes (collapsing instead of inserting) still
+// counts as a mutation: the collapse hook adds the merged variables, and
+// the inserted counter keeps the batch off the no-op fast path.
+func (s *System) retractVarEdge(x, y *Var, fresh bool) {
+	r := s.retract
+	b := r.active
+	if b == nil {
+		if fresh {
+			r.tainted = true
+		}
+		return
+	}
+	b.touched[x] = struct{}{}
+	b.touched[y] = struct{}{}
+	r.bump(b, edgeKey{kind: keyVarEdge, x: x, y: y})
+	if fresh {
+		b.inserted++
+	}
+}
+
+func (s *System) retractCollapse(witness *Var, merged []*Var) {
+	r := s.retract
+	b := r.active
+	if b == nil {
+		r.tainted = true
+		return
+	}
+	b.touched[witness] = struct{}{}
+	for _, v := range merged {
+		b.touched[v] = struct{}{}
+	}
+	b.collapses++
+}
+
+func (s *System) retractErr(retained bool) {
+	r := s.retract
+	var id uint64
+	if b := r.active; b != nil {
+		b.errs++
+		id = b.id
+	}
+	if retained {
+		r.errBatch = append(r.errBatch, id)
+	}
+}
+
+// dropErrors removes every retained error attributed to a dirty batch and
+// subtracts the dirty batches' full error counts (dropped ones included)
+// from the running total. Survivors' errors are re-recorded by the replay.
+func (s *System) dropErrors(dirty map[uint64]*batchRecord) {
+	r := s.retract
+	for _, b := range dirty {
+		s.errCount -= b.errs
+		b.errs = 0
+	}
+	errs := s.errs[:0]
+	ids := r.errBatch[:0]
+	for i, e := range s.errs {
+		id := r.errBatch[i]
+		if _, isDirty := dirty[id]; isDirty {
+			continue
+		}
+		errs = append(errs, e)
+		ids = append(ids, id)
+	}
+	s.errs = errs
+	r.errBatch = ids
+}
+
+// RetractBatches removes the named batches' constraints as if they had
+// never been added, preserving everything the surviving constraints
+// justify. It validates every id first (ErrUnknownBatch names the first
+// unknown one; nothing is retracted), computes the entangled dirty region,
+// rolls it back, and replays the surviving batches of the region in their
+// original order. Duplicate ids are allowed and retract once.
+//
+// The call must not run inside an open batch, and the worklist is empty
+// between top-level adds, so the façade can call this under the same lock
+// as AddConstraint.
+func (s *System) RetractBatches(ids []uint64) (RetractReport, error) {
+	r := s.retract
+	if r == nil {
+		return RetractReport{}, ErrNotRetractable
+	}
+	if r.active != nil {
+		panic("core: RetractBatches inside an open batch")
+	}
+	if len(s.work) != 0 {
+		panic("core: RetractBatches with a non-empty worklist")
+	}
+	targets := make(map[uint64]*batchRecord, len(ids))
+	for _, id := range ids {
+		b, ok := r.batches[id]
+		if !ok {
+			return RetractReport{}, fmt.Errorf("%w: batch %d", ErrUnknownBatch, id)
+		}
+		targets[id] = b
+	}
+	if r.tainted {
+		return RetractReport{}, fmt.Errorf("%w: graph was mutated outside batch tracking (offline collapse)", ErrNotRetractable)
+	}
+	start := time.Now()
+	rep := RetractReport{
+		Batches:   len(targets),
+		TotalVars: len(s.CanonicalVars()),
+	}
+
+	// Seed the entanglement fixpoint with the retracted batches that
+	// actually mutated the graph.
+	var queue []*batchRecord
+	for _, b := range targets {
+		if b.mutated() {
+			queue = append(queue, b)
+		}
+	}
+
+	if len(queue) == 0 {
+		// Fast path: no retracted batch ever mutated the graph. Remove
+		// their justifications and errors; edges stay (their inserting
+		// batches survive), the version moves only if errors changed, and
+		// the least-solution cache stays hot.
+		anyErrs := false
+		for _, b := range targets {
+			r.dropReasons(b)
+			if b.errs > 0 {
+				anyErrs = true
+			}
+		}
+		if anyErrs {
+			s.dropErrors(targets)
+			s.graphVersion++
+		}
+		s.removeBatches(targets)
+		rep.NoOp = !anyErrs
+		rep.Duration = time.Since(start)
+		s.finishRetract(rep)
+		return rep, nil
+	}
+
+	// Entanglement fixpoint: a batch is dirty when its footprint meets a
+	// dirty variable; a variable is dirty when a dirty batch touched it.
+	// Because every insertion put both endpoints in its batch's footprint,
+	// the dirty variables form edge-closed components: no edge connects
+	// them to the clean remainder.
+	varIndex := make(map[*Var][]*batchRecord)
+	for _, id := range r.order {
+		b := r.batches[id]
+		for v := range b.touched {
+			varIndex[v] = append(varIndex[v], b)
+		}
+	}
+	dirtyBatches := make(map[uint64]*batchRecord, len(queue))
+	dirtyVars := make(map[*Var]struct{})
+	for _, b := range queue {
+		dirtyBatches[b.id] = b
+	}
+	for len(queue) > 0 {
+		b := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for v := range b.touched {
+			if _, ok := dirtyVars[v]; ok {
+				continue
+			}
+			dirtyVars[v] = struct{}{}
+			for _, nb := range varIndex[v] {
+				if _, ok := dirtyBatches[nb.id]; !ok {
+					dirtyBatches[nb.id] = nb
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	// Fold in no-op targets so bookkeeping below removes them uniformly.
+	for id, b := range targets {
+		if _, ok := dirtyBatches[id]; !ok {
+			dirtyBatches[id] = b
+		}
+	}
+
+	// Rollback: reset every dirty variable to its created state (this
+	// un-collapses every witness in the region and retires its arena
+	// segments), rebuild the live list, drop the dirty batches'
+	// justifications and errors, and invalidate the dirty cone's
+	// least-solution entries.
+	for v := range dirtyVars {
+		s.store.ResetVar(v)
+	}
+	s.store.RebuildLive()
+	anyErrs := false
+	for _, b := range dirtyBatches {
+		r.dropReasons(b)
+		if b.errs > 0 {
+			anyErrs = true
+		}
+	}
+	if anyErrs {
+		s.dropErrors(dirtyBatches)
+	}
+	for v := range dirtyVars {
+		s.markLS(v)
+	}
+
+	// Replay the surviving dirty batches in original application order.
+	// Clean batches' regions are untouched; dirty survivors rebuild their
+	// components exactly as a from-scratch solve of the survivors would.
+	newOrder := r.order[:0]
+	for _, id := range r.order {
+		b := r.batches[id]
+		if _, isTarget := targets[id]; isTarget {
+			continue
+		}
+		newOrder = append(newOrder, id)
+		if _, isDirty := dirtyBatches[id]; !isDirty {
+			continue
+		}
+		b.resetForReplay()
+		r.active = b
+		for _, c := range b.cons {
+			s.push(c.l, c.r)
+			s.drain(false)
+		}
+		r.active = nil
+		rep.ReplayedBatches++
+		rep.ReplayedConstraints += len(b.cons)
+	}
+	r.order = newOrder
+	s.removeBatches(targets)
+
+	rep.DirtyVars = len(dirtyVars)
+	rep.Duration = time.Since(start)
+	s.finishRetract(rep)
+	return rep, nil
+}
+
+// removeBatches deletes the retracted batches' records. Order filtering is
+// done by the caller when it rebuilds r.order; the fast path has no
+// rebuild, so it filters here.
+func (s *System) removeBatches(targets map[uint64]*batchRecord) {
+	r := s.retract
+	for id := range targets {
+		delete(r.batches, id)
+	}
+	order := r.order[:0]
+	for _, id := range r.order {
+		if _, ok := r.batches[id]; ok {
+			order = append(order, id)
+		}
+	}
+	r.order = order
+}
+
+// finishRetract updates the retraction counters and notifies the sink.
+func (s *System) finishRetract(rep RetractReport) {
+	s.stats.Retractions++
+	s.stats.RetractConeVars += int64(rep.DirtyVars)
+	s.stats.RetractReplayed += int64(rep.ReplayedConstraints)
+	if s.opt.Metrics != nil {
+		s.opt.Metrics.RetractDone(rep)
+	}
+}

@@ -50,6 +50,14 @@ type Stats struct {
 	// cost measure, the counterpart of CycleVisits for the online
 	// policies).
 	SweepVisits int64
+	// Retractions counts RetractBatches calls; RetractConeVars sums the
+	// dirty-cone sizes they rolled back (the retract-side counterpart of
+	// LSConeVars: cone ≪ graph is the win being measured), and
+	// RetractReplayed counts the surviving constraints re-applied during
+	// rebuilds.
+	Retractions     int64
+	RetractConeVars int64
+	RetractReplayed int64
 }
 
 // VisitsPerSearch returns the mean number of nodes visited per online
@@ -73,9 +81,9 @@ func (st Stats) LSUnionHitRate() float64 {
 
 // String summarises the counters on one line.
 func (st Stats) String() string {
-	return fmt.Sprintf("vars=%d elim=%d work=%d redundant=%d searches=%d visits=%d cycles=%d lswork=%d lspasses=%d lscone=%d lslevels=%d lsunionhits=%d lsunionmisses=%d sweeps=%d sweepvisits=%d",
+	return fmt.Sprintf("vars=%d elim=%d work=%d redundant=%d searches=%d visits=%d cycles=%d lswork=%d lspasses=%d lscone=%d lslevels=%d lsunionhits=%d lsunionmisses=%d sweeps=%d sweepvisits=%d retracts=%d retractcone=%d retractreplayed=%d",
 		st.VarsCreated, st.VarsEliminated, st.Work, st.Redundant,
 		st.CycleSearches, st.CycleVisits, st.CyclesFound, st.LSWork,
 		st.LSPasses, st.LSConeVars, st.LSLevels, st.LSUnionHits, st.LSUnionMisses,
-		st.PeriodicSweeps, st.SweepVisits)
+		st.PeriodicSweeps, st.SweepVisits, st.Retractions, st.RetractConeVars, st.RetractReplayed)
 }

@@ -101,6 +101,10 @@ type System struct {
 	lsEngine     *lsEngine
 	lsPending    []*Var
 
+	// Retraction bookkeeping (see retract.go); nil unless
+	// Options.Retractable, so every hook site pays one branch.
+	retract *retractState
+
 	maxErr int
 }
 
@@ -118,6 +122,12 @@ func NewSystem(opt Options) *System {
 		rng:    rand.New(rand.NewSource(opt.Seed)),
 		maxErr: maxErr,
 		delta:  opt.Repr == ReprCSR,
+	}
+	if opt.Retractable {
+		if opt.Cycles == CyclePeriodic {
+			panic("core: Options.Retractable requires a local cycle policy; periodic sweeps couple batches through a global edge counter")
+		}
+		s.retract = newRetractState()
 	}
 	s.store.SetRepr(opt.Repr)
 	if opt.Form == SF {
@@ -194,6 +204,11 @@ func (s *System) Fresh(name string) *Var {
 // edge insertions themselves (markLS), so a constraint whose edges are
 // all already present leaves the cache hot.
 func (s *System) AddConstraint(l, r Expr) {
+	if s.retract != nil {
+		if b := s.retract.active; b != nil {
+			b.cons = append(b.cons, retractCon{l: l, r: r})
+		}
+	}
 	s.push(l, r)
 	s.drain(true)
 }
@@ -374,16 +389,24 @@ func (s *System) decompose(l, r *Term) {
 // fail records an inconsistent constraint between constructed terms.
 func (s *System) fail(l, r *Term) {
 	s.errCount++
-	if len(s.errs) < s.maxErr {
+	retained := len(s.errs) < s.maxErr
+	if retained {
 		s.errs = append(s.errs, inconsistentf(l, r, "core: inconsistent constraint %s ⊆ %s", l, r))
+	}
+	if s.retract != nil {
+		s.retractErr(retained)
 	}
 }
 
 // failExpr records an unsupported expression position.
 func (s *System) failExpr(what string, l, r Expr) {
 	s.errCount++
-	if len(s.errs) < s.maxErr {
+	retained := len(s.errs) < s.maxErr
+	if retained {
 		s.errs = append(s.errs, inconsistentf(l, r, "core: %s a constraint is not expressible: %s ⊆ %s", what, l, r))
+	}
+	if s.retract != nil {
+		s.retractErr(retained)
 	}
 }
 
@@ -408,7 +431,13 @@ func (s *System) addSource(t *Term, x *Var) {
 	if !x.PredS.Add(t) {
 		s.stats.Redundant++
 		s.metricEdge(true)
+		if s.retract != nil {
+			s.retractSrc(t, x, false)
+		}
 		return
+	}
+	if s.retract != nil {
+		s.retractSrc(t, x, true)
 	}
 	s.markLS(x)
 	s.metricEdge(false)
@@ -437,7 +466,13 @@ func (s *System) addSink(x *Var, t *Term) {
 	if !x.SuccK.Add(t) {
 		s.stats.Redundant++
 		s.metricEdge(true)
+		if s.retract != nil {
+			s.retractSink(x, t, false)
+		}
 		return
+	}
+	if s.retract != nil {
+		s.retractSink(x, t, true)
 	}
 	s.metricEdge(false)
 	if s.opt.Observer != nil {
@@ -476,7 +511,13 @@ func (s *System) addVarEdge(x, y *Var) {
 	if asSucc && x.SuccV.Has(y) || !asSucc && y.PredV.Has(x) {
 		s.stats.Redundant++
 		s.metricEdge(true)
+		if s.retract != nil {
+			s.retractVarEdge(x, y, false)
+		}
 		return
+	}
+	if s.retract != nil {
+		s.retractVarEdge(x, y, true)
 	}
 	s.metricEdge(false)
 	if !s.skipClosure && s.cycDetect {

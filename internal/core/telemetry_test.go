@@ -101,6 +101,7 @@ type recordingSink struct {
 	worklists []int
 	closures  []time.Duration
 	lsPasses  []LSPass
+	retracts  []RetractReport
 }
 
 func (r *recordingSink) EdgeAttempt(red bool) {
@@ -114,6 +115,7 @@ func (r *recordingSink) Collapse(merged int)         { r.collapses = append(r.co
 func (r *recordingSink) WorklistLen(n int)           { r.worklists = append(r.worklists, n) }
 func (r *recordingSink) ClosureDone(d time.Duration) { r.closures = append(r.closures, d) }
 func (r *recordingSink) LeastSolutionDone(p LSPass)  { r.lsPasses = append(r.lsPasses, p) }
+func (r *recordingSink) RetractDone(p RetractReport) { r.retracts = append(r.retracts, p) }
 
 // TestMetricsSinkAgreesWithStats cross-checks the per-operation hook
 // deltas against the aggregate Stats counters.

@@ -39,6 +39,8 @@ var statusTable = []struct {
 	{polce.ErrInconsistent, http.StatusConflict},          // 409
 	{polce.ErrQueueFull, http.StatusServiceUnavailable},   // 503 (+ Retry-After)
 	{polce.ErrSolverClosed, http.StatusGone},              // 410
+	{polce.ErrUnknownBatch, http.StatusNotFound},          // 404: handle never issued or already retracted
+	{polce.ErrNotRetractable, http.StatusNotImplemented},  // 501: server runs without -retractable
 	{ErrUnknownVar, http.StatusNotFound},                  // 404
 	{ErrNotFound, http.StatusNotFound},                    // 404
 	{ErrBadRequest, http.StatusBadRequest},                // 400
@@ -66,6 +68,10 @@ func kindOf(err error) string {
 		return "queue_full"
 	case errors.Is(err, polce.ErrSolverClosed):
 		return "closed"
+	case errors.Is(err, polce.ErrUnknownBatch):
+		return "unknown_batch"
+	case errors.Is(err, polce.ErrNotRetractable):
+		return "not_retractable"
 	case errors.Is(err, ErrUnknownVar):
 		return "unknown_var"
 	case errors.Is(err, ErrNotFound):

@@ -7,6 +7,8 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"polce"
@@ -19,13 +21,13 @@ import (
 // registry configured the telemetry surface is mounted alongside, so one
 // listener serves both the API and /metrics.
 func (s *Server) routes() {
-	s.handle("constraints", "POST /v1/constraints", s.handleConstraints)
-	s.handle("points_to", "GET /v1/points-to/{var}", s.handlePointsTo)
-	s.handle("least_solution", "GET /v1/least-solution/{var}", s.handleLeastSolution)
-	s.handle("snapshot", "GET /v1/snapshot", s.handleSnapshot)
-	s.handle("healthz", "GET /v1/healthz", s.handleHealthz)
-	s.handle("debug_stats", "GET /v1/debug/stats", s.handleDebugStats)
-	s.handle("debug_top", "GET /v1/debug/top", s.handleDebugTop)
+	for _, rt := range routeTable {
+		h := rt.handler(s)
+		if rt.deprecated {
+			h = s.deprecated(h)
+		}
+		s.handle(rt.name, rt.pattern, h)
+	}
 	if s.cfg.Registry != nil {
 		tm := telemetry.NewMux(s.cfg.Registry)
 		s.mux.Handle("/metrics", tm)
@@ -38,6 +40,77 @@ func (s *Server) routes() {
 	// still the mux's own 405s — the pattern matched, so the catch-all
 	// never sees them.)
 	s.handle("other", "/", s.handleUnmatched)
+}
+
+// routeTable is the v1 routing surface as data, one row per pattern: the
+// sessionized routes, the deprecated pre-session aliases (which resolve to
+// the default session and answer with a Deprecation header), and the
+// session-free service routes. The router test walks this table, so a
+// route added here is exercised automatically.
+var routeTable = []struct {
+	name       string // route-metrics label
+	pattern    string
+	deprecated bool
+	handler    func(*Server) func(http.ResponseWriter, *http.Request) error
+}{
+	{"constraints", "POST /v1/constraints/{session}", false, func(s *Server) func(http.ResponseWriter, *http.Request) error { return s.handleConstraints }},
+	{"retract", "DELETE /v1/constraints/{session}/{batch}", false, func(s *Server) func(http.ResponseWriter, *http.Request) error { return s.handleRetract }},
+	{"points_to", "GET /v1/points-to/{session}/{var}", false, func(s *Server) func(http.ResponseWriter, *http.Request) error { return s.handlePointsTo }},
+	{"least_solution", "GET /v1/least-solution/{session}/{var}", false, func(s *Server) func(http.ResponseWriter, *http.Request) error { return s.handleLeastSolution }},
+	{"snapshot", "GET /v1/snapshot/{session}", false, func(s *Server) func(http.ResponseWriter, *http.Request) error { return s.handleSnapshot }},
+	{"constraints", "POST /v1/constraints", true, func(s *Server) func(http.ResponseWriter, *http.Request) error { return s.handleConstraints }},
+	{"points_to", "GET /v1/points-to/{var}", true, func(s *Server) func(http.ResponseWriter, *http.Request) error { return s.handlePointsTo }},
+	{"least_solution", "GET /v1/least-solution/{var}", true, func(s *Server) func(http.ResponseWriter, *http.Request) error { return s.handleLeastSolution }},
+	{"snapshot", "GET /v1/snapshot", true, func(s *Server) func(http.ResponseWriter, *http.Request) error { return s.handleSnapshot }},
+	{"healthz", "GET /v1/healthz", false, func(s *Server) func(http.ResponseWriter, *http.Request) error { return s.handleHealthz }},
+	{"debug_stats", "GET /v1/debug/stats", false, func(s *Server) func(http.ResponseWriter, *http.Request) error { return s.handleDebugStats }},
+	{"debug_top", "GET /v1/debug/top", false, func(s *Server) func(http.ResponseWriter, *http.Request) error { return s.handleDebugTop }},
+}
+
+// deprecated wraps a pre-session alias route: the handler behaves exactly
+// like its sessionized successor against the default session, and the
+// response advertises the deprecation (RFC 8594-style header) so clients
+// can migrate without breaking.
+func (s *Server) deprecated(h func(http.ResponseWriter, *http.Request) error) func(http.ResponseWriter, *http.Request) error {
+	return func(w http.ResponseWriter, r *http.Request) error {
+		w.Header().Set("Deprecation", "true")
+		return h(w, r)
+	}
+}
+
+// sessionLabel resolves the {session} path element, defaulting the
+// pre-session alias routes to the configured default session.
+func (s *Server) sessionLabel(r *http.Request) (string, error) {
+	label := r.PathValue("session")
+	if label == "" {
+		return s.cfg.WALSession, nil
+	}
+	if err := validSessionLabel(label); err != nil {
+		return "", err
+	}
+	return label, nil
+}
+
+// etagOf renders the strong entity tag of a snapshot version. The graph
+// version is monotone and advances exactly on mutations that can change
+// some least solution, so equal tags imply byte-equal response bodies for
+// the same resource.
+func etagOf(version uint64) string { return fmt.Sprintf("%q", fmt.Sprintf("v%d", version)) }
+
+// notModified reports whether the request's If-None-Match matches etag,
+// per RFC 9110 §13.1.2 (weak comparison; "*" matches anything).
+func notModified(r *http.Request, etag string) bool {
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" {
+		return false
+	}
+	for _, cand := range strings.Split(inm, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" || strings.TrimPrefix(cand, "W/") == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // handle wraps one route with the serve middleware: a request ID (taken
@@ -107,11 +180,15 @@ type constraintsRequest struct {
 // Declaration-only batches queue (and log) too: replay needs every
 // vocabulary change in stream order, not just the constraint-bearing ones.
 func (s *Server) handleConstraints(w http.ResponseWriter, r *http.Request) error {
+	label, err := s.sessionLabel(r)
+	if err != nil {
+		return err
+	}
 	src, err := readProgram(r, s.cfg.MaxBodyBytes)
 	if err != nil {
 		return err
 	}
-	job, err := s.accept(r.Context(), src)
+	job, err := s.accept(r.Context(), label, src)
 	if err != nil {
 		return err
 	}
@@ -124,9 +201,15 @@ func (s *Server) handleConstraints(w http.ResponseWriter, r *http.Request) error
 		}
 	}
 	if r.URL.Query().Get("wait") == "" {
-		resp := map[string]any{"accepted": len(job.batch), "queue_len": s.QueueLen()}
+		resp := map[string]any{"accepted": len(job.batch), "queue_len": s.QueueLen(), "session": label}
 		if job.seq != 0 {
 			resp["wal_seq"] = job.seq
+		}
+		if job.handle != 0 {
+			// The batch handle names this POST for a later DELETE; on a
+			// durable server it is the WAL sequence number, so the log and
+			// the API share one naming scheme.
+			resp["batch"] = job.handle
 		}
 		writeJSON(w, http.StatusAccepted, resp)
 		return nil
@@ -151,13 +234,79 @@ func (s *Server) handleConstraints(w http.ResponseWriter, r *http.Request) error
 		if res.err != nil {
 			return res.err
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"applied": res.applied, "version": res.version})
+		resp := map[string]any{"applied": res.applied, "version": res.version, "session": label}
+		if job.handle != 0 {
+			resp["batch"] = job.handle
+		}
+		writeJSON(w, http.StatusOK, resp)
 		return nil
 	case <-r.Context().Done():
 		await.SetAttr("error", r.Context().Err().Error())
 		await.End()
 		// The batch stays queued and will still be applied; the client just
 		// stopped waiting for it.
+		return r.Context().Err()
+	}
+}
+
+// handleRetract withdraws one previously accepted batch by its handle:
+// every consequence whose last remaining justification came from that batch
+// disappears, facts still derivable from surviving batches stay. The
+// retraction is synchronous — by the time the 200 arrives the dirty cone
+// has been replayed — and atomic: an unknown or foreign handle is a 404
+// with nothing retracted. On a non-retractable solver the route answers
+// 501.
+func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) error {
+	label, err := s.sessionLabel(r)
+	if err != nil {
+		return err
+	}
+	handle, err := strconv.ParseUint(r.PathValue("batch"), 10, 64)
+	if err != nil || handle == 0 {
+		return fmt.Errorf("%w: batch handle must be a positive integer", ErrBadRequest)
+	}
+	job, err := s.acceptRetract(r.Context(), label, []uint64{handle})
+	if err != nil {
+		return err
+	}
+	if s.wal != nil && s.wal.Policy() == wal.SyncAlways {
+		if err := s.durable(job); err != nil {
+			return err
+		}
+	}
+	// Unlike POST there is no fire-and-forget mode: the client needs the
+	// validation outcome (the handle may be unknown), so DELETE always
+	// waits for the ingester.
+	_, await := s.tracer.StartSpan(r.Context(), "await-retract")
+	select {
+	case res := <-job.done:
+		await.End()
+		track := trackFrom(r.Context())
+		track.phase("queue_wait", res.wait)
+		track.phase("ingest_drain", res.drain)
+		track.versioned(res.version)
+		if res.err != nil {
+			return res.err
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"session": label,
+			"batch":   handle,
+			"version": res.version,
+			"report": map[string]any{
+				"no_op":                res.report.NoOp,
+				"dirty_vars":           res.report.DirtyVars,
+				"total_vars":           res.report.TotalVars,
+				"replayed_batches":     res.report.ReplayedBatches,
+				"replayed_constraints": res.report.ReplayedConstraints,
+				"duration_seconds":     res.report.Duration.Seconds(),
+			},
+		})
+		return nil
+	case <-r.Context().Done():
+		await.SetAttr("error", r.Context().Err().Error())
+		await.End()
+		// The retraction stays queued and will still be applied; the client
+		// just stopped waiting for the outcome.
 		return r.Context().Err()
 	}
 }
@@ -188,21 +337,34 @@ func readProgram(r *http.Request, maxBytes int64) (string, error) {
 	return string(body), nil
 }
 
-// query resolves the {var} path element against a fresh snapshot. Reads
-// never touch the live graph: the snapshot is captured once per graph
-// version and shared by every concurrent query.
+// query resolves the {session} and {var} path elements against a fresh
+// snapshot. Reads never touch the live graph: the snapshot is captured
+// once per graph version and shared by every concurrent query. The
+// session's binder resolves first (sessions partition the SCL namespace);
+// the solver-wide name index is a fallback for the default session only,
+// so variables minted outside any session — embedders driving the solver
+// directly — stay reachable through the legacy routes without leaking one
+// session's names into another's.
 func (s *Server) query(r *http.Request) (*polce.Snapshot, *polce.Var, error) {
+	label, err := s.sessionLabel(r)
+	if err != nil {
+		return nil, nil, err
+	}
 	name := r.PathValue("var")
 	snap, err := s.snapshot(r.Context())
 	if err != nil {
 		return nil, nil, err
 	}
 	trackFrom(r.Context()).queried(name, snap.Version())
-	if v, ok := s.session.lookup(name); ok {
-		return snap, v, nil
+	if ss, ok := s.sessions.peek(label); ok {
+		if v, ok := ss.lookup(name); ok {
+			return snap, v, nil
+		}
 	}
-	if v := snap.VarByName(name); v != nil {
-		return snap, v, nil
+	if label == s.cfg.WALSession {
+		if v := snap.VarByName(name); v != nil {
+			return snap, v, nil
+		}
 	}
 	return nil, nil, fmt.Errorf("%w: %q", ErrUnknownVar, name)
 }
@@ -213,6 +375,12 @@ func (s *Server) handleLeastSolution(w http.ResponseWriter, r *http.Request) err
 	snap, v, err := s.query(r)
 	if err != nil {
 		return err
+	}
+	etag := etagOf(snap.Version())
+	w.Header().Set("ETag", etag)
+	if notModified(r, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return nil
 	}
 	terms, err := snap.LeastSolutionContext(r.Context(), v)
 	if err != nil {
@@ -237,6 +405,12 @@ func (s *Server) handlePointsTo(w http.ResponseWriter, r *http.Request) error {
 	snap, v, err := s.query(r)
 	if err != nil {
 		return err
+	}
+	etag := etagOf(snap.Version())
+	w.Header().Set("ETag", etag)
+	if notModified(r, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return nil
 	}
 	terms, err := snap.LeastSolutionContext(r.Context(), v)
 	if err != nil {
@@ -264,15 +438,34 @@ func (s *Server) handlePointsTo(w http.ResponseWriter, r *http.Request) error {
 // handleSnapshot reports the graph version, solver counters and queue
 // state — the service's dashboard endpoint.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) error {
+	label, err := s.sessionLabel(r)
+	if err != nil {
+		return err
+	}
 	snap, err := s.snapshot(r.Context())
 	if err != nil {
 		return err
+	}
+	etag := etagOf(snap.Version())
+	w.Header().Set("ETag", etag)
+	if notModified(r, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return nil
+	}
+	sessionVars := 0
+	if ss, ok := s.sessions.peek(label); ok {
+		sessionVars = ss.vars()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"version":      snap.Version(),
 		"form":         snap.Form().String(),
 		"vars":         snap.NumVars(),
-		"session_vars": s.session.vars(),
+		"session":      label,
+		"session_vars": sessionVars,
+		"sessions":     s.sessions.count(),
+		"retractable":  s.solver.Retractable(),
+		"batches":      s.solver.BatchCount(),
+		"retracted":    s.retracted.Load(),
 		"errors":       snap.ErrorCount(),
 		"stats":        snap.Stats(),
 		"queue_len":    s.QueueLen(),

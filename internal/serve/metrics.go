@@ -73,7 +73,7 @@ type routeEntry struct {
 // the catch-all for requests that match no known route (404s, routes
 // added before their metrics), so unmatched traffic is still counted.
 var routeNames = []string{
-	"constraints", "points_to", "least_solution", "snapshot", "healthz",
+	"constraints", "retract", "points_to", "least_solution", "snapshot", "healthz",
 	"debug_stats", "debug_top", "other",
 }
 

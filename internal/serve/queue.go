@@ -7,19 +7,26 @@ import (
 
 	"polce"
 	"polce/internal/telemetry"
+	"polce/internal/wal"
+	"polce/internal/walreplay"
 )
 
-// ingestJob is one accepted batch awaiting the ingester. done is buffered
-// so the ingester never blocks on a caller that stopped waiting. ctx
-// carries the request's trace values (request ID, enclosing span) without
-// its cancellation: a client that disconnects after the 202 must not
-// cancel a batch the server already accepted.
+// ingestJob is one accepted write awaiting the ingester — a constraint
+// batch or a retraction, tagged by kind. done is buffered so the ingester
+// never blocks on a caller that stopped waiting. ctx carries the request's
+// trace values (request ID, enclosing span) without its cancellation: a
+// client that disconnects after the 202 must not cancel a batch the server
+// already accepted.
 type ingestJob struct {
-	batch []polce.Constraint
-	ctx   context.Context
-	at    time.Time // when the batch was accepted into the queue
-	seq   uint64    // WAL sequence number (0 when the log is off)
-	done  chan ingestResult
+	kind    wal.FrameKind
+	session string
+	batch   []polce.Constraint // constraints job: the lowered batch
+	targets []uint64           // retract job: the retraction handles
+	ctx     context.Context
+	at      time.Time // when the job was accepted into the queue
+	seq     uint64    // WAL sequence number (0 when the log is off)
+	handle  uint64    // retraction handle issued to the client (0 when not retractable)
+	done    chan ingestResult
 }
 
 // ingestResult reports how a batch fared: how many constraints were
@@ -32,7 +39,15 @@ type ingestResult struct {
 	version uint64
 	wait    time.Duration
 	drain   time.Duration
+	report  polce.RetractReport // retract jobs: what the retraction rolled back
 	err     error
+}
+
+// handleEntry resolves one issued retraction handle: the session it was
+// issued under and the solver batch the ingester recorded at apply time.
+type handleEntry struct {
+	session string
+	id      polce.BatchID
 }
 
 // accept is the whole write-side admission path, one atomic step under the
@@ -54,7 +69,11 @@ type ingestResult struct {
 // solver are still exactly as before the call, so a refused batch leaves
 // no trace — in particular no orphan variables that would skew the seeded
 // order of later batches against replay.
-func (s *Server) accept(ctx context.Context, src string) (*ingestJob, error) {
+//
+// With multiple sessions the serialisation point is acceptMu, held across
+// every session: lowering interns variables into the one shared solver, so
+// cross-session creation order must equal frame order too.
+func (s *Server) accept(ctx context.Context, label, src string) (*ingestJob, error) {
 	// Fast refusals, before any lock.
 	if s.draining.Load() {
 		return nil, polce.ErrSolverClosed
@@ -74,8 +93,8 @@ func (s *Server) accept(ctx context.Context, src string) (*ingestJob, error) {
 		return nil, polce.ErrSolverClosed
 	}
 
-	s.session.mu.Lock()
-	defer s.session.mu.Unlock()
+	s.acceptMu.Lock()
+	defer s.acceptMu.Unlock()
 
 	// Reserve a queue slot. slots and queue share a capacity, and a held
 	// slot guarantees the channel send below cannot block.
@@ -91,21 +110,22 @@ func (s *Server) accept(ctx context.Context, src string) (*ingestJob, error) {
 		}
 	}()
 
-	cs, err := s.session.parseLocked(src)
+	batch, err := s.sessions.get(label).parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	batch := s.session.binder.Lower(cs)
 	job := &ingestJob{
-		batch: batch,
-		ctx:   context.WithoutCancel(ctx),
-		at:    time.Now(),
-		done:  make(chan ingestResult, 1),
+		kind:    wal.FrameConstraints,
+		session: label,
+		batch:   batch,
+		ctx:     context.WithoutCancel(ctx),
+		at:      time.Now(),
+		done:    make(chan ingestResult, 1),
 	}
 
 	if s.wal != nil {
 		start := time.Now()
-		seq, err := s.wal.Append(s.cfg.WALSession, src)
+		seq, err := s.wal.Append(wal.FrameConstraints, label, src)
 		if err != nil {
 			// The session already absorbed the batch but the log did not.
 			// Appending further frames would leave a gap, so the log is
@@ -119,7 +139,78 @@ func (s *Server) accept(ctx context.Context, src string) (*ingestJob, error) {
 		job.seq = seq
 		s.qmetrics.walAppend(time.Since(start))
 	}
+	if s.solver.Retractable() {
+		// The retraction handle is the WAL sequence number — the log and
+		// the API share one naming scheme, so a logged retract frame's
+		// targets are frame seqs — or a process-local counter when the
+		// log is off.
+		if job.seq != 0 {
+			job.handle = job.seq
+		} else {
+			job.handle = s.handleSeq.Add(1)
+		}
+	}
 
+	s.ages.push(job.at)
+	s.queue <- job // cannot block: the slot is held
+	held = false
+	return job, nil
+}
+
+// acceptRetract is accept for DELETE: it logs a retract frame naming the
+// target handles and enqueues the retraction behind every already-accepted
+// batch, so a retraction applies against exactly the state its stream
+// position implies — on the live solver and under replay alike. Handle
+// validation happens at apply time (the target batch may still be queued
+// ahead of us); a retraction that fails validation has still consumed a
+// frame, which replay skips the same way the live apply refused it.
+func (s *Server) acceptRetract(ctx context.Context, label string, targets []uint64) (*ingestJob, error) {
+	if !s.solver.Retractable() {
+		return nil, polce.ErrNotRetractable
+	}
+	if s.draining.Load() {
+		return nil, polce.ErrSolverClosed
+	}
+	if s.walFailed.Load() {
+		return nil, ErrWALFailed
+	}
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining.Load() {
+		return nil, polce.ErrSolverClosed
+	}
+	s.acceptMu.Lock()
+	defer s.acceptMu.Unlock()
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		return nil, polce.ErrQueueFull
+	}
+	held := true
+	defer func() {
+		if held {
+			<-s.slots
+		}
+	}()
+	job := &ingestJob{
+		kind:    wal.FrameRetract,
+		session: label,
+		targets: targets,
+		ctx:     context.WithoutCancel(ctx),
+		at:      time.Now(),
+		done:    make(chan ingestResult, 1),
+	}
+	if s.wal != nil {
+		start := time.Now()
+		seq, err := s.wal.Append(wal.FrameRetract, label, walreplay.FormatRetractText(targets))
+		if err != nil {
+			s.walFailed.Store(true)
+			s.logError("wal append failed; refusing further ingestion", err)
+			return nil, fmt.Errorf("%w: %v", ErrWALFailed, err)
+		}
+		job.seq = seq
+		s.qmetrics.walAppend(time.Since(start))
+	}
 	s.ages.push(job.at)
 	s.queue <- job // cannot block: the slot is held
 	held = false
@@ -224,6 +315,10 @@ func (s *Server) resolveStragglers() {
 // the closure phase-timer delta — attributable because this single
 // goroutine is the only closure driver.
 func (s *Server) apply(job *ingestJob) {
+	if job.kind == wal.FrameRetract {
+		s.applyRetract(job)
+		return
+	}
 	wait := time.Since(job.at)
 	s.qmetrics.observeWait(wait, len(job.batch))
 	// Order matters for the oldest-age gauge: the batch becomes "applying"
@@ -246,7 +341,12 @@ func (s *Server) apply(job *ingestJob) {
 	}
 	drainStart := time.Now()
 	errsBefore := s.solver.ErrorCount()
-	applied, err := s.solver.AddBatchContext(drainCtx, job.batch)
+	applied, batchID, err := s.solver.AddBatchContext(drainCtx, job.batch)
+	if job.handle != 0 && batchID != 0 {
+		s.handleMu.Lock()
+		s.handles[job.handle] = handleEntry{session: job.session, id: batchID}
+		s.handleMu.Unlock()
+	}
 	s.ingested.Add(int64(applied))
 	if err == nil {
 		if delta := s.solver.ErrorCount() - errsBefore; delta > 0 {
@@ -271,4 +371,62 @@ func (s *Server) apply(job *ingestJob) {
 	span.SetAttr("version", version)
 	span.End()
 	job.done <- ingestResult{applied: applied, version: version, wait: wait, drain: drain, err: err}
+}
+
+// applyRetract runs one retraction against the solver and resolves its
+// waiter. Handles resolve here — after every earlier job has applied, so a
+// handle issued for a batch that was still queued when the DELETE arrived
+// resolves correctly — and an unknown or cross-session handle refuses the
+// whole retraction with ErrUnknownBatch (→ 404), retracting nothing.
+func (s *Server) applyRetract(job *ingestJob) {
+	wait := time.Since(job.at)
+	s.applyingSince.Store(job.at.UnixNano())
+	defer s.applyingSince.Store(0)
+	s.ages.pop()
+	<-s.slots
+	s.tracer.Emit(job.ctx, "queue-wait", job.at, wait, map[string]any{"targets": len(job.targets)})
+	drainCtx, span := s.tracer.StartSpan(job.ctx, "retract-drain")
+	span.SetAttr("targets", len(job.targets))
+	if job.seq != 0 {
+		span.SetAttr("wal_seq", job.seq)
+	}
+	drainStart := time.Now()
+
+	var (
+		report polce.RetractReport
+		err    error
+	)
+	ids := make([]polce.BatchID, 0, len(job.targets))
+	s.handleMu.Lock()
+	for _, h := range job.targets {
+		e, ok := s.handles[h]
+		if !ok || e.session != job.session {
+			err = fmt.Errorf("%w: batch %d", polce.ErrUnknownBatch, h)
+			break
+		}
+		ids = append(ids, e.id)
+	}
+	s.handleMu.Unlock()
+	if err == nil {
+		report, err = s.solver.RetractBatchContext(drainCtx, ids...)
+	}
+	if err == nil {
+		s.handleMu.Lock()
+		for _, h := range job.targets {
+			delete(s.handles, h)
+		}
+		s.handleMu.Unlock()
+		s.retracted.Add(int64(len(job.targets)))
+	}
+
+	version := s.solver.Version()
+	s.lastVersion.Store(version)
+	drain := time.Since(drainStart)
+	span.SetAttr("dirty_vars", report.DirtyVars)
+	span.SetAttr("version", version)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+	job.done <- ingestResult{version: version, wait: wait, drain: drain, report: report, err: err}
 }

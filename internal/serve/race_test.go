@@ -219,7 +219,7 @@ func TestEnqueueShutdownRace(t *testing.T) {
 			go func(w int) {
 				defer wg.Done()
 				for i := 0; i < tries; i++ {
-					job, err := s.accept(context.Background(), fmt.Sprintf("a%d_%d <= b%d_%d", w, i, w, i))
+					job, err := s.accept(context.Background(), s.cfg.WALSession, fmt.Sprintf("a%d_%d <= b%d_%d", w, i, w, i))
 					switch {
 					case err == nil:
 						mu.Lock()

@@ -11,17 +11,28 @@
 // session-long constraint program; variables are addressed by their SCL
 // names.
 //
-// The API surface:
+// The API surface is sessionized: every write and query names a session —
+// an independent SCL namespace over the one shared solver — and batches
+// are first-class resources that can be retracted by the handle their POST
+// returned:
 //
-//	POST /v1/constraints         ingest a batch of SCL statements
-//	GET  /v1/points-to/{var}     abstract locations in var's least solution
-//	GET  /v1/least-solution/{var}full least-solution terms of var
-//	GET  /v1/snapshot            graph version, solver stats, queue state
-//	GET  /v1/healthz             liveness and queue occupancy
+//	POST   /v1/constraints/{session}          ingest a batch of SCL statements
+//	DELETE /v1/constraints/{session}/{batch}  retract a previously added batch
+//	GET    /v1/points-to/{session}/{var}      abstract locations in var's least solution
+//	GET    /v1/least-solution/{session}/{var} full least-solution terms of var
+//	GET    /v1/snapshot/{session}             graph version, solver stats, queue state
+//	GET    /v1/healthz                        liveness and queue occupancy
+//
+// The pre-session routes (POST /v1/constraints, GET /v1/points-to/{var},
+// GET /v1/least-solution/{var}, GET /v1/snapshot) remain as deprecated
+// aliases of the default session and answer with a Deprecation header.
+// Snapshot and least-solution responses carry a strong ETag derived from
+// the monotone graph version; an If-None-Match hit short-circuits to 304.
 //
 // Error mapping is table-driven (see StatusOf): inconsistent constraint
 // systems report 409, a full ingestion queue 503, a closed (drained)
-// solver 410. With a telemetry.Registry configured, per-route latency
+// solver 410, an unknown retraction handle 404, retraction against a
+// non-retractable solver 501. With a telemetry.Registry configured, per-route latency
 // histograms and status-class counters flow into the shared /metrics
 // surface, which is mounted on the same handler.
 package serve
@@ -38,6 +49,7 @@ import (
 	"polce"
 	"polce/internal/telemetry"
 	"polce/internal/wal"
+	"polce/internal/walreplay"
 )
 
 // Config configures a Server. Solver is required; everything else has a
@@ -123,7 +135,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	solver   *polce.Solver
-	session  *session
+	sessions *sessionSet
 	metrics  *routeMetrics
 	qmetrics *queueMetrics
 	logger   *slog.Logger
@@ -138,6 +150,12 @@ type Server struct {
 	done     chan struct{} // closed when the ingester has exited
 	draining atomic.Bool
 	drainMu  sync.RWMutex // accept holds R across admission; Shutdown's W is the barrier
+	acceptMu sync.Mutex   // serialises admission across sessions: creation order = frame order
+
+	handleSeq atomic.Uint64          // retraction handles when the WAL is off
+	handleMu  sync.Mutex             // guards handles
+	handles   map[uint64]handleEntry // issued handle → session + solver batch id
+	retracted atomic.Int64           // batches retracted by the ingester
 
 	wal         *wal.Log
 	walFailed   atomic.Bool  // a log write failed: ingestion refuses until restart
@@ -252,7 +270,7 @@ func newServer(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		solver:   cfg.Solver,
-		session:  newSession(cfg.Solver),
+		sessions: newSessionSet(cfg.Solver),
 		metrics:  newRouteMetrics(cfg.Registry),
 		logger:   cfg.Logger,
 		tracer:   cfg.Tracer,
@@ -265,6 +283,7 @@ func newServer(cfg Config) *Server {
 		done:     make(chan struct{}),
 		wal:      cfg.WAL,
 		ages:     &ageTracker{},
+		handles:  map[uint64]handleEntry{},
 	}
 	s.qmetrics = newQueueMetrics(cfg.Registry, s)
 	s.routes()
@@ -272,21 +291,58 @@ func newServer(cfg Config) *Server {
 }
 
 // Recover replays frames recovered from the constraint log through the
-// normal session path — ParseAppend, Binder.Lower, AddBatch — exactly as
-// the live accept path ran them, so the recovered graph is bit-identical
-// to the pre-crash one: same variable creation order, same constraint
-// order, same seeded edge orientations, same partition. Call it after New
-// and before serving traffic; frames bypass the queue and are NOT
-// re-appended to the log (they are already in it).
+// normal session path — ParseAppend, Binder.Lower, AddBatch, routed to
+// each frame's session — exactly as the live accept path ran them, so the
+// recovered graph is bit-identical to the pre-crash one: same variable
+// creation order, same constraint order, same seeded edge orientations,
+// same partition. Retract frames replay in stream order against the batch
+// ids the recovery itself issued; a frame whose targets are not live at
+// its position retracted nothing on the live server (the DELETE failed
+// validation after its frame was logged) and is skipped here the same way.
+// Recovered handles stay registered, so pre-crash batches can still be
+// retracted after the restart. Call Recover after New and before serving
+// traffic; frames bypass the queue and are NOT re-appended to the log
+// (they are already in it).
 func (s *Server) Recover(frames []wal.Frame) (int, error) {
 	constraints := 0
+	retractable := s.solver.Retractable()
 	for _, f := range frames {
-		batch, err := s.session.parse(f.Text)
-		if err != nil {
-			return constraints, fmt.Errorf("serve: wal frame %d does not parse: %w", f.Seq, err)
+		switch f.Kind {
+		case wal.FrameRetract:
+			targets, err := walreplay.ParseRetractText(f.Text)
+			if err != nil {
+				return constraints, fmt.Errorf("serve: wal frame %d: %w", f.Seq, err)
+			}
+			ids := make([]polce.BatchID, 0, len(targets))
+			live := true
+			for _, h := range targets {
+				e, ok := s.handles[h]
+				if !ok || e.session != f.Session {
+					live = false
+					break
+				}
+				ids = append(ids, e.id)
+			}
+			if live {
+				if _, err := s.solver.RetractBatch(ids...); err != nil {
+					return constraints, fmt.Errorf("serve: wal frame %d retract: %w", f.Seq, err)
+				}
+				for _, h := range targets {
+					delete(s.handles, h)
+				}
+				s.retracted.Add(int64(len(targets)))
+			}
+		default:
+			batch, err := s.sessions.get(f.Session).parse(f.Text)
+			if err != nil {
+				return constraints, fmt.Errorf("serve: wal frame %d does not parse: %w", f.Seq, err)
+			}
+			id := s.solver.AddBatch(batch)
+			if retractable {
+				s.handles[f.Seq] = handleEntry{session: f.Session, id: id}
+			}
+			constraints += len(batch)
 		}
-		s.solver.AddBatch(batch)
-		constraints += len(batch)
 		s.walReplayed.Add(1)
 	}
 	s.ingested.Add(int64(constraints))

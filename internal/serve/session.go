@@ -1,27 +1,32 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 
 	"polce"
 	"polce/internal/scl"
 )
 
-// session is the service's constraint program: one scl.File grown across
-// every POST of the server's lifetime, and a Binder interning variables by
-// name and terms structurally into the live solver. Parsing and lowering
-// mutate shared parser state, so they serialise on the session lock;
-// that lock is never held while constraints are applied (the ingester does
-// that), so a slow drain never blocks parsing.
+// session is one named constraint program: an scl.File grown across every
+// POST against the session's label, and a Binder interning variables by
+// name and terms structurally into the shared solver. Sessions partition
+// the SCL namespace — two sessions can both declare `x` and get distinct
+// solver variables — while every session's constraints flow into the same
+// graph. Parsing and lowering mutate shared parser state, so they
+// serialise on the session lock; that lock is never held while constraints
+// are applied (the ingester does that), so a slow drain never blocks
+// parsing.
 type session struct {
+	label  string
 	mu     sync.Mutex
 	file   *scl.File
 	binder *scl.Binder
 }
 
-func newSession(solver *polce.Solver) *session {
+func newSession(label string, solver *polce.Solver) *session {
 	f := scl.MustParse("")
-	return &session{file: f, binder: scl.NewBinder(f, solver)}
+	return &session{label: label, file: f, binder: scl.NewBinder(f, solver)}
 }
 
 // parse appends src's statements to the session program and lowers the new
@@ -37,14 +42,8 @@ func (ss *session) parse(src string) ([]polce.Constraint, error) {
 	return ss.binder.Lower(cs), nil
 }
 
-// parseLocked is parse's body for callers already holding ss.mu — the
-// accept path, which must keep the lock across parse, log append and
-// enqueue so that frame order equals variable-creation order.
-func (ss *session) parseLocked(src string) ([]scl.Constraint, error) {
-	return ss.file.ParseAppend(src)
-}
-
-// lookup resolves a variable name registered by some earlier batch.
+// lookup resolves a variable name registered by some earlier batch of this
+// session.
 func (ss *session) lookup(name string) (*polce.Var, bool) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
@@ -57,4 +56,79 @@ func (ss *session) vars() int {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	return len(ss.binder.Vars)
+}
+
+// sessionSet is the registry of named sessions over one shared solver.
+// Sessions are created on first write and live for the server's lifetime.
+type sessionSet struct {
+	mu     sync.Mutex
+	solver *polce.Solver
+	m      map[string]*session
+}
+
+func newSessionSet(solver *polce.Solver) *sessionSet {
+	return &sessionSet{solver: solver, m: map[string]*session{}}
+}
+
+// get returns the session for label, creating it on first use.
+func (st *sessionSet) get(label string) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ss, ok := st.m[label]
+	if !ok {
+		ss = newSession(label, st.solver)
+		st.m[label] = ss
+	}
+	return ss
+}
+
+// peek returns the session for label without creating it — the read-path
+// accessor, so a GET against a session no batch ever wrote does not mint
+// an empty namespace.
+func (st *sessionSet) peek(label string) (*session, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ss, ok := st.m[label]
+	return ss, ok
+}
+
+// count returns the number of live sessions.
+func (st *sessionSet) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}
+
+// totalVars sums the interned-variable counts across all sessions.
+func (st *sessionSet) totalVars() int {
+	st.mu.Lock()
+	labels := make([]*session, 0, len(st.m))
+	for _, ss := range st.m {
+		labels = append(labels, ss)
+	}
+	st.mu.Unlock()
+	n := 0
+	for _, ss := range labels {
+		n += ss.vars()
+	}
+	return n
+}
+
+// validSessionLabel bounds what a {session} path element may be: 1–64
+// bytes of letters, digits, dot, underscore and dash. The bound keeps
+// labels safe for WAL frames, log lines and metric help text alike.
+func validSessionLabel(label string) error {
+	if label == "" || len(label) > 64 {
+		return fmt.Errorf("%w: session label must be 1-64 characters", ErrBadRequest)
+	}
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("%w: session label may contain only letters, digits, '.', '_' and '-'", ErrBadRequest)
+		}
+	}
+	return nil
 }

@@ -236,7 +236,7 @@ func TestQueueOldestAgeGauge(t *testing.T) {
 		t.Fatalf("idle gauge = %v, want 0", got)
 	}
 	for i := 0; i < 2; i++ {
-		if _, err := s.accept(context.Background(), fmt.Sprintf("A%d <= B%d", i, i)); err != nil {
+		if _, err := s.accept(context.Background(), s.cfg.WALSession, fmt.Sprintf("A%d <= B%d", i, i)); err != nil {
 			t.Fatalf("accept %d: %v", i, err)
 		}
 	}
@@ -298,5 +298,117 @@ func TestWALFailurePoisonsIngestion(t *testing.T) {
 	}
 	if resp, _ := getJSON(t, hs.URL+"/v1/least-solution/X"); resp.StatusCode != http.StatusOK {
 		t.Fatalf("read during poisoning = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestWALRecoverWithRetractions extends the kill-and-recover contract to
+// retraction frames: a retractable WAL-backed server ingests across two
+// sessions, retracts a batch, logs one failed DELETE (a 404 whose frame
+// replay must skip), then crashes. The recovered server, a standalone
+// replay and an uninterrupted live run must agree bit-for-bit, and a
+// pre-crash batch must stay retractable through the recovered server.
+func TestWALRecoverWithRetractions(t *testing.T) {
+	opt := walOptions()
+	opt.Retractable = true
+	dir := t.TempDir()
+
+	// drive replays the write sequence against one server, returning the
+	// handle of the batch left live for post-crash retraction.
+	drive := func(t *testing.T, base string) uint64 {
+		t.Helper()
+		post := func(session, prog string) uint64 {
+			resp, body := doReq(t, "POST", base+"/v1/constraints/"+session+"?wait=1", prog)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("POST %s = %d %v", session, resp.StatusCode, body)
+			}
+			return uint64(body["batch"].(float64))
+		}
+		post("default", "cons a; cons b; cons ref(+)")
+		chain := post("default", "a <= V0\nV0 <= V1")
+		aux := post("aux", "cons c\nc <= W")
+		keep := post("default", "b <= V0")
+		if resp, body := doReq(t, "DELETE", fmt.Sprintf("%s/v1/constraints/default/%d", base, chain), ""); resp.StatusCode != http.StatusOK {
+			t.Fatalf("DELETE = %d %v", resp.StatusCode, body)
+		}
+		// The repeated DELETE is refused live (404) but its frame is already
+		// logged; replay must skip it the same way.
+		if resp, body := doReq(t, "DELETE", fmt.Sprintf("%s/v1/constraints/default/%d", base, chain), ""); resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("double DELETE = %d %v, want 404", resp.StatusCode, body)
+		}
+		// A cross-session DELETE targets a handle that is live but owned by
+		// another session: refused live (404), frame logged, and replay must
+		// refuse it for the same reason — liveness alone is not enough.
+		if resp, body := doReq(t, "DELETE", fmt.Sprintf("%s/v1/constraints/default/%d", base, aux), ""); resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("cross-session DELETE = %d %v, want 404", resp.StatusCode, body)
+		}
+		post("default", "V0 <= V2")
+		return keep
+	}
+
+	// Server A: WAL-backed, runs the sequence, then vanishes mid-flight.
+	logA, _ := openWAL(t, dir, opt, wal.SyncAlways)
+	srvA := New(Config{Solver: polce.New(opt), WAL: logA})
+	hsA := httptest.NewServer(srvA.Handler())
+	drive(t, hsA.URL)
+	hsA.Close()
+
+	logB, recB := openWAL(t, dir, opt, wal.SyncAlways)
+	defer logB.Close()
+	if len(recB.Frames) != 8 || recB.TruncatedBytes != 0 {
+		t.Fatalf("recovered %d frames, truncated %d; want 8/0", len(recB.Frames), recB.TruncatedBytes)
+	}
+	srvB := New(Config{Solver: polce.New(opt), WAL: logB})
+	if _, err := srvB.Recover(recB.Frames); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+
+	refSolver, _, _, err := walreplay.Replay(recB.Frames, opt)
+	if err != nil {
+		t.Fatalf("walreplay.Replay: %v", err)
+	}
+	srvC, hsC := newTestServer(t, Config{Solver: polce.New(opt)})
+	keep := drive(t, hsC.URL)
+
+	recovered := walreplay.Fingerprint(srvB.solver, 32)
+	if diffs := recovered.Diff(walreplay.Fingerprint(refSolver, 32)); len(diffs) != 0 {
+		t.Fatalf("recovered server vs standalone replay:\n  %s", strings.Join(diffs, "\n  "))
+	}
+	if diffs := recovered.Diff(walreplay.Fingerprint(srvC.solver, 32)); len(diffs) != 0 {
+		t.Fatalf("recovered server vs uninterrupted live run:\n  %s", strings.Join(diffs, "\n  "))
+	}
+
+	// The retraction's effect is visible through the recovered server: the
+	// chain batch is gone, the surviving justification stands.
+	hsB := httptest.NewServer(srvB.Handler())
+	defer hsB.Close()
+	if _, body := getJSON(t, hsB.URL+"/v1/least-solution/V1"); len(body["terms"].([]any)) != 0 {
+		t.Fatalf("LS(V1) after recovery = %v, want empty (retracted)", body["terms"])
+	}
+	if _, body := getJSON(t, hsB.URL+"/v1/least-solution/V0"); fmt.Sprint(body["terms"]) != "[b]" {
+		t.Fatalf("LS(V0) after recovery = %v, want [b]", body["terms"])
+	}
+	if _, body := getJSON(t, hsB.URL+"/v1/least-solution/aux/W"); fmt.Sprint(body["terms"]) != "[c]" {
+		t.Fatalf("aux session after recovery: LS(W) = %v, want [c]", body["terms"])
+	}
+
+	// Handles survive the crash: the recovered server retracts a pre-crash
+	// batch by its original handle, and both its LS cone and the live
+	// reference (same retraction applied) stay in lockstep.
+	if resp, body := doReq(t, "DELETE", fmt.Sprintf("%s/v1/constraints/default/%d", hsB.URL, keep), ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery DELETE = %d %v", resp.StatusCode, body)
+	}
+	if resp, body := doReq(t, "DELETE", fmt.Sprintf("%s/v1/constraints/default/%d", hsC.URL, keep), ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference DELETE = %d %v", resp.StatusCode, body)
+	}
+	if _, body := getJSON(t, hsB.URL+"/v1/least-solution/V0"); len(body["terms"].([]any)) != 0 {
+		t.Fatalf("LS(V0) after post-recovery retraction = %v, want empty", body["terms"])
+	}
+	if diffs := walreplay.Fingerprint(srvB.solver, 32).Diff(walreplay.Fingerprint(srvC.solver, 32)); len(diffs) != 0 {
+		t.Fatalf("post-recovery retraction diverged from live reference:\n  %s", strings.Join(diffs, "\n  "))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srvB.Shutdown(ctx); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -23,4 +23,28 @@ func TestAliasesAreIdentities(t *testing.T) {
 	if solver.ErrQueueFull != polce.ErrQueueFull || solver.Zero != polce.Zero {
 		t.Fatal("alias package re-declares values instead of aliasing them")
 	}
+	if solver.ErrUnknownBatch != polce.ErrUnknownBatch || solver.ErrNotRetractable != polce.ErrNotRetractable {
+		t.Fatal("alias package re-declares retraction sentinels instead of aliasing them")
+	}
+}
+
+// TestRetractionAliases pins the retraction vocabulary through the alias
+// package: BatchID and RetractReport are the root package's types, and a
+// retraction driven entirely through aliased names behaves identically.
+func TestRetractionAliases(t *testing.T) {
+	s := solver.New(solver.Options{Form: solver.IF, Cycles: solver.CycleOnline, Seed: 2, Retractable: true})
+	a := solver.NewTerm(solver.NewConstructor("a"))
+	x := s.Fresh("X")
+	var id polce.BatchID = s.AddConstraint(a, x) // solver.BatchID = polce.BatchID, by alias
+	var rep solver.RetractReport
+	rep, err := s.RetractBatch(id)
+	if err != nil {
+		t.Fatalf("RetractBatch through alias: %v", err)
+	}
+	if rep.NoOp {
+		t.Fatal("retracting the only justification reported NoOp")
+	}
+	if got := s.Snapshot().LeastSolution(x); len(got) != 0 {
+		t.Fatalf("LS after aliased retraction = %v, want empty", got)
+	}
 }

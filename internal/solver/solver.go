@@ -41,6 +41,11 @@ type (
 	Union         = polce.Union
 	Intersection  = polce.Intersection
 
+	// BatchID and RetractReport alias the retraction vocabulary; see the
+	// root polce package for documentation.
+	BatchID       = polce.BatchID
+	RetractReport = polce.RetractReport
+
 	// InconsistentError is an alias of polce.InconsistentError.
 	InconsistentError = polce.InconsistentError
 )
@@ -73,9 +78,11 @@ var (
 	Zero = polce.Zero
 	One  = polce.One
 
-	ErrInconsistent = polce.ErrInconsistent
-	ErrQueueFull    = polce.ErrQueueFull
-	ErrSolverClosed = polce.ErrSolverClosed
+	ErrInconsistent   = polce.ErrInconsistent
+	ErrQueueFull      = polce.ErrQueueFull
+	ErrSolverClosed   = polce.ErrSolverClosed
+	ErrUnknownBatch   = polce.ErrUnknownBatch
+	ErrNotRetractable = polce.ErrNotRetractable
 )
 
 // Constructors and helpers forwarded to the root package.

@@ -36,6 +36,14 @@ type SolverMetrics struct {
 	// lookups; the hit-ratio gauge is derived at exposition time.
 	LSUnionHits   *Counter
 	LSUnionMisses *Counter
+	// Retracts counts RetractBatches calls; RetractCone is the
+	// distribution of dirty-cone sizes rolled back per retraction, and
+	// RetractConeFrac the cone as a fraction of the canonical variables —
+	// the "re-drain only what retraction invalidates" measure.
+	Retracts        *Counter
+	RetractCone     *Histogram
+	RetractConeFrac *Histogram
+	RetractReplayed *Counter
 }
 
 var _ core.MetricsSink = (*SolverMetrics)(nil)
@@ -45,16 +53,20 @@ var _ core.MetricsSink = (*SolverMetrics)(nil)
 // ratio is exposed as a gauge computed at exposition time.
 func NewSolverMetrics(reg *Registry) *SolverMetrics {
 	m := &SolverMetrics{
-		EdgeAttempts:   reg.Counter("polce_edge_attempts_total", "attempted edge additions (the paper's Work), redundant included"),
-		RedundantEdges: reg.Counter("polce_edge_redundant_total", "edge additions that found the edge already present"),
-		SearchDepth:    reg.Histogram("polce_cycle_search_depth", "nodes visited per online cycle search (Theorem 5.2's R_X)", LogBuckets(1, 2, 16)),
-		CollapseSize:   reg.Histogram("polce_collapse_size", "variables merged away per cycle collapse or sweep", LogBuckets(1, 2, 16)),
-		Worklist:       reg.Histogram("polce_worklist_len", "pending-constraint worklist length, sampled every 64 steps", LogBuckets(1, 4, 12)),
-		Phases:         reg.Timers("polce_phase", "cumulative wall-clock per solver phase"),
-		LSLevels:       reg.Gauge("polce_ls_levels", "topological levels of the predecessor DAG in the last least-solution pass"),
-		LSCone:         reg.Histogram("polce_ls_cone_vars", "variables recomputed per least-solution pass (dirty cone size)", LogBuckets(1, 4, 12)),
-		LSUnionHits:    reg.Counter("polce_ls_union_hits_total", "least-solution memoized-union lookups answered from the memo"),
-		LSUnionMisses:  reg.Counter("polce_ls_union_misses_total", "least-solution memoized-union lookups that computed a union"),
+		EdgeAttempts:    reg.Counter("polce_edge_attempts_total", "attempted edge additions (the paper's Work), redundant included"),
+		RedundantEdges:  reg.Counter("polce_edge_redundant_total", "edge additions that found the edge already present"),
+		SearchDepth:     reg.Histogram("polce_cycle_search_depth", "nodes visited per online cycle search (Theorem 5.2's R_X)", LogBuckets(1, 2, 16)),
+		CollapseSize:    reg.Histogram("polce_collapse_size", "variables merged away per cycle collapse or sweep", LogBuckets(1, 2, 16)),
+		Worklist:        reg.Histogram("polce_worklist_len", "pending-constraint worklist length, sampled every 64 steps", LogBuckets(1, 4, 12)),
+		Phases:          reg.Timers("polce_phase", "cumulative wall-clock per solver phase"),
+		LSLevels:        reg.Gauge("polce_ls_levels", "topological levels of the predecessor DAG in the last least-solution pass"),
+		LSCone:          reg.Histogram("polce_ls_cone_vars", "variables recomputed per least-solution pass (dirty cone size)", LogBuckets(1, 4, 12)),
+		LSUnionHits:     reg.Counter("polce_ls_union_hits_total", "least-solution memoized-union lookups answered from the memo"),
+		LSUnionMisses:   reg.Counter("polce_ls_union_misses_total", "least-solution memoized-union lookups that computed a union"),
+		Retracts:        reg.Counter("polce_retracts_total", "RetractBatches calls"),
+		RetractCone:     reg.Histogram("polce_retract_cone_vars", "variables rolled back per retraction (dirty cone size)", LogBuckets(1, 4, 12)),
+		RetractConeFrac: reg.Histogram("polce_retract_cone_frac", "retraction dirty cone as a fraction of canonical variables", LinearBuckets(0, 0.1, 11)),
+		RetractReplayed: reg.Counter("polce_retract_replayed_total", "surviving constraints replayed during retraction rebuilds"),
 	}
 	reg.GaugeFunc("polce_redundant_edge_ratio", "fraction of attempted edge additions that were redundant",
 		func() float64 {
@@ -112,6 +124,17 @@ func (m *SolverMetrics) LeastSolutionDone(p core.LSPass) {
 	m.LSUnionMisses.Add(p.UnionMisses)
 }
 
+// RetractDone implements core.MetricsSink.
+func (m *SolverMetrics) RetractDone(p core.RetractReport) {
+	m.Retracts.Inc()
+	m.RetractCone.Observe(float64(p.DirtyVars))
+	if p.TotalVars > 0 {
+		m.RetractConeFrac.Observe(float64(p.DirtyVars) / float64(p.TotalVars))
+	}
+	m.RetractReplayed.Add(int64(p.ReplayedConstraints))
+	m.Phases.Add(PhaseRetract, p.Duration)
+}
+
 // PublishStats registers the final core.Stats counters as gauges named
 // polce_stats_*. Call it after solving completes: a System is not safe
 // for concurrent use, so live scrapes read the lock-free SolverMetrics
@@ -134,4 +157,7 @@ func PublishStats(reg *Registry, st core.Stats) {
 	pub("ls_union_hit_rate", "fraction of least-solution union lookups answered from the memo", st.LSUnionHitRate())
 	pub("periodic_sweeps", "offline elimination sweeps", float64(st.PeriodicSweeps))
 	pub("sweep_visits", "variables examined by periodic sweeps", float64(st.SweepVisits))
+	pub("retracts", "RetractBatches calls", float64(st.Retractions))
+	pub("retract_cone_vars", "variables rolled back across all retractions", float64(st.RetractConeVars))
+	pub("retract_replayed", "surviving constraints replayed during retraction rebuilds", float64(st.RetractReplayed))
 }

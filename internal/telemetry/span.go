@@ -16,6 +16,7 @@ const (
 	PhaseLeastSolution = "least-solution" // IF least-solution pass
 	PhaseOraclePass1   = "oracle-pass1"   // reference run + oracle construction
 	PhaseOraclePass2   = "oracle-pass2"   // the oracle-policy run itself
+	PhaseRetract       = "retract"        // RetractBatches rollback + replay
 )
 
 // Timers accumulates wall-clock time per named phase. Unlike the metric

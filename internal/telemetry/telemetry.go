@@ -110,6 +110,20 @@ func LogBuckets(start, factor float64, n int) []float64 {
 	return out
 }
 
+// LinearBuckets returns n evenly spaced upper bounds start, start+width,
+// start+2·width, …  LinearBuckets(0, 0.1, 11) covers a [0, 1] ratio in
+// tenths. Bounds must ascend, so width must be positive.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n <= 0 {
+		panic("telemetry: LinearBuckets wants width > 0, n > 0")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
 // Observe records one observation.
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v, or overflow

@@ -16,12 +16,16 @@
 //
 // File layout (all integers little-endian):
 //
-//	header   8 bytes   magic "PLCEWAL1"
+//	header   8 bytes   magic "PLCEWAL2"
 //	frame    4 bytes   payload length
 //	         4 bytes   CRC32 (IEEE) of the payload
 //	         payload:  8 bytes sequence number
+//	                   1 byte  frame kind (0 constraints, 1 retract)
 //	                   2 bytes session-name length, session name
-//	                   SCL wire text (the rest)
+//	                   frame text (the rest): SCL wire text for a
+//	                   constraints frame, the decimal sequence numbers of
+//	                   the retracted frames (comma-separated) for a
+//	                   retract frame
 //
 // A wal directory also carries meta.json, pinning the solver options the
 // log was written under (graph form, cycle policy, variable-order seed).
@@ -47,12 +51,13 @@ import (
 )
 
 const (
-	magic    = "PLCEWAL1"
+	magic    = "PLCEWAL2"
+	oldMagic = "PLCEWAL1"
 	logName  = "wal.log"
 	metaName = "meta.json"
 
 	frameHeaderSize = 8  // payload length + CRC32
-	payloadMinSize  = 10 // sequence number + session-name length
+	payloadMinSize  = 11 // sequence number + frame kind + session-name length
 
 	// maxFrameSize bounds a single frame. A length prefix beyond it is
 	// treated as corruption (a torn length field reads as garbage), not as
@@ -117,10 +122,38 @@ type Options struct {
 // solver options — replaying it would not reconstruct the same graph.
 var ErrMetaMismatch = errors.New("wal: meta mismatch")
 
-// Frame is one logged batch: the SCL wire text exactly as the server
-// accepted it.
+// FrameKind tags what a frame carries: a batch of constraints or a
+// retraction of earlier frames.
+type FrameKind uint8
+
+const (
+	// FrameConstraints carries one accepted batch of SCL wire text.
+	FrameConstraints FrameKind = 0
+	// FrameRetract carries a retraction: its text is the comma-separated
+	// decimal sequence numbers of the constraint frames being retracted.
+	// Replay must honour retract frames in stream order — a retraction
+	// rolls back exactly the state its position in the stream implies.
+	FrameRetract FrameKind = 1
+
+	maxFrameKind = FrameRetract
+)
+
+// String names the kind.
+func (k FrameKind) String() string {
+	switch k {
+	case FrameConstraints:
+		return "constraints"
+	case FrameRetract:
+		return "retract"
+	}
+	return "?"
+}
+
+// Frame is one logged record: an accepted batch's SCL wire text, or a
+// retraction naming earlier frames, exactly as the server accepted it.
 type Frame struct {
 	Seq     uint64
+	Kind    FrameKind
 	Session string
 	Text    string
 }
@@ -296,6 +329,9 @@ func scanFile(f *os.File) (*Recovered, error) {
 	}
 	hdr := make([]byte, len(magic))
 	if _, err := io.ReadFull(f, hdr); err != nil || string(hdr) != magic {
+		if err == nil && string(hdr) == oldMagic {
+			return nil, fmt.Errorf("wal: %s is a v1 constraint log; this build writes v2 (retraction frames) — replay it with a v1 build or point at a fresh directory", f.Name())
+		}
 		return nil, fmt.Errorf("wal: %s is not a constraint log (bad header)", f.Name())
 	}
 	good := int64(len(magic))
@@ -324,13 +360,15 @@ func scanFile(f *os.File) (*Recovered, error) {
 			break
 		}
 		seq := binary.LittleEndian.Uint64(payload[0:8])
-		sessLen := int(binary.LittleEndian.Uint16(payload[8:10]))
-		if payloadMinSize+sessLen > len(payload) || seq != rec.LastSeq+1 {
+		kind := FrameKind(payload[8])
+		sessLen := int(binary.LittleEndian.Uint16(payload[9:11]))
+		if kind > maxFrameKind || payloadMinSize+sessLen > len(payload) || seq != rec.LastSeq+1 {
 			rec.TruncatedBytes = size - good
 			break
 		}
 		rec.Frames = append(rec.Frames, Frame{
 			Seq:     seq,
+			Kind:    kind,
 			Session: string(payload[payloadMinSize : payloadMinSize+sessLen]),
 			Text:    string(payload[payloadMinSize+sessLen:]),
 		})
@@ -341,12 +379,15 @@ func scanFile(f *os.File) (*Recovered, error) {
 	return rec, nil
 }
 
-// Append writes one frame carrying text for session and returns its
-// sequence number. The frame is written in a single write; durability
-// follows the sync policy — SyncAlways callers must call Sync before
-// acknowledging (Append itself never fsyncs, so concurrent accepts can
-// share one fsync).
-func (l *Log) Append(session, text string) (uint64, error) {
+// Append writes one frame of the given kind carrying text for session and
+// returns its sequence number. The frame is written in a single write;
+// durability follows the sync policy — SyncAlways callers must call Sync
+// before acknowledging (Append itself never fsyncs, so concurrent accepts
+// can share one fsync).
+func (l *Log) Append(kind FrameKind, session, text string) (uint64, error) {
+	if kind > maxFrameKind {
+		return 0, fmt.Errorf("wal: unknown frame kind %d", kind)
+	}
 	if len(session) > 1<<16-1 {
 		return 0, fmt.Errorf("wal: session name of %d bytes exceeds the 2-byte length field", len(session))
 	}
@@ -358,7 +399,8 @@ func (l *Log) Append(session, text string) (uint64, error) {
 	seq := l.nextSeq
 	payload := make([]byte, payloadMinSize+len(session)+len(text))
 	binary.LittleEndian.PutUint64(payload[0:8], seq)
-	binary.LittleEndian.PutUint16(payload[8:10], uint16(len(session)))
+	payload[8] = byte(kind)
+	binary.LittleEndian.PutUint16(payload[9:11], uint16(len(session)))
 	copy(payload[payloadMinSize:], session)
 	copy(payload[payloadMinSize+len(session):], text)
 	frame := make([]byte, frameHeaderSize+len(payload))

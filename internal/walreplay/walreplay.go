@@ -30,9 +30,10 @@ import (
 // deliberately absent: they never change the graph.
 func OptionsMeta(opt polce.Options) map[string]string {
 	return map[string]string{
-		"form":   opt.Form.String(),
-		"cycles": opt.Cycles.String(),
-		"seed":   strconv.FormatInt(opt.Seed, 10),
+		"form":        opt.Form.String(),
+		"cycles":      opt.Cycles.String(),
+		"seed":        strconv.FormatInt(opt.Seed, 10),
+		"retractable": strconv.FormatBool(opt.Retractable),
 	}
 }
 
@@ -64,30 +65,123 @@ func OptionsFromMeta(meta map[string]string) (polce.Options, error) {
 		return opt, fmt.Errorf("walreplay: meta has bad seed %q", meta["seed"])
 	}
 	opt.Seed = seed
+	if r, ok := meta["retractable"]; ok {
+		opt.Retractable, err = strconv.ParseBool(r)
+		if err != nil {
+			return opt, fmt.Errorf("walreplay: meta has bad retractable %q", r)
+		}
+	}
 	return opt, nil
 }
 
-// Replay runs the frames through a fresh session and solver — the same
-// ParseAppend → Binder.Lower → AddBatch path the server ingests through —
-// and returns the solver, the binder (for name lookups) and the number of
-// constraints applied. A frame that fails to parse aborts the replay: it
-// parsed when it was logged, so a parse failure means the log does not
-// belong to this vocabulary or was damaged beyond the CRC's reach.
-func Replay(frames []wal.Frame, opt polce.Options) (*polce.Solver, *scl.Binder, int, error) {
+// ParseRetractText parses a retract frame's text — the comma-separated
+// decimal sequence numbers of the retracted constraint frames.
+func ParseRetractText(text string) ([]uint64, error) {
+	if text == "" {
+		return nil, nil
+	}
+	parts := strings.Split(text, ",")
+	out := make([]uint64, len(parts))
+	for i, p := range parts {
+		seq, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("walreplay: bad retract target %q", p)
+		}
+		out[i] = seq
+	}
+	return out, nil
+}
+
+// FormatRetractText renders retract targets as a retract frame's text.
+func FormatRetractText(seqs []uint64) string {
+	parts := make([]string, len(seqs))
+	for i, s := range seqs {
+		parts[i] = strconv.FormatUint(s, 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Replay runs the frames through fresh per-session SCL state and one
+// solver — the same ParseAppend → Binder.Lower → AddBatch path the server
+// ingests through, frame order preserved across sessions — and returns the
+// solver, the binders by session label (for name lookups) and the number
+// of constraints applied. A constraints frame that fails to parse aborts
+// the replay: it parsed when it was logged, so a parse failure means the
+// log does not belong to this vocabulary or was damaged beyond the CRC's
+// reach.
+//
+// Retract frames replay in stream order: each frame's text names the
+// sequence numbers of the constraint frames it retracts, resolved against
+// the batch ids the replay itself issued. A target that is not live at the
+// frame's position — never logged, or already retracted — skips the whole
+// frame, mirroring RetractBatch's all-or-nothing validation on the live
+// server (a DELETE that failed there was logged but retracted nothing).
+func Replay(frames []wal.Frame, opt polce.Options) (*polce.Solver, map[string]*scl.Binder, int, error) {
 	solver := polce.New(opt)
-	file := scl.MustParse("")
-	binder := scl.NewBinder(file, solver)
+	type sess struct {
+		file   *scl.File
+		binder *scl.Binder
+	}
+	sessions := map[string]*sess{}
+	binders := map[string]*scl.Binder{}
+	sessionOf := func(label string) *sess {
+		ss, ok := sessions[label]
+		if !ok {
+			f := scl.MustParse("")
+			ss = &sess{file: f, binder: scl.NewBinder(f, solver)}
+			sessions[label] = ss
+			binders[label] = ss.binder
+		}
+		return ss
+	}
+	type liveBatch struct {
+		session string
+		id      polce.BatchID
+	}
+	ids := map[uint64]liveBatch{} // live frame seq → owning session + batch id
 	constraints := 0
 	for _, f := range frames {
-		cs, err := file.ParseAppend(f.Text)
-		if err != nil {
-			return nil, nil, constraints, fmt.Errorf("walreplay: frame %d does not parse: %w", f.Seq, err)
+		switch f.Kind {
+		case wal.FrameRetract:
+			targets, err := ParseRetractText(f.Text)
+			if err != nil {
+				return nil, nil, constraints, fmt.Errorf("walreplay: frame %d: %w", f.Seq, err)
+			}
+			batchIDs := make([]polce.BatchID, 0, len(targets))
+			live := true
+			for _, seq := range targets {
+				// Mirror the serve layer's validation exactly: a target
+				// must be live AND owned by the frame's session — a
+				// cross-session DELETE failed live, so it must be a no-op
+				// on replay too.
+				b, ok := ids[seq]
+				if !ok || b.session != f.Session {
+					live = false
+					break
+				}
+				batchIDs = append(batchIDs, b.id)
+			}
+			if !live {
+				continue // the live DELETE failed validation and retracted nothing
+			}
+			if _, err := solver.RetractBatch(batchIDs...); err != nil {
+				return nil, nil, constraints, fmt.Errorf("walreplay: frame %d retract: %w", f.Seq, err)
+			}
+			for _, seq := range targets {
+				delete(ids, seq)
+			}
+		default:
+			ss := sessionOf(f.Session)
+			cs, err := ss.file.ParseAppend(f.Text)
+			if err != nil {
+				return nil, nil, constraints, fmt.Errorf("walreplay: frame %d does not parse: %w", f.Seq, err)
+			}
+			batch := ss.binder.Lower(cs)
+			ids[f.Seq] = liveBatch{session: f.Session, id: solver.AddBatch(batch)}
+			constraints += len(batch)
 		}
-		batch := binder.Lower(cs)
-		solver.AddBatch(batch)
-		constraints += len(batch)
 	}
-	return solver, binder, constraints, nil
+	return solver, binders, constraints, nil
 }
 
 // Sample is one recorded least solution: a variable and its rendered
@@ -129,6 +223,12 @@ type Manifest struct {
 	CycleSearches int64 `json:"cycle_searches"`
 	CycleVisits   int64 `json:"cycle_visits"`
 	CyclesFound   int64 `json:"cycles_found"`
+	// Retractions, RetractConeVars and RetractReplayed are the retraction
+	// counters — deterministic too: the dirty cone is a function of the
+	// stream position, not of map iteration order.
+	Retractions     int64 `json:"retractions"`
+	RetractConeVars int64 `json:"retract_cone_vars"`
+	RetractReplayed int64 `json:"retract_replayed"`
 	// Samples are least solutions of variables sampled evenly across
 	// creation order (all of them when there are at most maxSamples).
 	Samples []Sample `json:"samples"`
@@ -144,14 +244,17 @@ func Fingerprint(s *polce.Solver, maxSamples int) Manifest {
 	}
 	stats := s.Stats()
 	m := Manifest{
-		Version:       s.Version(),
-		Vars:          s.NumCreated(),
-		Errors:        s.ErrorCount(),
-		Work:          stats.Work,
-		Redundant:     stats.Redundant,
-		CycleSearches: stats.CycleSearches,
-		CycleVisits:   stats.CycleVisits,
-		CyclesFound:   stats.CyclesFound,
+		Version:         s.Version(),
+		Vars:            s.NumCreated(),
+		Errors:          s.ErrorCount(),
+		Work:            stats.Work,
+		Redundant:       stats.Redundant,
+		CycleSearches:   stats.CycleSearches,
+		CycleVisits:     stats.CycleVisits,
+		CyclesFound:     stats.CyclesFound,
+		Retractions:     stats.Retractions,
+		RetractConeVars: stats.RetractConeVars,
+		RetractReplayed: stats.RetractReplayed,
 	}
 
 	// Sample least solutions before collapsing: collapse preserves them,
@@ -240,6 +343,54 @@ func (m Manifest) Diff(other Manifest) []string {
 	}
 	if m.CyclesFound != other.CyclesFound {
 		add("cycles_found: %d vs %d", m.CyclesFound, other.CyclesFound)
+	}
+	if m.Retractions != other.Retractions {
+		add("retractions: %d vs %d", m.Retractions, other.Retractions)
+	}
+	if m.RetractConeVars != other.RetractConeVars {
+		add("retract_cone_vars: %d vs %d", m.RetractConeVars, other.RetractConeVars)
+	}
+	if m.RetractReplayed != other.RetractReplayed {
+		add("retract_replayed: %d vs %d", m.RetractReplayed, other.RetractReplayed)
+	}
+	if len(m.Samples) != len(other.Samples) {
+		add("samples: %d vs %d", len(m.Samples), len(other.Samples))
+		return diffs
+	}
+	for i := range m.Samples {
+		a, b := m.Samples[i], other.Samples[i]
+		if a.Var != b.Var {
+			add("samples[%d].var: %q vs %q", i, a.Var, b.Var)
+			continue
+		}
+		if strings.Join(a.Terms, ",") != strings.Join(b.Terms, ",") {
+			add("samples[%d] (%s): LS %v vs %v", i, a.Var, a.Terms, b.Terms)
+		}
+	}
+	return diffs
+}
+
+// StateDiff compares only the state-bearing fields of two manifests: the
+// variable population, the error count, the canonical partition signature
+// and the sampled least solutions. The history counters (version, work,
+// cycle searches, retraction telemetry) are excluded — they fingerprint
+// how a graph was reached, and two equivalent graphs reached by different
+// histories (a retract-and-replay run versus a from-scratch solve of the
+// survivors) legitimately disagree on them. Use Diff when both sides ran
+// the same stream; use StateDiff when only the final graph must match.
+func (m Manifest) StateDiff(other Manifest) []string {
+	var diffs []string
+	add := func(format string, args ...any) {
+		diffs = append(diffs, fmt.Sprintf(format, args...))
+	}
+	if m.Vars != other.Vars {
+		add("vars: %d vs %d", m.Vars, other.Vars)
+	}
+	if m.Errors != other.Errors {
+		add("errors: %d vs %d", m.Errors, other.Errors)
+	}
+	if m.PartitionSig != other.PartitionSig {
+		add("partition_sig: %s vs %s", m.PartitionSig, other.PartitionSig)
 	}
 	if len(m.Samples) != len(other.Samples) {
 		add("samples: %d vs %d", len(m.Samples), len(other.Samples))

@@ -13,6 +13,13 @@ type Constraint struct {
 	L, R Expr
 }
 
+// BatchID is the retraction handle returned by every mutating call. On a
+// solver built with Options.Retractable it names the recorded batch and can
+// later be passed to RetractBatch; on a non-retractable solver it is always
+// zero and never usable. IDs are assigned in application order, are unique
+// for the solver's lifetime, and are never reused after retraction.
+type BatchID uint64
+
 // Solver is a thread-safe façade over one constraint system. All methods
 // are safe for concurrent use; each takes the solver's lock, so a method
 // call is one atomic step of the underlying online solver. For bulk
@@ -58,28 +65,38 @@ func (s *Solver) Fresh(name string) *Var {
 	return s.sys.Fresh(name)
 }
 
-// AddConstraint adds l ⊆ r and immediately restores closure.
-func (s *Solver) AddConstraint(l, r Expr) {
+// AddConstraint adds l ⊆ r and immediately restores closure. On a
+// retractable solver the constraint is recorded as an implicit
+// one-constraint batch whose id is returned; on a non-retractable solver
+// the id is zero.
+func (s *Solver) AddConstraint(l, r Expr) BatchID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	id := BatchID(s.sys.BeginBatch())
 	s.sys.AddConstraint(l, r)
+	s.sys.EndBatch()
+	return id
 }
 
 // AddConstraintContext adds l ⊆ r unless ctx is already cancelled or the
 // solver has been closed. A single constraint's closure drain is one
 // atomic step and is never interrupted part-way, so the system is always
-// consistent when this returns.
-func (s *Solver) AddConstraintContext(ctx context.Context, l, r Expr) error {
+// consistent when this returns. The returned BatchID is the constraint's
+// retraction handle (zero on a non-retractable solver or when nothing was
+// added).
+func (s *Solver) AddConstraintContext(ctx context.Context, l, r Expr) (BatchID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return ErrSolverClosed
+		return 0, ErrSolverClosed
 	}
 	if err := ctx.Err(); err != nil {
-		return err
+		return 0, err
 	}
+	id := BatchID(s.sys.BeginBatch())
 	s.sys.AddConstraint(l, r)
-	return nil
+	s.sys.EndBatch()
+	return id, nil
 }
 
 // AddBatch adds every constraint of the batch under one lock acquisition.
@@ -87,12 +104,17 @@ func (s *Solver) AddConstraintContext(ctx context.Context, l, r Expr) error {
 // AddConstraint — closure and cycle elimination run at each one — so a
 // batch is exactly a sequence of AddConstraint calls that no concurrent
 // reader can interleave.
-func (s *Solver) AddBatch(batch []Constraint) {
+// The returned BatchID is the batch's retraction handle (zero on a
+// non-retractable solver).
+func (s *Solver) AddBatch(batch []Constraint) BatchID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	id := BatchID(s.sys.BeginBatch())
 	for _, c := range batch {
 		s.sys.AddConstraint(c.L, c.R)
 	}
+	s.sys.EndBatch()
+	return id
 }
 
 // AddBatchContext is AddBatch with cancellation: between worklist drains —
@@ -106,19 +128,82 @@ func (s *Solver) AddBatch(batch []Constraint) {
 //
 // If the solver has been closed, no constraint is applied and the error is
 // ErrSolverClosed.
-func (s *Solver) AddBatchContext(ctx context.Context, batch []Constraint) (applied int, err error) {
+//
+// The returned BatchID is the batch's retraction handle. An interrupted
+// batch still gets a handle covering exactly the constraints that were
+// applied, so a caller unwinding a cancelled ingest can RetractBatch the
+// partial batch. The id is zero when the solver is non-retractable or when
+// no constraint was applied.
+func (s *Solver) AddBatchContext(ctx context.Context, batch []Constraint) (applied int, id BatchID, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return 0, ErrSolverClosed
+		return 0, 0, ErrSolverClosed
 	}
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	id = BatchID(s.sys.BeginBatch())
+	defer s.sys.EndBatch()
 	for i, c := range batch {
 		if err := ctx.Err(); err != nil {
-			return i, err
+			return i, id, err
 		}
 		s.sys.AddConstraint(c.L, c.R)
 	}
-	return len(batch), nil
+	return len(batch), id, nil
+}
+
+// RetractBatch removes the named batches' constraints as if they had never
+// been added, preserving every fact the surviving constraints still
+// justify (reason multisets: a derivation justified two ways survives
+// losing one). Unknown ids fail with ErrUnknownBatch and retract nothing;
+// a solver built without Options.Retractable fails with ErrNotRetractable.
+// The report describes the rolled-back dirty cone and the replayed
+// survivors; see RetractReport.
+func (s *Solver) RetractBatch(ids ...BatchID) (RetractReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.RetractBatches(batchIDs(ids))
+}
+
+// RetractBatchContext is RetractBatch with the façade's standard
+// closed/cancelled preflight. A retraction that starts runs to completion
+// — rollback and replay are one atomic step, never interrupted part-way —
+// so ctx is only consulted before any work begins.
+func (s *Solver) RetractBatchContext(ctx context.Context, ids ...BatchID) (RetractReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return RetractReport{}, ErrSolverClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return RetractReport{}, err
+	}
+	return s.sys.RetractBatches(batchIDs(ids))
+}
+
+func batchIDs(ids []BatchID) []uint64 {
+	out := make([]uint64, len(ids))
+	for i, id := range ids {
+		out[i] = uint64(id)
+	}
+	return out
+}
+
+// Retractable reports whether the solver was built with
+// Options.Retractable and so tracks batches for retraction.
+func (s *Solver) Retractable() bool {
+	// Fixed at construction; no lock needed.
+	return s.sys.Retractable()
+}
+
+// BatchCount returns the number of live (added, not yet retracted)
+// batches; zero on a non-retractable solver.
+func (s *Solver) BatchCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.BatchCount()
 }
 
 // Close marks the solver closed: context-aware ingestion

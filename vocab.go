@@ -30,6 +30,9 @@ type (
 	MetricsSink = core.MetricsSink
 	// LSPass describes one least-solution engine pass.
 	LSPass = core.LSPass
+	// RetractReport describes one RetractBatch pass: batches retracted,
+	// dirty cone rolled back, survivors replayed; see core.RetractReport.
+	RetractReport = core.RetractReport
 	// StorageRepr selects the adjacency storage representation (hybrid or
 	// arena-backed CSR); see Options.Repr.
 	StorageRepr = core.StorageRepr
